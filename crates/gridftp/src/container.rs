@@ -1,0 +1,276 @@
+//! The external container service (paper §3/§5).
+//!
+//! > "Metadata mappings may also contain attributes that refer to an
+//! > external container service that is used to group together large
+//! > numbers of relatively small data objects for efficient data storage
+//! > and transfer. The external container service is responsible for
+//! > constructing containers and extracting individual data items from
+//! > the container."
+//!
+//! A [`ContainerService`] packs small logical items into container files
+//! stored on a [`GridFtpServer`] and extracts them on demand. The MCS
+//! records only the (`container_id`, `container_service`) pair on a
+//! logical file — the layered factoring the paper argues for — and the
+//! integration test in `tests/` drives the two together.
+
+use std::collections::BTreeMap;
+
+use crate::sim::{GridFtpError, GridFtpServer};
+
+/// Errors from the container service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContainerError {
+    /// No container with this id.
+    NoSuchContainer(String),
+    /// No item with this name in the container.
+    NoSuchItem {
+        /// Container id.
+        container: String,
+        /// Item name.
+        item: String,
+    },
+    /// An item with this name already exists in the open container.
+    ItemExists(String),
+    /// The container was already sealed (containers are write-once, like
+    /// tar archives on tape).
+    Sealed(String),
+    /// The container is still open — items can only be extracted after
+    /// sealing (the construction/extraction phases of the paper).
+    NotSealed(String),
+    /// Underlying storage failure.
+    Storage(GridFtpError),
+}
+
+impl std::fmt::Display for ContainerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ContainerError::NoSuchContainer(c) => write!(f, "no such container `{c}`"),
+            ContainerError::NoSuchItem { container, item } => {
+                write!(f, "no item `{item}` in container `{container}`")
+            }
+            ContainerError::ItemExists(i) => write!(f, "item `{i}` already in container"),
+            ContainerError::Sealed(c) => write!(f, "container `{c}` is sealed"),
+            ContainerError::NotSealed(c) => write!(f, "container `{c}` is not sealed yet"),
+            ContainerError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ContainerError {}
+
+impl From<GridFtpError> for ContainerError {
+    fn from(e: GridFtpError) -> Self {
+        ContainerError::Storage(e)
+    }
+}
+
+/// One item's bookkeeping inside a container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ItemMeta {
+    offset: u64,
+    size: u64,
+}
+
+#[derive(Debug)]
+struct Container {
+    items: BTreeMap<String, ItemMeta>,
+    next_offset: u64,
+    sealed: bool,
+}
+
+/// A container service bound to one storage server.
+pub struct ContainerService {
+    /// Service locator recorded in MCS `container_service` attributes.
+    pub locator: String,
+    storage: std::sync::Arc<GridFtpServer>,
+    containers: parking_lot_shim::Mutex<BTreeMap<String, Container>>,
+    counter: std::sync::atomic::AtomicU64,
+}
+
+/// std Mutex with poisoning ignored, keeping this crate dependency-free.
+mod parking_lot_shim {
+    #[derive(Debug, Default)]
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+    impl<T> Mutex<T> {
+        pub fn new(v: T) -> Self {
+            Mutex(std::sync::Mutex::new(v))
+        }
+        pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+            self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
+    }
+}
+
+impl ContainerService {
+    /// A container service storing containers on `storage`.
+    pub fn new(locator: impl Into<String>, storage: std::sync::Arc<GridFtpServer>) -> Self {
+        ContainerService {
+            locator: locator.into(),
+            storage,
+            containers: parking_lot_shim::Mutex::new(BTreeMap::new()),
+            counter: std::sync::atomic::AtomicU64::new(1),
+        }
+    }
+
+    /// Begin constructing a new container; returns its id.
+    pub fn create_container(&self) -> String {
+        let n = self.counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let id = format!("cont-{n:06}");
+        self.containers.lock().insert(
+            id.clone(),
+            Container { items: BTreeMap::new(), next_offset: 0, sealed: false },
+        );
+        id
+    }
+
+    /// Add a small item to an open container. Returns the item's offset.
+    pub fn add_item(&self, container: &str, item: &str, size: u64) -> Result<u64, ContainerError> {
+        let mut containers = self.containers.lock();
+        let c = containers
+            .get_mut(container)
+            .ok_or_else(|| ContainerError::NoSuchContainer(container.to_owned()))?;
+        if c.sealed {
+            return Err(ContainerError::Sealed(container.to_owned()));
+        }
+        if c.items.contains_key(item) {
+            return Err(ContainerError::ItemExists(item.to_owned()));
+        }
+        let offset = c.next_offset;
+        c.items.insert(item.to_owned(), ItemMeta { offset, size });
+        c.next_offset += size;
+        Ok(offset)
+    }
+
+    /// Seal a container: its aggregate file is written to storage and no
+    /// more items may be added. Returns the storage path.
+    pub fn seal(&self, container: &str) -> Result<String, ContainerError> {
+        let mut containers = self.containers.lock();
+        let c = containers
+            .get_mut(container)
+            .ok_or_else(|| ContainerError::NoSuchContainer(container.to_owned()))?;
+        if c.sealed {
+            return Err(ContainerError::Sealed(container.to_owned()));
+        }
+        let path = format!("/containers/{container}.tar");
+        self.storage.put(&path, c.next_offset.max(1))?;
+        c.sealed = true;
+        Ok(path)
+    }
+
+    /// Extract one item from a sealed container to a destination path on
+    /// the same storage (the read path of Figure 2 when data lives in
+    /// containers). Returns the item's size.
+    pub fn extract(
+        &self,
+        container: &str,
+        item: &str,
+        dest_path: &str,
+    ) -> Result<u64, ContainerError> {
+        let containers = self.containers.lock();
+        let c = containers
+            .get(container)
+            .ok_or_else(|| ContainerError::NoSuchContainer(container.to_owned()))?;
+        if !c.sealed {
+            return Err(ContainerError::NotSealed(container.to_owned()));
+        }
+        let meta = c.items.get(item).ok_or_else(|| ContainerError::NoSuchItem {
+            container: container.to_owned(),
+            item: item.to_owned(),
+        })?;
+        self.storage.put(dest_path, meta.size)?;
+        Ok(meta.size)
+    }
+
+    /// Items of a container, in name order.
+    pub fn list(&self, container: &str) -> Result<Vec<(String, u64)>, ContainerError> {
+        let containers = self.containers.lock();
+        let c = containers
+            .get(container)
+            .ok_or_else(|| ContainerError::NoSuchContainer(container.to_owned()))?;
+        Ok(c.items.iter().map(|(n, m)| (n.clone(), m.size)).collect())
+    }
+
+    /// Is the container sealed?
+    pub fn is_sealed(&self, container: &str) -> Result<bool, ContainerError> {
+        self.containers
+            .lock()
+            .get(container)
+            .map(|c| c.sealed)
+            .ok_or_else(|| ContainerError::NoSuchContainer(container.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Endpoint;
+    use std::sync::Arc;
+
+    fn service() -> ContainerService {
+        let storage = Arc::new(GridFtpServer::new("hpss.ncsa.uiuc.edu", Endpoint::lan()));
+        ContainerService::new("http://containers.ncsa.uiuc.edu", storage)
+    }
+
+    #[test]
+    fn construct_seal_extract_lifecycle() {
+        let svc = service();
+        let id = svc.create_container();
+        svc.add_item(&id, "small-0001.dat", 4096).unwrap();
+        svc.add_item(&id, "small-0002.dat", 2048).unwrap();
+        assert_eq!(svc.add_item(&id, "small-0003.dat", 1024).unwrap(), 6144); // offsets accumulate
+        let path = svc.seal(&id).unwrap();
+        assert!(path.contains(&id));
+        // aggregate file exists on storage with the summed size
+        assert_eq!(svc.storage.size_of(&path), Some(4096 + 2048 + 1024));
+        // extraction materializes the item
+        let size = svc.extract(&id, "small-0002.dat", "/scratch/small-0002.dat").unwrap();
+        assert_eq!(size, 2048);
+        assert_eq!(svc.storage.size_of("/scratch/small-0002.dat"), Some(2048));
+    }
+
+    #[test]
+    fn phase_rules_enforced() {
+        let svc = service();
+        let id = svc.create_container();
+        svc.add_item(&id, "x", 10).unwrap();
+        // cannot extract before sealing
+        assert!(matches!(
+            svc.extract(&id, "x", "/scratch/x"),
+            Err(ContainerError::NotSealed(_))
+        ));
+        svc.seal(&id).unwrap();
+        assert!(svc.is_sealed(&id).unwrap());
+        // cannot add after sealing, cannot seal twice
+        assert!(matches!(svc.add_item(&id, "y", 10), Err(ContainerError::Sealed(_))));
+        assert!(matches!(svc.seal(&id), Err(ContainerError::Sealed(_))));
+    }
+
+    #[test]
+    fn duplicate_and_missing_items() {
+        let svc = service();
+        let id = svc.create_container();
+        svc.add_item(&id, "x", 10).unwrap();
+        assert!(matches!(svc.add_item(&id, "x", 10), Err(ContainerError::ItemExists(_))));
+        svc.seal(&id).unwrap();
+        assert!(matches!(
+            svc.extract(&id, "nope", "/scratch/nope"),
+            Err(ContainerError::NoSuchItem { .. })
+        ));
+        assert!(matches!(
+            svc.extract("cont-999999", "x", "/s"),
+            Err(ContainerError::NoSuchContainer(_))
+        ));
+    }
+
+    #[test]
+    fn listing_and_ids_unique() {
+        let svc = service();
+        let a = svc.create_container();
+        let b = svc.create_container();
+        assert_ne!(a, b);
+        svc.add_item(&a, "z", 1).unwrap();
+        svc.add_item(&a, "a", 2).unwrap();
+        assert_eq!(svc.list(&a).unwrap(), vec![("a".to_string(), 2), ("z".to_string(), 1)]);
+        assert!(svc.list(&b).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,20 @@
+//! # gridftp — a deterministic GridFTP transfer simulator
+//!
+//! The data-transport substrate for the MCS paper's Figure-2 scenario
+//! (steps 5–6: contact storage systems, move the selected replicas). Real
+//! GridFTP servers and wide-area links are out of scope on a laptop, so
+//! this simulates the aspects the scenario exercises: per-endpoint
+//! bandwidth and latency, parallel TCP streams with diminishing returns,
+//! striped multi-server transfers, and end-to-end checksums over
+//! deterministic synthetic content.
+
+#![warn(missing_docs)]
+
+pub mod container;
+pub mod sim;
+
+pub use container::{ContainerError, ContainerService};
+pub use sim::{
+    transfer, transfer_striped, Endpoint, GridFtpError, GridFtpServer, TransferOptions,
+    TransferReport,
+};

@@ -1,0 +1,171 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out.
+//!
+//! * `value_index` — the 2003 schema indexes attribute *names* only;
+//!   §9's redesign would index values. The `ValueIndexed` profile makes
+//!   equality complex queries nearly size-independent.
+//! * `keepalive` — connection-per-request (2003 Axis default) vs HTTP
+//!   keep-alive: how much of the web-service overhead is TCP setup.
+//! * `encoding` — SOAP/XML envelope codec vs a compact length-prefixed
+//!   binary framing: the serialization share of the overhead.
+//! * `selectivity` — evaluating the most selective predicate first vs
+//!   last: under posting-list intersection the *scan* cost is symmetric,
+//!   but candidate-set sizes (hashing cost) are not.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcs::{AttrPredicate, IndexProfile};
+use mcs_net::{McsClient, McsServer};
+use soapstack::xml::Element;
+use soapstack::TransportOpts;
+use workload::{build_catalog, driver_credential, spec};
+
+fn ablate_value_index(c: &mut Criterion) {
+    let cred = driver_credential(0, 0);
+    let mut g = c.benchmark_group("ablate_value_index");
+    g.sample_size(10);
+    for n in [2_000u64, 20_000] {
+        for profile in [IndexProfile::Paper2003, IndexProfile::ValueIndexed] {
+            let built = build_catalog(n, profile);
+            let label = format!("{n}_{profile:?}");
+            g.bench_function(BenchmarkId::from_parameter(label), |bench| {
+                let mcs = Arc::clone(&built.mcs);
+                let mut i = 0u64;
+                bench.iter(|| {
+                    i = (i + 7919) % n;
+                    mcs.query_by_attributes(&cred, &spec::complex_query(i, 10)).expect("query")
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+fn ablate_keepalive(c: &mut Criterion) {
+    let built = build_catalog(2_000, IndexProfile::Paper2003);
+    let server = McsServer::start(Arc::clone(&built.mcs), "127.0.0.1:0", 4).expect("server");
+    let mut g = c.benchmark_group("ablate_keepalive");
+    for keep_alive in [false, true] {
+        let label = if keep_alive { "keepalive" } else { "conn_per_request" };
+        g.bench_function(label, |bench| {
+            let opts = TransportOpts { keep_alive, simulated_rtt: Duration::ZERO };
+            let mut client =
+                McsClient::with_opts(server.addr().to_string(), driver_credential(0, 0), opts);
+            let mut i = 0u64;
+            bench.iter(|| {
+                i = (i + 7919) % built.n_files;
+                client.get_file(&spec::file_name(i)).expect("query")
+            });
+        });
+    }
+    g.finish();
+}
+
+/// A compact binary framing of the same createFile payload, for
+/// comparison with the SOAP envelope (length-prefixed fields, no
+/// escaping, no parsing).
+fn binary_encode(name: &str, attrs: &[(String, String)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(128);
+    let put = |out: &mut Vec<u8>, s: &str| {
+        out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        out.extend_from_slice(s.as_bytes());
+    };
+    put(&mut out, name);
+    out.extend_from_slice(&(attrs.len() as u32).to_le_bytes());
+    for (k, v) in attrs {
+        put(&mut out, k);
+        put(&mut out, v);
+    }
+    out
+}
+
+fn binary_decode(buf: &[u8]) -> (String, Vec<(String, String)>) {
+    fn take(buf: &[u8], pos: &mut usize) -> String {
+        let len = u32::from_le_bytes(buf[*pos..*pos + 4].try_into().unwrap()) as usize;
+        *pos += 4;
+        let s = std::str::from_utf8(&buf[*pos..*pos + len]).unwrap().to_owned();
+        *pos += len;
+        s
+    }
+    let mut pos = 0usize;
+    let name = take(buf, &mut pos);
+    let n = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+    pos += 4;
+    let mut attrs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let k = take(buf, &mut pos);
+        let v = take(buf, &mut pos);
+        attrs.push((k, v));
+    }
+    (name, attrs)
+}
+
+fn ablate_encoding(c: &mut Criterion) {
+    // one representative createFile payload: name + 10 attributes
+    let attrs: Vec<(String, String)> = spec::attributes_of(42)
+        .into_iter()
+        .map(|a| (a.name, a.value.to_string()))
+        .collect();
+    let name = spec::file_name(42);
+
+    let mut g = c.benchmark_group("ablate_encoding");
+    g.bench_function("soap_xml", |bench| {
+        bench.iter(|| {
+            let mut args = Element::new("a");
+            let mut spec_el = Element::new("fileSpec").child(Element::new("name").text(&name));
+            for (k, v) in &attrs {
+                spec_el = spec_el.child(
+                    Element::new("attribute")
+                        .attr("name", k.as_str())
+                        .child(Element::new("value").attr("type", "string").text(v.as_str())),
+                );
+            }
+            args = args.child(spec_el);
+            let wire = soapstack::soap::encode_request("createFile", args);
+            let (method, el) = soapstack::soap::decode_request(&wire).expect("decode");
+            assert_eq!(method, "createFile");
+            el
+        });
+    });
+    g.bench_function("binary", |bench| {
+        bench.iter(|| {
+            let wire = binary_encode(&name, &attrs);
+            let (n, a) = binary_decode(&wire);
+            assert_eq!(a.len(), attrs.len());
+            n
+        });
+    });
+    g.finish();
+}
+
+fn ablate_selectivity(c: &mut Criterion) {
+    let cred = driver_credential(0, 0);
+    let built = build_catalog(20_000, IndexProfile::Paper2003);
+    // wl_seq (i % 1000) is highly selective (~20 rows); wl_site (i % 50)
+    // is not (~400 rows).
+    let selective = AttrPredicate::eq(spec::ATTR_NAMES[2], spec::attr_value(2, 777));
+    let unselective = AttrPredicate::eq(spec::ATTR_NAMES[0], spec::attr_value(0, 777));
+    let mut g = c.benchmark_group("ablate_selectivity");
+    g.sample_size(10);
+    g.bench_function("selective_first", |bench| {
+        let preds = [selective.clone(), unselective.clone()];
+        let mcs = Arc::clone(&built.mcs);
+        bench.iter(|| mcs.query_by_attributes(&cred, &preds).expect("query"));
+    });
+    g.bench_function("selective_last", |bench| {
+        let preds = [unselective.clone(), selective.clone()];
+        let mcs = Arc::clone(&built.mcs);
+        bench.iter(|| mcs.query_by_attributes(&cred, &preds).expect("query"));
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = ablate_value_index, ablate_keepalive, ablate_encoding, ablate_selectivity
+}
+criterion_main!(benches);

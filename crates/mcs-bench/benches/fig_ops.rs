@@ -1,0 +1,94 @@
+//! Criterion micro-benchmarks for the three measured operations of the
+//! paper's evaluation (per-operation latency complements the `repro`
+//! binary's closed-loop throughput figures):
+//!
+//! * Figure 5 — add (create + delete) a file with ten attributes;
+//! * Figure 6 — simple query (static-attribute match by logical name);
+//! * Figure 7 — complex query (all ten user-defined attributes);
+//! * Figure 11 — complex query with a varying number of attributes.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcs::IndexProfile;
+use workload::{build_catalog, driver_credential, spec, BuiltCatalog};
+
+const SIZES: [u64; 2] = [2_000, 20_000];
+
+fn catalogs() -> Vec<BuiltCatalog> {
+    SIZES.iter().map(|&n| build_catalog(n, IndexProfile::Paper2003)).collect()
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let built = catalogs();
+    let cred = driver_credential(0, 0);
+
+    let mut g = c.benchmark_group("fig5_add");
+    for b in &built {
+        g.bench_with_input(BenchmarkId::from_parameter(b.n_files), b, |bench, b| {
+            let mcs = Arc::clone(&b.mcs);
+            let mut counter = 0u64;
+            bench.iter(|| {
+                counter += 1;
+                let mut s = mcs::FileSpec::named(format!("bench.{counter}.dat"));
+                s.attributes = spec::attributes_of(b.n_files + counter);
+                mcs.create_file(&cred, &s).expect("create");
+                mcs.delete_file(&cred, &s.name).expect("delete");
+            });
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("fig6_simple_query");
+    for b in &built {
+        g.bench_with_input(BenchmarkId::from_parameter(b.n_files), b, |bench, b| {
+            let mcs = Arc::clone(&b.mcs);
+            let mut i = 0u64;
+            bench.iter(|| {
+                i = (i + 7919) % b.n_files;
+                mcs.get_file(&cred, &spec::file_name(i)).expect("simple query")
+            });
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("fig7_complex_query");
+    g.sample_size(10);
+    for b in &built {
+        g.bench_with_input(BenchmarkId::from_parameter(b.n_files), b, |bench, b| {
+            let mcs = Arc::clone(&b.mcs);
+            let mut i = 0u64;
+            bench.iter(|| {
+                i = (i + 7919) % b.n_files;
+                mcs.query_by_attributes(&cred, &spec::complex_query(i, 10)).expect("complex")
+            });
+        });
+    }
+    g.finish();
+
+    // Figure 11: attribute-count sweep on the larger catalog only.
+    let b = &built[1];
+    let mut g = c.benchmark_group("fig11_attr_sweep");
+    g.sample_size(10);
+    for attrs in [1usize, 2, 5, 10] {
+        g.bench_with_input(BenchmarkId::from_parameter(attrs), &attrs, |bench, &attrs| {
+            let mcs = Arc::clone(&b.mcs);
+            let mut i = 0u64;
+            bench.iter(|| {
+                i = (i + 7919) % b.n_files;
+                mcs.query_by_attributes(&cred, &spec::complex_query(i, attrs)).expect("query")
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_ops
+}
+criterion_main!(benches);

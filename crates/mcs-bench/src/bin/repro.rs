@@ -1,0 +1,67 @@
+//! Regenerate the paper's evaluation figures.
+//!
+//! ```text
+//! repro [--quick | --full] [--figure N]... [--out DIR]
+//! ```
+//!
+//! With no `--figure`, all of Figures 5–11 run (deployments are built
+//! once and shared). Tables go to stdout, JSON to `results/`.
+
+use mcs_bench::{deploy, run_figure, Config, Scale};
+
+fn main() {
+    let mut scale = Scale::Default;
+    let mut figures: Vec<u8> = Vec::new();
+    let mut out_dir: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--full" => scale = Scale::Full,
+            "--figure" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--figure needs a number 5..=11"));
+                figures.push(n);
+            }
+            "--out" => out_dir = Some(args.next().unwrap_or_else(|| die("--out needs a path"))),
+            "--help" | "-h" => {
+                println!(
+                    "repro — regenerate the SC'03 MCS evaluation figures\n\n\
+                     USAGE: repro [--quick | --full] [--figure N]... [--out DIR]\n\n\
+                     --quick    smoke-test sizes (2k/10k/50k files, 0.5s points)\n\
+                     --full     the paper's sizes (100k/1M/5M files; ~12 GB RAM)\n\
+                     --figure N run only figure N (may repeat; default: 5..=11)\n\
+                     --out DIR  JSON output directory (default: results)"
+                );
+                return;
+            }
+            other => die(&format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    if figures.is_empty() {
+        figures = vec![5, 6, 7, 8, 9, 10, 11];
+    }
+    let mut cfg = Config::new(scale);
+    if let Some(d) = out_dir {
+        cfg.out_dir = d;
+    }
+
+    println!("MCS SC'03 evaluation reproduction — scale {scale:?}, sizes {:?}", cfg.scale.sizes());
+    let deployments = deploy(&cfg);
+    for n in figures {
+        let fig = run_figure(n, &cfg, &deployments);
+        println!("\n{}", fig.to_table());
+        if let Err(e) = fig.write_json(&cfg.out_dir) {
+            eprintln!("warning: could not write {}/{}.json: {e}", cfg.out_dir, fig.id);
+        } else {
+            println!("   -> {}/{}.json", cfg.out_dir, fig.id);
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

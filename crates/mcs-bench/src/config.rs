@@ -1,0 +1,101 @@
+//! Harness configuration: database sizes, sweep axes, durations.
+
+use std::time::Duration;
+
+/// Scale of a repro run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Smoke-test sizes (seconds per figure; CI).
+    Quick,
+    /// Default: paper sizes ÷ 10 — every shape holds, minutes per figure.
+    Default,
+    /// The paper's sizes (100 k / 1 M / 5 M files; needs ~12 GB RAM and
+    /// a long lunch).
+    Full,
+}
+
+impl Scale {
+    /// The three database sizes (paper §7 used 100 k, 1 M, 5 M).
+    pub fn sizes(self) -> [u64; 3] {
+        match self {
+            Scale::Quick => [2_000, 10_000, 50_000],
+            Scale::Default => [10_000, 100_000, 500_000],
+            Scale::Full => [100_000, 1_000_000, 5_000_000],
+        }
+    }
+
+    /// Measured seconds per data point.
+    pub fn point_duration(self) -> Duration {
+        match self {
+            Scale::Quick => Duration::from_millis(500),
+            Scale::Default => Duration::from_secs(2),
+            Scale::Full => Duration::from_secs(5),
+        }
+    }
+
+    /// Warm-up before each point.
+    pub fn warmup(self) -> Duration {
+        match self {
+            Scale::Quick => Duration::from_millis(100),
+            _ => Duration::from_millis(300),
+        }
+    }
+
+    /// Minimum operations per point (measurement extends until reached).
+    pub fn min_ops(self) -> u64 {
+        match self {
+            Scale::Quick => 4,
+            _ => 12,
+        }
+    }
+
+    /// Cap on the per-point measurement extension.
+    pub fn max_extension(self) -> Duration {
+        match self {
+            Scale::Quick => Duration::from_secs(5),
+            Scale::Default => Duration::from_secs(45),
+            Scale::Full => Duration::from_secs(180),
+        }
+    }
+}
+
+/// Full harness configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Run scale.
+    pub scale: Scale,
+    /// Thread counts for the single-host sweeps (paper Figures 5–7 swept
+    /// 1..12 threads on one client host).
+    pub threads: Vec<usize>,
+    /// Host counts for the multi-host sweeps (Figures 8–10; 4 threads per
+    /// host, like the paper).
+    pub hosts: Vec<usize>,
+    /// Simulated per-host LAN round-trip for the multi-host model and the
+    /// database wire protocol (see DESIGN.md substitutions).
+    pub host_rtt: Duration,
+    /// Server worker threads (the paper's box was a dual-CPU Xeon running
+    /// Tomcat with a worker pool).
+    pub server_workers: usize,
+    /// Directory for JSON results.
+    pub out_dir: String,
+}
+
+impl Config {
+    /// Configuration for a scale with the paper's sweep axes.
+    pub fn new(scale: Scale) -> Config {
+        Config {
+            scale,
+            threads: match scale {
+                Scale::Quick => vec![1, 4, 12],
+                _ => vec![1, 2, 4, 8, 12],
+            },
+            hosts: match scale {
+                Scale::Quick => vec![1, 4, 10],
+                _ => vec![1, 2, 4, 6, 8, 10],
+            },
+            host_rtt: Duration::from_millis(2),
+            server_workers: 16,
+            out_dir: "results".into(),
+        }
+    }
+}

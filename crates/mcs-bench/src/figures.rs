@@ -1,0 +1,230 @@
+//! Figure runners: one function per figure of the paper's §7.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mcs::IndexProfile;
+use mcs_net::McsServer;
+use workload::{build_catalog, make_worker, run_closed_loop, Access, BuiltCatalog, OpKind, RunConfig};
+
+use crate::config::Config;
+use crate::report::{size_label, Figure, Point, Series};
+
+/// One populated catalog with its SOAP server, shared across figures.
+pub struct Deployment {
+    /// Database size (logical files).
+    pub n_files: u64,
+    /// The populated catalog.
+    pub built: BuiltCatalog,
+    /// Its web service.
+    pub server: McsServer,
+}
+
+/// Build all three deployments for a config (the expensive step — done
+/// once, reused by every figure).
+pub fn deploy(cfg: &Config) -> Vec<Deployment> {
+    cfg.scale
+        .sizes()
+        .iter()
+        .map(|&n| {
+            eprintln!("[deploy] populating {} logical files...", size_label(n));
+            let t0 = std::time::Instant::now();
+            let built = build_catalog(n, IndexProfile::Paper2003);
+            let server = McsServer::start(Arc::clone(&built.mcs), "127.0.0.1:0", cfg.server_workers)
+                .expect("server start");
+            eprintln!("[deploy] {} ready in {:.1}s", size_label(n), t0.elapsed().as_secs_f64());
+            Deployment { n_files: n, built, server }
+        })
+        .collect()
+}
+
+fn direct_access(d: &Deployment, wire_rtt: Duration) -> Access {
+    Access::Direct { mcs: Arc::clone(&d.built.mcs), wire_rtt }
+}
+
+fn soap_access(d: &Deployment, rtt: Duration) -> Access {
+    Access::Soap { addr: d.server.addr().to_string(), rtt, keep_alive: false }
+}
+
+fn measure(
+    cfg: &Config,
+    d: &Deployment,
+    access: &Access,
+    kind: OpKind,
+    hosts: usize,
+    threads_per_host: usize,
+) -> Point {
+    let run = RunConfig {
+        hosts,
+        threads_per_host,
+        duration: cfg.scale.point_duration(),
+        warmup: cfg.scale.warmup(),
+        min_ops: cfg.scale.min_ops(),
+        max_extension: cfg.scale.max_extension(),
+    };
+    let m = run_closed_loop(&run, |h, t| make_worker(access, kind, d.n_files, h, t));
+    Point { x: 0, rate: m.rate(), ops: m.ops, errors: m.errors }
+}
+
+/// Sweep a single-host thread count axis (Figures 5–7 shape).
+fn single_host_figure(cfg: &Config, deployments: &[Deployment], kind: OpKind, id: &str, title: &str) -> Figure {
+    let mut series = Vec::new();
+    for d in deployments {
+        for (path, access) in [
+            ("direct", direct_access(d, Duration::ZERO)),
+            ("soap", soap_access(d, Duration::ZERO)),
+        ] {
+            let label = format!("{} {}", size_label(d.n_files), path);
+            eprintln!("[{id}] series {label}");
+            let mut points = Vec::new();
+            for &t in &cfg.threads {
+                let mut p = measure(cfg, d, &access, kind, 1, t);
+                p.x = t as u64;
+                points.push(p);
+            }
+            series.push(Series { label, points });
+        }
+    }
+    Figure {
+        id: id.into(),
+        title: title.into(),
+        x_label: "threads".into(),
+        y_label: "ops/sec".into(),
+        series,
+    }
+}
+
+/// Sweep a multi-host axis, 4 threads per host (Figures 8–10 shape). The
+/// per-host RTT applies to both paths: direct clients spoke the MySQL
+/// wire protocol across the same LAN (DESIGN.md substitutions).
+fn multi_host_figure(cfg: &Config, deployments: &[Deployment], kind: OpKind, id: &str, title: &str) -> Figure {
+    let mut series = Vec::new();
+    for d in deployments {
+        for (path, access) in [
+            ("direct", direct_access(d, cfg.host_rtt)),
+            ("soap", soap_access(d, cfg.host_rtt)),
+        ] {
+            let label = format!("{} {}", size_label(d.n_files), path);
+            eprintln!("[{id}] series {label}");
+            let mut points = Vec::new();
+            for &h in &cfg.hosts {
+                let mut p = measure(cfg, d, &access, kind, h, 4);
+                p.x = h as u64;
+                points.push(p);
+            }
+            series.push(Series { label, points });
+        }
+    }
+    Figure {
+        id: id.into(),
+        title: title.into(),
+        x_label: "hosts".into(),
+        y_label: "ops/sec".into(),
+        series,
+    }
+}
+
+/// Figure 5: add rate with varying threads on a single client host.
+pub fn fig5(cfg: &Config, deployments: &[Deployment]) -> Figure {
+    single_host_figure(
+        cfg,
+        deployments,
+        OpKind::AddDelete,
+        "fig5",
+        "Add Rate on MCS with Varying Threads on a Single Client Host",
+    )
+}
+
+/// Figure 6: simple query rate with varying threads on a single host.
+pub fn fig6(cfg: &Config, deployments: &[Deployment]) -> Figure {
+    single_host_figure(
+        cfg,
+        deployments,
+        OpKind::SimpleQuery,
+        "fig6",
+        "Simple Query Rate on MCS with Varying Threads on a Single Client Host",
+    )
+}
+
+/// Figure 7: complex query (all 10 attributes) rate, single host.
+pub fn fig7(cfg: &Config, deployments: &[Deployment]) -> Figure {
+    single_host_figure(
+        cfg,
+        deployments,
+        OpKind::ComplexQuery { attrs: 10 },
+        "fig7",
+        "Complex Query Rate with a Varying Number of Threads on a Single Client Host",
+    )
+}
+
+/// Figure 8: add rate with a varying number of hosts (4 threads each).
+pub fn fig8(cfg: &Config, deployments: &[Deployment]) -> Figure {
+    multi_host_figure(
+        cfg,
+        deployments,
+        OpKind::AddDelete,
+        "fig8",
+        "Add Rate with Varying Number of Hosts, Each Running 4 Threads",
+    )
+}
+
+/// Figure 9: simple query rate with a varying number of hosts.
+pub fn fig9(cfg: &Config, deployments: &[Deployment]) -> Figure {
+    multi_host_figure(
+        cfg,
+        deployments,
+        OpKind::SimpleQuery,
+        "fig9",
+        "Simple Query Rate with a Varying Number of Client Hosts",
+    )
+}
+
+/// Figure 10: complex query rate with a varying number of hosts.
+pub fn fig10(cfg: &Config, deployments: &[Deployment]) -> Figure {
+    multi_host_figure(
+        cfg,
+        deployments,
+        OpKind::ComplexQuery { attrs: 10 },
+        "fig10",
+        "Complex Query Rate with a Varying Number of Hosts",
+    )
+}
+
+/// Figure 11: complex query rate as the number of matched attributes
+/// varies 1..=10 (direct database path only, like the paper).
+pub fn fig11(cfg: &Config, deployments: &[Deployment]) -> Figure {
+    let mut series = Vec::new();
+    for d in deployments {
+        let access = direct_access(d, Duration::ZERO);
+        let label = format!("{} direct", size_label(d.n_files));
+        eprintln!("[fig11] series {label}");
+        let mut points = Vec::new();
+        for attrs in 1..=10usize {
+            let mut p = measure(cfg, d, &access, OpKind::ComplexQuery { attrs }, 1, 4);
+            p.x = attrs as u64;
+            points.push(p);
+        }
+        series.push(Series { label, points });
+    }
+    Figure {
+        id: "fig11".into(),
+        title: "Complex Query Performance as the Number of Attributes is Varied".into(),
+        x_label: "attributes".into(),
+        y_label: "queries/sec".into(),
+        series,
+    }
+}
+
+/// Run one figure by number.
+pub fn run_figure(n: u8, cfg: &Config, deployments: &[Deployment]) -> Figure {
+    match n {
+        5 => fig5(cfg, deployments),
+        6 => fig6(cfg, deployments),
+        7 => fig7(cfg, deployments),
+        8 => fig8(cfg, deployments),
+        9 => fig9(cfg, deployments),
+        10 => fig10(cfg, deployments),
+        11 => fig11(cfg, deployments),
+        other => panic!("no figure {other} in the paper's evaluation (5–11)"),
+    }
+}

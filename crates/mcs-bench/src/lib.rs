@@ -1,0 +1,19 @@
+//! # mcs-bench — the evaluation harness
+//!
+//! Regenerates every figure of the paper's §7 scalability study
+//! (Figures 5–11): database sizes × {direct database, SOAP web service}
+//! × {add, simple query, complex query} × {threads, hosts, attribute
+//! count} sweeps, printed as the same series the paper plots and written
+//! as JSON under `results/`.
+//!
+//! Run `cargo run --release -p mcs-bench --bin repro -- --help`.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod figures;
+pub mod report;
+
+pub use config::{Config, Scale};
+pub use figures::{deploy, run_figure, Deployment};
+pub use report::{Figure, Point, Series};

@@ -1,0 +1,190 @@
+//! Result structures, table printing, and JSON output.
+//!
+//! JSON is written with a local serializer (the structures are flat and
+//! fixed) to keep the dependency set to the approved crates.
+
+/// One measured point of one series.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// X value (threads, hosts, or attribute count).
+    pub x: u64,
+    /// Sustained successful-operation rate (ops/s).
+    pub rate: f64,
+    /// Successful operations counted.
+    pub ops: u64,
+    /// Failed operations counted.
+    pub errors: u64,
+}
+
+/// One line of a figure.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label, e.g. `100k direct` or `1M soap`.
+    pub label: String,
+    /// Points in sweep order.
+    pub points: Vec<Point>,
+}
+
+/// One reproduced figure.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Identifier, e.g. `fig5`.
+    pub id: String,
+    /// Paper caption paraphrase.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// All series.
+    pub series: Vec<Series>,
+}
+
+fn json_escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Figure {
+    /// Render as an aligned text table (rows = x, columns = series).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("## {} — {}\n", self.id, self.title));
+        out.push_str(&format!("   ({} vs {})\n", self.y_label, self.x_label));
+        let xs: Vec<u64> = self
+            .series
+            .first()
+            .map(|s| s.points.iter().map(|p| p.x).collect())
+            .unwrap_or_default();
+        let mut header = format!("{:>10}", self.x_label);
+        for s in &self.series {
+            header.push_str(&format!("  {:>16}", s.label));
+        }
+        out.push_str(&header);
+        out.push('\n');
+        for (i, x) in xs.iter().enumerate() {
+            let mut row = format!("{x:>10}");
+            for s in &self.series {
+                match s.points.get(i) {
+                    Some(p) => row.push_str(&format!("  {:>16.1}", p.rate)),
+                    None => row.push_str(&format!("  {:>16}", "-")),
+                }
+            }
+            out.push_str(&row);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"id\": ");
+        json_escape(&self.id, &mut out);
+        out.push_str(",\n  \"title\": ");
+        json_escape(&self.title, &mut out);
+        out.push_str(",\n  \"x_label\": ");
+        json_escape(&self.x_label, &mut out);
+        out.push_str(",\n  \"y_label\": ");
+        json_escape(&self.y_label, &mut out);
+        out.push_str(",\n  \"series\": [\n");
+        for (si, s) in self.series.iter().enumerate() {
+            out.push_str("    {\"label\": ");
+            json_escape(&s.label, &mut out);
+            out.push_str(", \"points\": [");
+            for (pi, p) in s.points.iter().enumerate() {
+                out.push_str(&format!(
+                    "{{\"x\": {}, \"rate\": {:.3}, \"ops\": {}, \"errors\": {}}}",
+                    p.x, p.rate, p.ops, p.errors
+                ));
+                if pi + 1 < s.points.len() {
+                    out.push_str(", ");
+                }
+            }
+            out.push_str("]}");
+            if si + 1 < self.series.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Write `{out_dir}/{id}.json`.
+    pub fn write_json(&self, out_dir: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(out_dir)?;
+        std::fs::write(format!("{out_dir}/{}.json", self.id), self.to_json())
+    }
+}
+
+/// Human label for a database size.
+pub fn size_label(n: u64) -> String {
+    if n >= 1_000_000 && n % 1_000_000 == 0 {
+        format!("{}M", n / 1_000_000)
+    } else if n >= 1_000 {
+        format!("{}k", n / 1_000)
+    } else {
+        n.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> Figure {
+        Figure {
+            id: "figX".into(),
+            title: "demo \"quoted\"".into(),
+            x_label: "threads".into(),
+            y_label: "ops/s".into(),
+            series: vec![
+                Series {
+                    label: "a".into(),
+                    points: vec![Point { x: 1, rate: 10.0, ops: 10, errors: 0 }],
+                },
+                Series {
+                    label: "b".into(),
+                    points: vec![Point { x: 1, rate: 20.5, ops: 20, errors: 1 }],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn table_renders_all_series() {
+        let t = fig().to_table();
+        assert!(t.contains("figX"));
+        assert!(t.contains("10.0"));
+        assert!(t.contains("20.5"));
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let j = fig().to_json();
+        assert!(j.contains("\"id\": \"figX\""));
+        assert!(j.contains("demo \\\"quoted\\\""));
+        assert!(j.contains("\"rate\": 20.500"));
+        // balanced braces/brackets
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn size_labels() {
+        assert_eq!(size_label(10_000), "10k");
+        assert_eq!(size_label(1_000_000), "1M");
+        assert_eq!(size_label(5_000_000), "5M");
+        assert_eq!(size_label(500), "500");
+    }
+}

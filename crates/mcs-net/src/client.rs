@@ -1,0 +1,483 @@
+//! Synchronous MCS client — the counterpart of the paper's Java client
+//! API, one method per catalog operation.
+
+use std::fmt;
+
+use mcs::{
+    Annotation, AttrPredicate, AttrType, Attribute, AuditRecord, Collection,
+    CollectionContents, Credential, ExternalCatalog, FileSpec, FileUpdate, HistoryRecord,
+    LogicalFile, ObjectRef, Permission, UserRecord, View, ViewContents,
+};
+use soapstack::xml::{Element, XmlError};
+use soapstack::{SoapClient, SoapError, TransportOpts};
+
+use crate::wire::*;
+
+/// Error kind reconstructed from a structured server fault code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Object not found.
+    NotFound,
+    /// Name collision.
+    AlreadyExists,
+    /// Authorization failure.
+    PermissionDenied,
+    /// Name validation failure.
+    InvalidName,
+    /// Cycle would be created.
+    CycleDetected,
+    /// File already in a collection.
+    AlreadyInCollection,
+    /// Collection not empty.
+    CollectionNotEmpty,
+    /// Attribute definition/type problem.
+    BadAttribute,
+    /// Ambiguous or missing version.
+    VersionConflict,
+    /// Server-side database error.
+    Db,
+    /// Anything else server-side.
+    Internal,
+    /// Request was malformed (client-side fault).
+    BadArguments,
+    /// Unrecognized fault code.
+    Unknown,
+}
+
+impl FaultKind {
+    fn from_code(code: &str) -> FaultKind {
+        match code.rsplit('.').next().unwrap_or("") {
+            "NotFound" => FaultKind::NotFound,
+            "AlreadyExists" => FaultKind::AlreadyExists,
+            "PermissionDenied" => FaultKind::PermissionDenied,
+            "InvalidName" => FaultKind::InvalidName,
+            "CycleDetected" => FaultKind::CycleDetected,
+            "AlreadyInCollection" => FaultKind::AlreadyInCollection,
+            "CollectionNotEmpty" => FaultKind::CollectionNotEmpty,
+            "BadAttribute" => FaultKind::BadAttribute,
+            "VersionConflict" => FaultKind::VersionConflict,
+            "Db" => FaultKind::Db,
+            "Internal" => FaultKind::Internal,
+            "BadArguments" => FaultKind::BadArguments,
+            _ => FaultKind::Unknown,
+        }
+    }
+}
+
+/// Client-side errors.
+#[derive(Debug)]
+pub enum NetError {
+    /// The server reported a fault.
+    Fault {
+        /// Reconstructed error kind.
+        kind: FaultKind,
+        /// Server message.
+        message: String,
+    },
+    /// Transport or envelope failure.
+    Soap(SoapError),
+    /// The response did not have the expected shape.
+    Shape(XmlError),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Fault { kind, message } => write!(f, "MCS fault ({kind:?}): {message}"),
+            NetError::Soap(e) => write!(f, "{e}"),
+            NetError::Shape(e) => write!(f, "bad response: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<SoapError> for NetError {
+    fn from(e: SoapError) -> Self {
+        match e {
+            SoapError::Fault(fl) => NetError::Fault {
+                kind: FaultKind::from_code(&fl.code),
+                message: fl.message,
+            },
+            other => NetError::Soap(other),
+        }
+    }
+}
+
+impl From<XmlError> for NetError {
+    fn from(e: XmlError) -> Self {
+        NetError::Shape(e)
+    }
+}
+
+impl NetError {
+    /// Is this a fault of the given kind?
+    pub fn is(&self, kind: FaultKind) -> bool {
+        matches!(self, NetError::Fault { kind: k, .. } if *k == kind)
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, NetError>;
+
+/// A synchronous client bound to one MCS endpoint and one credential.
+pub struct McsClient {
+    soap: SoapClient,
+    cred: Credential,
+}
+
+impl McsClient {
+    /// Connect to `addr` (e.g. `127.0.0.1:8080`) as `cred`, with default
+    /// transport options (connection per call, no simulated latency).
+    pub fn connect(addr: impl Into<String>, cred: Credential) -> McsClient {
+        McsClient::with_opts(addr, cred, TransportOpts::default())
+    }
+
+    /// Connect with explicit transport options.
+    pub fn with_opts(
+        addr: impl Into<String>,
+        cred: Credential,
+        opts: TransportOpts,
+    ) -> McsClient {
+        McsClient { soap: SoapClient::with_opts(addr, "/mcs", opts), cred }
+    }
+
+    /// The credential this client acts as.
+    pub fn credential(&self) -> &Credential {
+        &self.cred
+    }
+
+    fn call(&mut self, method: &str, mut args: Element) -> Result<Element> {
+        // Every call carries the credential (the GSI context of the
+        // original would ride the TLS layer instead).
+        args.children.insert(0, soapstack::xml::Node::Element(credential_el(&self.cred)));
+        Ok(self.soap.call(method, args)?)
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<()> {
+        self.call("ping", Element::new("a")).map(drop)
+    }
+
+    // --- files ---
+
+    /// Create a logical file with creation-time attributes.
+    pub fn create_file(&mut self, spec: &FileSpec) -> Result<LogicalFile> {
+        let r = self.call("createFile", Element::new("a").child(filespec_el(spec)))?;
+        Ok(file_from(r.expect("file")?)?)
+    }
+
+    /// Fetch a file's predefined metadata (the paper's "simple query").
+    pub fn get_file(&mut self, name: &str) -> Result<LogicalFile> {
+        let r = self.call("getFile", Element::new("a").child(text_el("name", name)))?;
+        Ok(file_from(r.expect("file")?)?)
+    }
+
+    /// Fetch one version of a file.
+    pub fn get_file_version(&mut self, name: &str, version: i64) -> Result<LogicalFile> {
+        let r = self.call(
+            "getFileVersion",
+            Element::new("a")
+                .child(text_el("name", name))
+                .child(text_el("version", version.to_string())),
+        )?;
+        Ok(file_from(r.expect("file")?)?)
+    }
+
+    /// All versions of a logical name.
+    pub fn get_file_versions(&mut self, name: &str) -> Result<Vec<LogicalFile>> {
+        let r = self.call("getFileVersions", Element::new("a").child(text_el("name", name)))?;
+        r.find_all("file").map(|f| Ok(file_from(f)?)).collect()
+    }
+
+    /// Update predefined attributes.
+    pub fn update_file(&mut self, name: &str, update: &FileUpdate) -> Result<LogicalFile> {
+        let r = self.call(
+            "updateFile",
+            Element::new("a").child(text_el("name", name)).child(fileupdate_el(update)),
+        )?;
+        Ok(file_from(r.expect("file")?)?)
+    }
+
+    /// Mark a file invalid.
+    pub fn invalidate_file(&mut self, name: &str) -> Result<()> {
+        self.call("invalidateFile", Element::new("a").child(text_el("name", name))).map(drop)
+    }
+
+    /// Delete a file and all its metadata.
+    pub fn delete_file(&mut self, name: &str) -> Result<()> {
+        self.call("deleteFile", Element::new("a").child(text_el("name", name))).map(drop)
+    }
+
+    /// Delete one version of a file.
+    pub fn delete_file_version(&mut self, name: &str, version: i64) -> Result<()> {
+        self.call(
+            "deleteFileVersion",
+            Element::new("a")
+                .child(text_el("name", name))
+                .child(text_el("version", version.to_string())),
+        )
+        .map(drop)
+    }
+
+    // --- collections ---
+
+    /// Create a collection (optionally nested).
+    pub fn create_collection(
+        &mut self,
+        name: &str,
+        parent: Option<&str>,
+        description: &str,
+    ) -> Result<Collection> {
+        let mut a = Element::new("a").child(text_el("name", name));
+        if let Some(p) = parent {
+            a = a.child(text_el("parent", p));
+        }
+        a = a.child(text_el("description", description));
+        let r = self.call("createCollection", a)?;
+        Ok(collection_from(r.expect("collection")?)?)
+    }
+
+    /// Fetch a collection record.
+    pub fn get_collection(&mut self, name: &str) -> Result<Collection> {
+        let r = self.call("getCollection", Element::new("a").child(text_el("name", name)))?;
+        Ok(collection_from(r.expect("collection")?)?)
+    }
+
+    /// Delete an empty collection.
+    pub fn delete_collection(&mut self, name: &str) -> Result<()> {
+        self.call("deleteCollection", Element::new("a").child(text_el("name", name))).map(drop)
+    }
+
+    /// List a collection's direct contents.
+    pub fn list_collection(&mut self, name: &str) -> Result<CollectionContents> {
+        let r = self.call("listCollection", Element::new("a").child(text_el("name", name)))?;
+        Ok(collection_contents_from(r.expect("contents")?)?)
+    }
+
+    /// Move a file into (or out of) a collection.
+    pub fn assign_collection(&mut self, file: &str, collection: Option<&str>) -> Result<()> {
+        let mut a = Element::new("a").child(text_el("file", file));
+        if let Some(c) = collection {
+            a = a.child(text_el("collection", c));
+        }
+        self.call("assignCollection", a).map(drop)
+    }
+
+    // --- views ---
+
+    /// Create a logical view.
+    pub fn create_view(&mut self, name: &str, description: &str) -> Result<View> {
+        let r = self.call(
+            "createView",
+            Element::new("a")
+                .child(text_el("name", name))
+                .child(text_el("description", description)),
+        )?;
+        Ok(view_from(r.expect("view")?)?)
+    }
+
+    /// Fetch a view record.
+    pub fn get_view(&mut self, name: &str) -> Result<View> {
+        let r = self.call("getView", Element::new("a").child(text_el("name", name)))?;
+        Ok(view_from(r.expect("view")?)?)
+    }
+
+    /// Delete a view.
+    pub fn delete_view(&mut self, name: &str) -> Result<()> {
+        self.call("deleteView", Element::new("a").child(text_el("name", name))).map(drop)
+    }
+
+    /// Add a member to a view.
+    pub fn add_to_view(&mut self, view: &str, member: &ObjectRef) -> Result<()> {
+        self.call(
+            "addToView",
+            Element::new("a").child(text_el("view", view)).child(objref_el(member)),
+        )
+        .map(drop)
+    }
+
+    /// Remove a member from a view; true if it was present.
+    pub fn remove_from_view(&mut self, view: &str, member: &ObjectRef) -> Result<bool> {
+        let r = self.call(
+            "removeFromView",
+            Element::new("a").child(text_el("view", view)).child(objref_el(member)),
+        )?;
+        Ok(req_text(&r, "removed")? == "true")
+    }
+
+    /// List a view's members.
+    pub fn list_view(&mut self, name: &str) -> Result<ViewContents> {
+        let r = self.call("listView", Element::new("a").child(text_el("name", name)))?;
+        Ok(view_contents_from(r.expect("contents")?)?)
+    }
+
+    // --- attributes & queries ---
+
+    /// Register a user-defined attribute.
+    pub fn define_attribute(
+        &mut self,
+        name: &str,
+        ty: AttrType,
+        description: &str,
+    ) -> Result<()> {
+        self.call(
+            "defineAttribute",
+            Element::new("a")
+                .child(text_el("name", name))
+                .child(text_el("attrType", attr_type_code(ty)))
+                .child(text_el("description", description)),
+        )
+        .map(drop)
+    }
+
+    /// Set (upsert) an attribute on an object.
+    pub fn set_attribute(&mut self, object: &ObjectRef, attr: &Attribute) -> Result<()> {
+        self.call(
+            "setAttribute",
+            Element::new("a").child(objref_el(object)).child(attribute_el(attr)),
+        )
+        .map(drop)
+    }
+
+    /// Remove an attribute; true if it was present.
+    pub fn remove_attribute(&mut self, object: &ObjectRef, name: &str) -> Result<bool> {
+        let r = self.call(
+            "removeAttribute",
+            Element::new("a").child(objref_el(object)).child(text_el("name", name)),
+        )?;
+        Ok(req_text(&r, "removed")? == "true")
+    }
+
+    /// Fetch an object's user-defined attributes.
+    pub fn get_attributes(&mut self, object: &ObjectRef) -> Result<Vec<Attribute>> {
+        let r = self.call("getAttributes", Element::new("a").child(objref_el(object)))?;
+        r.find_all("attribute").map(|a| Ok(attribute_from(a)?)).collect()
+    }
+
+    /// Attribute-based discovery (the paper's "complex query"). Returns
+    /// matching (logical name, version) pairs.
+    pub fn query_by_attributes(&mut self, preds: &[AttrPredicate]) -> Result<Vec<(String, i64)>> {
+        let mut a = Element::new("a");
+        for p in preds {
+            a = a.child(predicate_el(p));
+        }
+        let r = self.call("queryByAttributes", a)?;
+        Ok(hits_from(r.expect("hits")?)?)
+    }
+
+    // --- annotations, audit, history ---
+
+    /// Attach an annotation.
+    pub fn annotate(&mut self, object: &ObjectRef, text: &str) -> Result<()> {
+        self.call(
+            "annotate",
+            Element::new("a").child(objref_el(object)).child(text_el("text", text)),
+        )
+        .map(drop)
+    }
+
+    /// Fetch annotations, oldest first.
+    pub fn get_annotations(&mut self, object: &ObjectRef) -> Result<Vec<Annotation>> {
+        let r = self.call("getAnnotations", Element::new("a").child(objref_el(object)))?;
+        r.find_all("annotation").map(|a| Ok(annotation_from(a)?)).collect()
+    }
+
+    /// Fetch the audit trail, oldest first.
+    pub fn get_audit_trail(&mut self, object: &ObjectRef) -> Result<Vec<AuditRecord>> {
+        let r = self.call("getAuditTrail", Element::new("a").child(objref_el(object)))?;
+        r.find_all("audit").map(|a| Ok(audit_from(a)?)).collect()
+    }
+
+    /// Enable or disable per-access auditing.
+    pub fn set_audit(&mut self, object: &ObjectRef, enabled: bool) -> Result<()> {
+        self.call(
+            "setAudit",
+            Element::new("a")
+                .child(objref_el(object))
+                .child(text_el("enabled", enabled.to_string())),
+        )
+        .map(drop)
+    }
+
+    /// Append a transformation-history record.
+    pub fn add_history(&mut self, file: &str, description: &str) -> Result<()> {
+        self.call(
+            "addHistory",
+            Element::new("a")
+                .child(text_el("file", file))
+                .child(text_el("description", description)),
+        )
+        .map(drop)
+    }
+
+    /// Fetch a file's transformation history.
+    pub fn get_history(&mut self, file: &str) -> Result<Vec<HistoryRecord>> {
+        let r = self.call("getHistory", Element::new("a").child(text_el("file", file)))?;
+        r.find_all("history").map(|h| Ok(history_from(h)?)).collect()
+    }
+
+    // --- policy & registries ---
+
+    /// Grant a permission.
+    pub fn grant(
+        &mut self,
+        object: &ObjectRef,
+        principal: &str,
+        perm: Permission,
+    ) -> Result<()> {
+        self.call(
+            "grant",
+            Element::new("a")
+                .child(objref_el(object))
+                .child(text_el("principal", principal))
+                .child(text_el("permission", permission_code(perm))),
+        )
+        .map(drop)
+    }
+
+    /// Revoke a permission.
+    pub fn revoke(
+        &mut self,
+        object: &ObjectRef,
+        principal: &str,
+        perm: Permission,
+    ) -> Result<()> {
+        self.call(
+            "revoke",
+            Element::new("a")
+                .child(objref_el(object))
+                .child(text_el("principal", principal))
+                .child(text_el("permission", permission_code(perm))),
+        )
+        .map(drop)
+    }
+
+    /// Register a metadata writer.
+    pub fn register_user(&mut self, user: &UserRecord) -> Result<()> {
+        self.call("registerUser", Element::new("a").child(user_el(user))).map(drop)
+    }
+
+    /// Fetch a metadata writer by DN.
+    pub fn get_user(&mut self, dn: &str) -> Result<UserRecord> {
+        let r = self.call("getUser", Element::new("a").child(text_el("dn", dn)))?;
+        Ok(user_from(r.expect("user")?)?)
+    }
+
+    /// List all metadata writers.
+    pub fn list_users(&mut self) -> Result<Vec<UserRecord>> {
+        let r = self.call("listUsers", Element::new("a"))?;
+        r.find_all("user").map(|u| Ok(user_from(u)?)).collect()
+    }
+
+    /// Register an external catalog pointer.
+    pub fn register_external_catalog(&mut self, cat: &ExternalCatalog) -> Result<()> {
+        self.call("registerExternalCatalog", Element::new("a").child(extcat_el(cat))).map(drop)
+    }
+
+    /// List external catalogs.
+    pub fn list_external_catalogs(&mut self) -> Result<Vec<ExternalCatalog>> {
+        let r = self.call("listExternalCatalogs", Element::new("a"))?;
+        r.find_all("externalCatalog").map(|c| Ok(extcat_from(c)?)).collect()
+    }
+}

@@ -1,0 +1,17 @@
+//! # mcs-net — the MCS web service and client
+//!
+//! Exposes the Metadata Catalog Service over SOAP/HTTP (the Tomcat+Axis
+//! deployment of the paper's Figure 4) and provides a synchronous client
+//! mirroring the original Java client API. The measured gap between
+//! calling [`mcs::Mcs`] directly and through this layer *is* the paper's
+//! headline web-service overhead (≈4.8× on adds).
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod server;
+pub mod wire;
+pub mod wsdl;
+
+pub use client::{FaultKind, McsClient, NetError};
+pub use server::{register_methods, McsServer};

@@ -1,0 +1,382 @@
+//! The MCS web service: every catalog operation exposed as a SOAP method
+//! (the Tomcat/Axis deployment of the paper, Figure 4).
+
+use std::sync::Arc;
+
+use mcs::{McsError, Mcs};
+use soapstack::server::{Handler, HttpServer, SoapDispatcher};
+use soapstack::xml::{Element, XmlError};
+use soapstack::{Fault, Request, Response};
+
+use crate::wire::*;
+
+/// Structured fault-code suffix for each [`McsError`] variant, so the
+/// client can reconstruct the error kind.
+pub fn fault_kind(e: &McsError) -> &'static str {
+    match e {
+        McsError::NotFound(_) => "NotFound",
+        McsError::AlreadyExists(_) => "AlreadyExists",
+        McsError::PermissionDenied { .. } => "PermissionDenied",
+        McsError::InvalidName(_) => "InvalidName",
+        McsError::CycleDetected(_) => "CycleDetected",
+        McsError::AlreadyInCollection { .. } => "AlreadyInCollection",
+        McsError::CollectionNotEmpty(_) => "CollectionNotEmpty",
+        McsError::BadAttribute(_) => "BadAttribute",
+        McsError::VersionConflict(_) => "VersionConflict",
+        McsError::Db(_) => "Db",
+        McsError::Internal(_) => "Internal",
+    }
+}
+
+fn fault_of(e: McsError) -> Fault {
+    Fault { code: format!("soap:Server.{}", fault_kind(&e)), message: e.to_string() }
+}
+
+fn fault_of_xml(e: XmlError) -> Fault {
+    Fault { code: "soap:Client.BadArguments".into(), message: e.to_string() }
+}
+
+type MethodResult = std::result::Result<Element, Fault>;
+
+fn ok() -> Element {
+    Element::new("r").child(Element::new("ok"))
+}
+
+fn wrap(children: Vec<Element>) -> Element {
+    let mut r = Element::new("r");
+    for c in children {
+        r = r.child(c);
+    }
+    r
+}
+
+fn reg<F>(d: &mut SoapDispatcher, mcs: &Arc<Mcs>, name: &str, f: F)
+where
+    F: Fn(&Mcs, &Element) -> MethodResult + Send + Sync + 'static,
+{
+    let mcs = Arc::clone(mcs);
+    d.register(name, move |call| f(&mcs, call));
+}
+
+/// Register every MCS operation on a dispatcher.
+pub fn register_methods(d: &mut SoapDispatcher, mcs: Arc<Mcs>) {
+    let d = d;
+    let mcs = &mcs;
+
+    // --- files ---
+    reg(d, mcs, "ping", |_mcs, _call| Ok(ok()));
+    reg(d, mcs, "createFile", |mcs, call| {
+        let cred = credential_from(call).map_err(fault_of_xml)?;
+        let spec =
+            filespec_from(call.expect("fileSpec").map_err(fault_of_xml)?).map_err(fault_of_xml)?;
+        let f = mcs.create_file(&cred, &spec).map_err(fault_of)?;
+        Ok(wrap(vec![file_el(&f)]))
+    });
+    reg(d, mcs, "getFile", |mcs, call| {
+        let cred = credential_from(call).map_err(fault_of_xml)?;
+        let name = req_text(call, "name").map_err(fault_of_xml)?;
+        let f = mcs.get_file(&cred, &name).map_err(fault_of)?;
+        Ok(wrap(vec![file_el(&f)]))
+    });
+    reg(d, mcs, "getFileVersion", |mcs, call| {
+        let cred = credential_from(call).map_err(fault_of_xml)?;
+        let name = req_text(call, "name").map_err(fault_of_xml)?;
+        let version = req_i64(call, "version").map_err(fault_of_xml)?;
+        let f = mcs.get_file_version(&cred, &name, version).map_err(fault_of)?;
+        Ok(wrap(vec![file_el(&f)]))
+    });
+    reg(d, mcs, "getFileVersions", |mcs, call| {
+        let cred = credential_from(call).map_err(fault_of_xml)?;
+        let name = req_text(call, "name").map_err(fault_of_xml)?;
+        let fs = mcs.get_file_versions(&cred, &name).map_err(fault_of)?;
+        Ok(wrap(fs.iter().map(file_el).collect()))
+    });
+    reg(d, mcs, "updateFile", |mcs, call| {
+        let cred = credential_from(call).map_err(fault_of_xml)?;
+        let name = req_text(call, "name").map_err(fault_of_xml)?;
+        let upd = fileupdate_from(call.expect("fileUpdate").map_err(fault_of_xml)?)
+            .map_err(fault_of_xml)?;
+        let f = mcs.update_file(&cred, &name, &upd).map_err(fault_of)?;
+        Ok(wrap(vec![file_el(&f)]))
+    });
+    reg(d, mcs, "invalidateFile", |mcs, call| {
+        let cred = credential_from(call).map_err(fault_of_xml)?;
+        let name = req_text(call, "name").map_err(fault_of_xml)?;
+        mcs.invalidate_file(&cred, &name).map_err(fault_of)?;
+        Ok(ok())
+    });
+    reg(d, mcs, "deleteFile", |mcs, call| {
+        let cred = credential_from(call).map_err(fault_of_xml)?;
+        let name = req_text(call, "name").map_err(fault_of_xml)?;
+        mcs.delete_file(&cred, &name).map_err(fault_of)?;
+        Ok(ok())
+    });
+    reg(d, mcs, "deleteFileVersion", |mcs, call| {
+        let cred = credential_from(call).map_err(fault_of_xml)?;
+        let name = req_text(call, "name").map_err(fault_of_xml)?;
+        let version = req_i64(call, "version").map_err(fault_of_xml)?;
+        mcs.delete_file_version(&cred, &name, version).map_err(fault_of)?;
+        Ok(ok())
+    });
+
+    // --- collections ---
+    reg(d, mcs, "createCollection", |mcs, call| {
+        let cred = credential_from(call).map_err(fault_of_xml)?;
+        let name = req_text(call, "name").map_err(fault_of_xml)?;
+        let parent = opt_text(call, "parent");
+        let description = opt_text(call, "description").unwrap_or_default();
+        let c = mcs
+            .create_collection(&cred, &name, parent.as_deref(), &description)
+            .map_err(fault_of)?;
+        Ok(wrap(vec![collection_el(&c)]))
+    });
+    reg(d, mcs, "getCollection", |mcs, call| {
+        let cred = credential_from(call).map_err(fault_of_xml)?;
+        let name = req_text(call, "name").map_err(fault_of_xml)?;
+        let c = mcs.get_collection(&cred, &name).map_err(fault_of)?;
+        Ok(wrap(vec![collection_el(&c)]))
+    });
+    reg(d, mcs, "deleteCollection", |mcs, call| {
+        let cred = credential_from(call).map_err(fault_of_xml)?;
+        let name = req_text(call, "name").map_err(fault_of_xml)?;
+        mcs.delete_collection(&cred, &name).map_err(fault_of)?;
+        Ok(ok())
+    });
+    reg(d, mcs, "listCollection", |mcs, call| {
+        let cred = credential_from(call).map_err(fault_of_xml)?;
+        let name = req_text(call, "name").map_err(fault_of_xml)?;
+        let c = mcs.list_collection(&cred, &name).map_err(fault_of)?;
+        Ok(wrap(vec![collection_contents_el(&c)]))
+    });
+    reg(d, mcs, "assignCollection", |mcs, call| {
+        let cred = credential_from(call).map_err(fault_of_xml)?;
+        let file = req_text(call, "file").map_err(fault_of_xml)?;
+        let collection = opt_text(call, "collection");
+        mcs.assign_collection(&cred, &file, collection.as_deref()).map_err(fault_of)?;
+        Ok(ok())
+    });
+
+    // --- views ---
+    reg(d, mcs, "createView", |mcs, call| {
+        let cred = credential_from(call).map_err(fault_of_xml)?;
+        let name = req_text(call, "name").map_err(fault_of_xml)?;
+        let description = opt_text(call, "description").unwrap_or_default();
+        let v = mcs.create_view(&cred, &name, &description).map_err(fault_of)?;
+        Ok(wrap(vec![view_el(&v)]))
+    });
+    reg(d, mcs, "getView", |mcs, call| {
+        let cred = credential_from(call).map_err(fault_of_xml)?;
+        let name = req_text(call, "name").map_err(fault_of_xml)?;
+        let v = mcs.get_view(&cred, &name).map_err(fault_of)?;
+        Ok(wrap(vec![view_el(&v)]))
+    });
+    reg(d, mcs, "deleteView", |mcs, call| {
+        let cred = credential_from(call).map_err(fault_of_xml)?;
+        let name = req_text(call, "name").map_err(fault_of_xml)?;
+        mcs.delete_view(&cred, &name).map_err(fault_of)?;
+        Ok(ok())
+    });
+    reg(d, mcs, "addToView", |mcs, call| {
+        let cred = credential_from(call).map_err(fault_of_xml)?;
+        let view = req_text(call, "view").map_err(fault_of_xml)?;
+        let member = objref_from(call).map_err(fault_of_xml)?;
+        mcs.add_to_view(&cred, &view, &member).map_err(fault_of)?;
+        Ok(ok())
+    });
+    reg(d, mcs, "removeFromView", |mcs, call| {
+        let cred = credential_from(call).map_err(fault_of_xml)?;
+        let view = req_text(call, "view").map_err(fault_of_xml)?;
+        let member = objref_from(call).map_err(fault_of_xml)?;
+        let was = mcs.remove_from_view(&cred, &view, &member).map_err(fault_of)?;
+        Ok(wrap(vec![text_el("removed", was.to_string())]))
+    });
+    reg(d, mcs, "listView", |mcs, call| {
+        let cred = credential_from(call).map_err(fault_of_xml)?;
+        let name = req_text(call, "name").map_err(fault_of_xml)?;
+        let c = mcs.list_view(&cred, &name).map_err(fault_of)?;
+        Ok(wrap(vec![view_contents_el(&c)]))
+    });
+
+    // --- attributes & queries ---
+    reg(d, mcs, "defineAttribute", |mcs, call| {
+        let cred = credential_from(call).map_err(fault_of_xml)?;
+        let name = req_text(call, "name").map_err(fault_of_xml)?;
+        let ty = attr_type_from(&req_text(call, "attrType").map_err(fault_of_xml)?)
+            .map_err(fault_of_xml)?;
+        let description = opt_text(call, "description").unwrap_or_default();
+        mcs.define_attribute(&cred, &name, ty, &description).map_err(fault_of)?;
+        Ok(ok())
+    });
+    reg(d, mcs, "setAttribute", |mcs, call| {
+        let cred = credential_from(call).map_err(fault_of_xml)?;
+        let object = objref_from(call).map_err(fault_of_xml)?;
+        let attr = attribute_from(call.expect("attribute").map_err(fault_of_xml)?)
+            .map_err(fault_of_xml)?;
+        mcs.set_attribute(&cred, &object, &attr).map_err(fault_of)?;
+        Ok(ok())
+    });
+    reg(d, mcs, "removeAttribute", |mcs, call| {
+        let cred = credential_from(call).map_err(fault_of_xml)?;
+        let object = objref_from(call).map_err(fault_of_xml)?;
+        let name = req_text(call, "name").map_err(fault_of_xml)?;
+        let was = mcs.remove_attribute(&cred, &object, &name).map_err(fault_of)?;
+        Ok(wrap(vec![text_el("removed", was.to_string())]))
+    });
+    reg(d, mcs, "getAttributes", |mcs, call| {
+        let cred = credential_from(call).map_err(fault_of_xml)?;
+        let object = objref_from(call).map_err(fault_of_xml)?;
+        let attrs = mcs.get_attributes(&cred, &object).map_err(fault_of)?;
+        Ok(wrap(attrs.iter().map(attribute_el).collect()))
+    });
+    reg(d, mcs, "queryByAttributes", |mcs, call| {
+        let cred = credential_from(call).map_err(fault_of_xml)?;
+        let preds: Vec<_> = call
+            .find_all("predicate")
+            .map(predicate_from)
+            .collect::<crate::wire::Result<_>>()
+            .map_err(fault_of_xml)?;
+        let hits = mcs.query_by_attributes(&cred, &preds).map_err(fault_of)?;
+        Ok(wrap(vec![hits_el(&hits)]))
+    });
+
+    // --- annotations, audit, history ---
+    reg(d, mcs, "annotate", |mcs, call| {
+        let cred = credential_from(call).map_err(fault_of_xml)?;
+        let object = objref_from(call).map_err(fault_of_xml)?;
+        let text = req_text(call, "text").map_err(fault_of_xml)?;
+        mcs.annotate(&cred, &object, &text).map_err(fault_of)?;
+        Ok(ok())
+    });
+    reg(d, mcs, "getAnnotations", |mcs, call| {
+        let cred = credential_from(call).map_err(fault_of_xml)?;
+        let object = objref_from(call).map_err(fault_of_xml)?;
+        let anns = mcs.get_annotations(&cred, &object).map_err(fault_of)?;
+        Ok(wrap(anns.iter().map(annotation_el).collect()))
+    });
+    reg(d, mcs, "getAuditTrail", |mcs, call| {
+        let cred = credential_from(call).map_err(fault_of_xml)?;
+        let object = objref_from(call).map_err(fault_of_xml)?;
+        let recs = mcs.get_audit_trail(&cred, &object).map_err(fault_of)?;
+        Ok(wrap(recs.iter().map(audit_el).collect()))
+    });
+    reg(d, mcs, "setAudit", |mcs, call| {
+        let cred = credential_from(call).map_err(fault_of_xml)?;
+        let object = objref_from(call).map_err(fault_of_xml)?;
+        let enabled = req_bool(call, "enabled").map_err(fault_of_xml)?;
+        mcs.set_audit(&cred, &object, enabled).map_err(fault_of)?;
+        Ok(ok())
+    });
+    reg(d, mcs, "addHistory", |mcs, call| {
+        let cred = credential_from(call).map_err(fault_of_xml)?;
+        let file = req_text(call, "file").map_err(fault_of_xml)?;
+        let description = req_text(call, "description").map_err(fault_of_xml)?;
+        mcs.add_history(&cred, &file, &description).map_err(fault_of)?;
+        Ok(ok())
+    });
+    reg(d, mcs, "getHistory", |mcs, call| {
+        let cred = credential_from(call).map_err(fault_of_xml)?;
+        let file = req_text(call, "file").map_err(fault_of_xml)?;
+        let recs = mcs.get_history(&cred, &file).map_err(fault_of)?;
+        Ok(wrap(recs.iter().map(history_el).collect()))
+    });
+
+    // --- policy ---
+    reg(d, mcs, "grant", |mcs, call| {
+        let cred = credential_from(call).map_err(fault_of_xml)?;
+        let object = objref_from(call).map_err(fault_of_xml)?;
+        let principal = req_text(call, "principal").map_err(fault_of_xml)?;
+        let perm = permission_from(&req_text(call, "permission").map_err(fault_of_xml)?)
+            .map_err(fault_of_xml)?;
+        mcs.grant(&cred, &object, &principal, perm).map_err(fault_of)?;
+        Ok(ok())
+    });
+    reg(d, mcs, "revoke", |mcs, call| {
+        let cred = credential_from(call).map_err(fault_of_xml)?;
+        let object = objref_from(call).map_err(fault_of_xml)?;
+        let principal = req_text(call, "principal").map_err(fault_of_xml)?;
+        let perm = permission_from(&req_text(call, "permission").map_err(fault_of_xml)?)
+            .map_err(fault_of_xml)?;
+        mcs.revoke(&cred, &object, &principal, perm).map_err(fault_of)?;
+        Ok(ok())
+    });
+
+    // --- registries ---
+    reg(d, mcs, "registerUser", |mcs, call| {
+        let cred = credential_from(call).map_err(fault_of_xml)?;
+        let user =
+            user_from(call.expect("user").map_err(fault_of_xml)?).map_err(fault_of_xml)?;
+        mcs.register_user(&cred, &user).map_err(fault_of)?;
+        Ok(ok())
+    });
+    reg(d, mcs, "getUser", |mcs, call| {
+        let cred = credential_from(call).map_err(fault_of_xml)?;
+        let dn = req_text(call, "dn").map_err(fault_of_xml)?;
+        let u = mcs.get_user(&cred, &dn).map_err(fault_of)?;
+        Ok(wrap(vec![user_el(&u)]))
+    });
+    reg(d, mcs, "listUsers", |mcs, call| {
+        let cred = credential_from(call).map_err(fault_of_xml)?;
+        let us = mcs.list_users(&cred).map_err(fault_of)?;
+        Ok(wrap(us.iter().map(user_el).collect()))
+    });
+    reg(d, mcs, "registerExternalCatalog", |mcs, call| {
+        let cred = credential_from(call).map_err(fault_of_xml)?;
+        let cat = extcat_from(call.expect("externalCatalog").map_err(fault_of_xml)?)
+            .map_err(fault_of_xml)?;
+        mcs.register_external_catalog(&cred, &cat).map_err(fault_of)?;
+        Ok(ok())
+    });
+    reg(d, mcs, "listExternalCatalogs", |mcs, call| {
+        let cred = credential_from(call).map_err(fault_of_xml)?;
+        let cats = mcs.list_external_catalogs(&cred).map_err(fault_of)?;
+        Ok(wrap(cats.iter().map(extcat_el).collect()))
+    });
+}
+
+/// HTTP handler serving SOAP on POST and the service description on GET.
+pub struct McsHandler {
+    dispatcher: SoapDispatcher,
+    wsdl: String,
+}
+
+impl Handler for McsHandler {
+    fn handle(&self, req: &Request) -> Response {
+        if req.method == "GET" {
+            return Response::ok("text/xml; charset=utf-8", self.wsdl.clone().into_bytes());
+        }
+        self.dispatcher.handle(req)
+    }
+}
+
+/// A running MCS web service.
+pub struct McsServer {
+    http: HttpServer,
+}
+
+impl McsServer {
+    /// Expose `mcs` at `http://{bind_addr}/mcs` with `workers` pool
+    /// threads (the paper's Tomcat deployment).
+    pub fn start(mcs: Arc<Mcs>, bind_addr: &str, workers: usize) -> std::io::Result<McsServer> {
+        let mut dispatcher = SoapDispatcher::new();
+        register_methods(&mut dispatcher, mcs);
+        let wsdl = crate::wsdl::describe(&dispatcher);
+        let handler = Arc::new(McsHandler { dispatcher, wsdl });
+        let http = HttpServer::start(bind_addr, handler, workers)?;
+        Ok(McsServer { http })
+    }
+
+    /// The bound socket address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.http.addr()
+    }
+
+    /// HTTP-level statistics.
+    pub fn stats(&self) -> &soapstack::server::ServerStats {
+        &self.http.stats
+    }
+
+    /// Stop the server (also happens on drop).
+    pub fn stop(&mut self) {
+        self.http.stop();
+    }
+}

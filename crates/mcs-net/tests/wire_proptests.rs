@@ -1,0 +1,157 @@
+//! Property tests: the SOAP wire encoding is the identity on every MCS
+//! type that crosses it.
+
+use mcs::{AttrOp, AttrPredicate, Attribute, Credential, FileSpec, LogicalFile, ObjectRef};
+use mcs_net::wire;
+use proptest::prelude::*;
+use relstore::{Date, DateTime, Time, Value};
+use soapstack::xml::parse;
+
+fn text() -> impl Strategy<Value = String> {
+    // printable including XML-hostile characters
+    "[ -~]{0,32}"
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_filter("NaN breaks PartialEq", |f| !f.is_nan()).prop_map(Value::Float),
+        text().prop_map(Value::from),
+        any::<bool>().prop_map(Value::Bool),
+        (-100_000i64..100_000).prop_map(|z| Value::Date(Date::from_days_from_epoch(z))),
+        (0u32..86_400).prop_map(|s| {
+            Value::Time(Time::new((s / 3600) as u8, ((s % 3600) / 60) as u8, (s % 60) as u8).unwrap())
+        }),
+        (-10_000_000_000i64..10_000_000_000)
+            .prop_map(|s| Value::DateTime(DateTime::from_seconds_from_epoch(s))),
+    ]
+}
+
+fn roundtrip_el(e: soapstack::xml::Element) -> soapstack::xml::Element {
+    parse(&e.to_xml()).expect("wire xml parses")
+}
+
+proptest! {
+    #[test]
+    fn values_roundtrip(v in arb_value()) {
+        let got = wire::value_from(&roundtrip_el(wire::value_el("value", &v))).unwrap();
+        prop_assert_eq!(got, v);
+    }
+
+    #[test]
+    fn attributes_roundtrip(name in "[a-zA-Z][a-zA-Z0-9_/@.#]{0,24}", v in arb_value()) {
+        prop_assume!(!v.is_null()); // attributes are never NULL-valued
+        let a = Attribute { name, value: v };
+        let got = wire::attribute_from(&roundtrip_el(wire::attribute_el(&a))).unwrap();
+        prop_assert_eq!(got, a);
+    }
+
+    #[test]
+    fn predicates_roundtrip(
+        name in "[a-z_]{1,16}",
+        op_i in 0usize..7,
+        v in arb_value(),
+    ) {
+        prop_assume!(!v.is_null());
+        let op = [AttrOp::Eq, AttrOp::Ne, AttrOp::Lt, AttrOp::Le, AttrOp::Gt, AttrOp::Ge, AttrOp::Like][op_i];
+        let p = AttrPredicate { name, op, value: v };
+        let got = wire::predicate_from(&roundtrip_el(wire::predicate_el(&p))).unwrap();
+        prop_assert_eq!(got, p);
+    }
+
+    #[test]
+    fn filespecs_roundtrip(
+        name in "[a-zA-Z0-9._-]{1,32}",
+        version in proptest::option::of(1i64..100),
+        data_type in proptest::option::of(text()),
+        collection in proptest::option::of("[a-z]{1,12}"),
+        master in proptest::option::of(text()),
+        audit in any::<bool>(),
+        attrs in prop::collection::vec(("[a-z]{1,8}", arb_value()), 0..5),
+    ) {
+        let mut spec = FileSpec {
+            name,
+            version,
+            data_type,
+            collection,
+            container_id: None,
+            container_service: None,
+            master_copy: master,
+            audit,
+            attributes: attrs
+                .into_iter()
+                .filter(|(_, v)| !v.is_null())
+                .map(|(name, value)| Attribute { name, value })
+                .collect(),
+        };
+        // empty-string optionals don't survive (absent vs empty) — the
+        // MCS rejects empty strings anyway, so normalize like the server
+        for f in [&mut spec.data_type, &mut spec.master_copy] {
+            if f.as_deref() == Some("") {
+                *f = None;
+            }
+        }
+        let got = wire::filespec_from(&roundtrip_el(wire::filespec_el(&spec))).unwrap();
+        prop_assert_eq!(got.name, spec.name);
+        prop_assert_eq!(got.version, spec.version);
+        prop_assert_eq!(got.data_type, spec.data_type);
+        prop_assert_eq!(got.collection, spec.collection);
+        prop_assert_eq!(got.master_copy, spec.master_copy);
+        prop_assert_eq!(got.audit, spec.audit);
+        prop_assert_eq!(got.attributes, spec.attributes);
+    }
+
+    #[test]
+    fn files_roundtrip(
+        id in 1i64..1_000_000,
+        name in "[a-zA-Z0-9._-]{1,32}",
+        version in 1i64..50,
+        valid in any::<bool>(),
+        coll in proptest::option::of(1i64..1000),
+        creator in "[ -~]{1,24}",
+        secs in 0i64..2_000_000_000,
+        audit in any::<bool>(),
+    ) {
+        let f = LogicalFile {
+            id,
+            name,
+            version,
+            data_type: None,
+            valid,
+            collection_id: coll,
+            container_id: None,
+            container_service: None,
+            creator,
+            created: DateTime::from_seconds_from_epoch(secs),
+            last_modifier: None,
+            last_modified: None,
+            master_copy: None,
+            audit_enabled: audit,
+        };
+        let got = wire::file_from(&roundtrip_el(wire::file_el(&f))).unwrap();
+        prop_assert_eq!(got, f);
+    }
+
+    #[test]
+    fn credentials_roundtrip(dn in "[ -~]{1,40}", groups in prop::collection::vec("[a-z-]{1,16}", 0..4)) {
+        let c = Credential { dn, groups };
+        let call = soapstack::xml::Element::new("call").child(wire::credential_el(&c));
+        let got = wire::credential_from(&roundtrip_el(call)).unwrap();
+        prop_assert_eq!(got, c);
+    }
+
+    #[test]
+    fn objrefs_roundtrip(kind in 0usize..5, name in "[a-zA-Z0-9._-]{1,24}", v in 1i64..50) {
+        let r = match kind {
+            0 => ObjectRef::File(name),
+            1 => ObjectRef::FileVersion(name, v),
+            2 => ObjectRef::Collection(name),
+            3 => ObjectRef::View(name),
+            _ => ObjectRef::Service,
+        };
+        let call = soapstack::xml::Element::new("call").child(wire::objref_el(&r));
+        let got = wire::objref_from(&roundtrip_el(call)).unwrap();
+        prop_assert_eq!(got, r);
+    }
+}

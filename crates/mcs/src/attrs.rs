@@ -1,0 +1,272 @@
+//! User-defined attributes: definitions (the extensible schema of paper
+//! §5) and attribute values on files, collections and views.
+//!
+//! Values are stored EAV-style in the `user_attributes` table with one
+//! typed column per attribute type, matching the MCS/MySQL design. Under
+//! [`crate::schema::IndexProfile::Paper2003`] only the attribute *name*
+//! is indexed — value predicates scan the name's posting list, which is
+//! what makes complex queries scale with database size (Figures 7/10/11).
+
+use relstore::Value;
+
+use crate::catalog::Mcs;
+use crate::error::{McsError, Result};
+use crate::model::*;
+
+impl AttrType {
+    /// Column position of this type's value column in a full
+    /// `user_attributes` row (schema order).
+    pub(crate) fn full_row_column(self) -> usize {
+        match self {
+            AttrType::Str => 5,
+            AttrType::Int => 6,
+            AttrType::Float => 7,
+            AttrType::Date => 8,
+            AttrType::Time => 9,
+            AttrType::DateTime => 10,
+        }
+    }
+}
+
+impl Mcs {
+    /// Register a user-defined attribute (name + type). Re-registering
+    /// with the same type is idempotent; with a different type it is an
+    /// error. Requires service Write.
+    pub fn define_attribute(
+        &self,
+        cred: &Credential,
+        name: &str,
+        attr_type: AttrType,
+        description: &str,
+    ) -> Result<AttributeDefinition> {
+        validate_name(name)?;
+        self.require_service_perm(cred, Permission::Write)?;
+        if let Some(existing) = self.attribute_definition(name)? {
+            if existing.attr_type != attr_type {
+                return Err(McsError::BadAttribute(format!(
+                    "`{name}` already defined as {:?}",
+                    existing.attr_type
+                )));
+            }
+            return Ok(existing);
+        }
+        self.db.execute(
+            "INSERT INTO attribute_definitions (name, attr_type, description, creator, created) \
+             VALUES (?, ?, ?, ?, ?)",
+            &[
+                name.into(),
+                attr_type.code().into(),
+                description.into(),
+                cred.dn.as_str().into(),
+                self.now(),
+            ],
+        )?;
+        Ok(AttributeDefinition {
+            name: name.to_owned(),
+            attr_type,
+            description: description.to_owned(),
+        })
+    }
+
+    /// Look up an attribute definition.
+    pub fn attribute_definition(&self, name: &str) -> Result<Option<AttributeDefinition>> {
+        let rs = self.db.execute_prepared(&self.stmts.sel_attrdef, &[name.into()])?;
+        let rows = rs.rows.expect("select");
+        rows.rows
+            .first()
+            .map(|r| {
+                Ok(AttributeDefinition {
+                    name: r[0].as_str()?.to_owned(),
+                    attr_type: AttrType::from_code(r[1].as_int()?)
+                        .ok_or_else(|| McsError::Internal("bad attr_type code".into()))?,
+                    description: match &r[2] {
+                        Value::Str(s) => s.to_string(),
+                        _ => String::new(),
+                    },
+                })
+            })
+            .transpose()
+    }
+
+    /// All attribute definitions, sorted by name.
+    pub fn attribute_definitions(&self) -> Result<Vec<AttributeDefinition>> {
+        let rs = self.db.query(
+            "SELECT name, attr_type, description FROM attribute_definitions ORDER BY name",
+            &[],
+        )?;
+        rs.rows
+            .iter()
+            .map(|r| {
+                Ok(AttributeDefinition {
+                    name: r[0].as_str()?.to_owned(),
+                    attr_type: AttrType::from_code(r[1].as_int()?)
+                        .ok_or_else(|| McsError::Internal("bad attr_type code".into()))?,
+                    description: match &r[2] {
+                        Value::Str(s) => s.to_string(),
+                        _ => String::new(),
+                    },
+                })
+            })
+            .collect()
+    }
+
+    /// Validate an attribute against its definition and build the insert
+    /// parameter template: `[_, _, name, attr_type, str, int, float,
+    /// date, time, datetime]` (the first two slots are filled with the
+    /// object type/id by the caller).
+    pub(crate) fn attr_row_values(
+        &self,
+        _object_type: ObjectType,
+        attr: &Attribute,
+    ) -> Result<[Value; 10]> {
+        let def = self
+            .attribute_definition(&attr.name)?
+            .ok_or_else(|| McsError::BadAttribute(format!("`{}` is not defined", attr.name)))?;
+        let given = AttrType::of_value(&attr.value)
+            .ok_or_else(|| McsError::BadAttribute(format!("`{}`: unsupported value", attr.name)))?;
+        // Int widens to Float, like the storage layer.
+        let (ty, value) = match (given, def.attr_type) {
+            (AttrType::Int, AttrType::Float) => {
+                (AttrType::Float, Value::Float(attr.value.as_int()? as f64))
+            }
+            (g, d) if g == d => (d, attr.value.clone()),
+            (g, d) => {
+                return Err(McsError::BadAttribute(format!(
+                    "`{}` is {d:?}, got {g:?}",
+                    attr.name
+                )))
+            }
+        };
+        let mut row: [Value; 10] = [
+            Value::Null,
+            Value::Null,
+            attr.name.as_str().into(),
+            ty.code().into(),
+            Value::Null,
+            Value::Null,
+            Value::Null,
+            Value::Null,
+            Value::Null,
+            Value::Null,
+        ];
+        // columns 4..10 of this template = str,int,float,date,time,datetime
+        row[ty.full_row_column() - 1] = value;
+        Ok(row)
+    }
+
+    /// Resolve an [`ObjectRef`] to its type/id/audit flag/name.
+    pub(crate) fn resolve_ref(&self, r: &ObjectRef) -> Result<(ObjectType, i64, bool, String)> {
+        Ok(match r {
+            ObjectRef::File(n) => {
+                let f = self.resolve_file(n)?;
+                (ObjectType::File, f.id, f.audit_enabled, f.name)
+            }
+            ObjectRef::FileVersion(n, v) => {
+                let f = self.resolve_file_version(n, *v)?;
+                (ObjectType::File, f.id, f.audit_enabled, f.name)
+            }
+            ObjectRef::Collection(n) => {
+                let c = self.resolve_collection(n)?;
+                (ObjectType::Collection, c.id, c.audit_enabled, c.name)
+            }
+            ObjectRef::View(n) => {
+                let v = self.resolve_view(n)?;
+                (ObjectType::View, v.id, v.audit_enabled, v.name)
+            }
+            ObjectRef::Service => (ObjectType::Service, 0, false, "service".to_owned()),
+        })
+    }
+
+    /// Set (upsert) a user-defined attribute on an object (paper API:
+    /// "Modifying the attributes of a logical object"). Requires Write.
+    pub fn set_attribute(
+        &self,
+        cred: &Credential,
+        object: &ObjectRef,
+        attr: &Attribute,
+    ) -> Result<()> {
+        let (ot, id, audit, name) = self.resolve_ref(object)?;
+        if ot == ObjectType::Service {
+            return Err(McsError::BadAttribute("cannot attach attributes to the service".into()));
+        }
+        self.require_ref_perm(cred, object, Permission::Write)?;
+        let vals = self.attr_row_values(ot, attr)?;
+        self.db.execute_prepared(
+            &self.stmts.del_attr_named,
+            &[ot.code().into(), id.into(), attr.name.as_str().into()],
+        )?;
+        let mut params: Vec<Value> = Vec::with_capacity(10);
+        params.push(ot.code().into());
+        params.push(id.into());
+        params.extend(vals[2..].iter().cloned());
+        self.db.execute_prepared(&self.stmts.ins_attr, &params)?;
+        if audit {
+            self.audit_action(ot, id, "set_attribute", cred, &format!("{name}:{}", attr.name))?;
+        }
+        Ok(())
+    }
+
+    /// Remove a user-defined attribute from an object. Requires Write.
+    /// Returns true if the attribute was present.
+    pub fn remove_attribute(
+        &self,
+        cred: &Credential,
+        object: &ObjectRef,
+        attr_name: &str,
+    ) -> Result<bool> {
+        let (ot, id, audit, name) = self.resolve_ref(object)?;
+        self.require_ref_perm(cred, object, Permission::Write)?;
+        let res = self.db.execute_prepared(
+            &self.stmts.del_attr_named,
+            &[ot.code().into(), id.into(), attr_name.into()],
+        )?;
+        if audit && res.rows_affected > 0 {
+            self.audit_action(ot, id, "remove_attribute", cred, &format!("{name}:{attr_name}"))?;
+        }
+        Ok(res.rows_affected > 0)
+    }
+
+    /// Fetch all user-defined attributes of an object, sorted by name
+    /// (paper API: "Querying the user defined attributes of a logical
+    /// object"). Requires Read.
+    pub fn get_attributes(&self, cred: &Credential, object: &ObjectRef) -> Result<Vec<Attribute>> {
+        let (ot, id, audit, name) = self.resolve_ref(object)?;
+        self.require_ref_perm(cred, object, Permission::Read)?;
+        if audit {
+            self.audit_action(ot, id, "query_attributes", cred, &name)?;
+        }
+        let rs =
+            self.db.execute_prepared(&self.stmts.sel_attrs_obj, &[ot.code().into(), id.into()])?;
+        let rows = rs.rows.expect("select");
+        rows.rows
+            .iter()
+            .map(|r| {
+                // layout: name, attr_type, str, int, float, date, time, datetime
+                let ty = AttrType::from_code(r[1].as_int()?)
+                    .ok_or_else(|| McsError::Internal("bad attr_type code".into()))?;
+                let col = match ty {
+                    AttrType::Str => 2,
+                    AttrType::Int => 3,
+                    AttrType::Float => 4,
+                    AttrType::Date => 5,
+                    AttrType::Time => 6,
+                    AttrType::DateTime => 7,
+                };
+                Ok(Attribute { name: r[0].as_str()?.to_owned(), value: r[col].clone() })
+            })
+            .collect()
+    }
+
+    /// Fetch one attribute of an object, if present.
+    pub fn get_attribute(
+        &self,
+        cred: &Credential,
+        object: &ObjectRef,
+        attr_name: &str,
+    ) -> Result<Option<Attribute>> {
+        Ok(self
+            .get_attributes(cred, object)?
+            .into_iter()
+            .find(|a| a.name == attr_name))
+    }
+}

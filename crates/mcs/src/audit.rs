@@ -1,0 +1,89 @@
+//! Audit metadata (paper §5): creation information plus a log of accesses
+//! to audited objects, recording the user identity and the action.
+
+use relstore::Value;
+
+use crate::catalog::Mcs;
+use crate::error::{McsError, Result};
+use crate::model::*;
+
+impl Mcs {
+    /// Append an audit record. Called internally whenever an audited
+    /// object is touched.
+    pub(crate) fn audit_action(
+        &self,
+        ot: ObjectType,
+        id: i64,
+        action: &str,
+        cred: &Credential,
+        details: &str,
+    ) -> Result<()> {
+        self.db.execute_prepared(
+            &self.stmts.ins_audit,
+            &[
+                ot.code().into(),
+                id.into(),
+                action.into(),
+                cred.dn.as_str().into(),
+                self.now(),
+                details.into(),
+            ],
+        )?;
+        Ok(())
+    }
+
+    /// Fetch the audit trail of an object, oldest first. Requires Read.
+    pub fn get_audit_trail(
+        &self,
+        cred: &Credential,
+        object: &ObjectRef,
+    ) -> Result<Vec<AuditRecord>> {
+        let (ot, id, _, _) = self.resolve_ref(object)?;
+        self.require_ref_perm(cred, object, Permission::Read)?;
+        let rs = self.db.execute(
+            "SELECT action, actor, at, details FROM audit_log \
+             WHERE object_type = ? AND object_id = ? ORDER BY id",
+            &[ot.code().into(), id.into()],
+        )?;
+        rs.rows
+            .expect("select")
+            .rows
+            .iter()
+            .map(|r| {
+                Ok(AuditRecord {
+                    object_type: ot,
+                    object_id: id,
+                    action: r[0].as_str()?.to_owned(),
+                    actor: r[1].as_str()?.to_owned(),
+                    at: match &r[2] {
+                        Value::DateTime(dt) => *dt,
+                        _ => return Err(McsError::Internal("bad at column".into())),
+                    },
+                    details: match &r[3] {
+                        Value::Str(s) => s.to_string(),
+                        _ => String::new(),
+                    },
+                })
+            })
+            .collect()
+    }
+
+    /// Enable or disable per-access auditing on an object. Requires Admin.
+    pub fn set_audit(&self, cred: &Credential, object: &ObjectRef, enabled: bool) -> Result<()> {
+        let (ot, id, _, _) = self.resolve_ref(object)?;
+        self.require_ref_perm(cred, object, Permission::Admin)?;
+        let table = match ot {
+            ObjectType::File => "logical_files",
+            ObjectType::Collection => "logical_collections",
+            ObjectType::View => "logical_views",
+            ObjectType::Service => {
+                return Err(McsError::Internal("service has no audit flag".into()))
+            }
+        };
+        self.db.execute(
+            &format!("UPDATE {table} SET audit_enabled = ? WHERE id = ?"),
+            &[enabled.into(), id.into()],
+        )?;
+        Ok(())
+    }
+}

@@ -1,0 +1,256 @@
+//! Community Authorization Service integration — paper §5/§9.
+//!
+//! The paper's design "modeled integration of the MCS with the Community
+//! Authorization Service \[8\]" but left it unimplemented. Here it is: a
+//! [`CommunityAuthorizationService`] manages group membership for a
+//! virtual organization and issues signed assertions; an MCS that has
+//! been told to trust a community (by a service admin) accepts those
+//! assertions and turns them into credentials carrying community-scoped
+//! group principals, which the ordinary ACL machinery then matches.
+//!
+//! The signature is a keyed hash, not real cryptography — the same
+//! substitution as the DN-based GSI model (see DESIGN.md): what's
+//! reproduced is the *trust flow* (user → CAS → assertion → MCS), not
+//! the X.509 mechanics.
+
+use std::collections::{BTreeSet, HashMap};
+
+use parking_lot::RwLock;
+
+use crate::catalog::Mcs;
+use crate::error::{McsError, Result};
+use crate::model::{Credential, Permission};
+
+/// A community's group-membership authority.
+pub struct CommunityAuthorizationService {
+    community: String,
+    secret: u64,
+    members: RwLock<HashMap<String, BTreeSet<String>>>,
+}
+
+/// A signed statement: "`dn` holds `groups` in `community`".
+#[derive(Debug, Clone, PartialEq)]
+pub struct CasAssertion {
+    /// Community (virtual organization) name.
+    pub community: String,
+    /// Subject distinguished name.
+    pub dn: String,
+    /// Groups held, sorted.
+    pub groups: Vec<String>,
+    /// Keyed hash over (community, dn, groups).
+    pub signature: u64,
+}
+
+fn keyed_hash(secret: u64, community: &str, dn: &str, groups: &[String]) -> u64 {
+    let mut h = secret ^ 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^= 0xff; // field separator
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    eat(community.as_bytes());
+    eat(dn.as_bytes());
+    for g in groups {
+        eat(g.as_bytes());
+    }
+    h
+}
+
+impl CommunityAuthorizationService {
+    /// A CAS for `community` with a shared signing secret.
+    pub fn new(community: impl Into<String>, secret: u64) -> CommunityAuthorizationService {
+        CommunityAuthorizationService {
+            community: community.into(),
+            secret,
+            members: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The community name.
+    pub fn community(&self) -> &str {
+        &self.community
+    }
+
+    /// Add `dn` to `group`.
+    pub fn add_member(&self, dn: &str, group: &str) {
+        self.members.write().entry(dn.to_owned()).or_default().insert(group.to_owned());
+    }
+
+    /// Remove `dn` from `group`; true if it was a member.
+    pub fn remove_member(&self, dn: &str, group: &str) -> bool {
+        let mut members = self.members.write();
+        match members.get_mut(dn) {
+            Some(gs) => {
+                let was = gs.remove(group);
+                if gs.is_empty() {
+                    members.remove(dn);
+                }
+                was
+            }
+            None => false,
+        }
+    }
+
+    /// Issue an assertion for `dn` (empty group list if unknown — a
+    /// community member with no roles).
+    pub fn issue(&self, dn: &str) -> CasAssertion {
+        let groups: Vec<String> = self
+            .members
+            .read()
+            .get(dn)
+            .map(|g| g.iter().cloned().collect())
+            .unwrap_or_default();
+        CasAssertion {
+            community: self.community.clone(),
+            dn: dn.to_owned(),
+            groups: groups.clone(),
+            signature: keyed_hash(self.secret, &self.community, dn, &groups),
+        }
+    }
+}
+
+impl CasAssertion {
+    /// Group principals this assertion grants, community-scoped
+    /// (`ligo:scientists`), so two communities' same-named groups never
+    /// collide in ACLs.
+    pub fn scoped_groups(&self) -> Vec<String> {
+        self.groups.iter().map(|g| format!("{}:{g}", self.community)).collect()
+    }
+}
+
+impl Mcs {
+    /// Trust a community's CAS (requires service Admin). Assertions from
+    /// this community signed with `secret` will be accepted by
+    /// [`Mcs::credential_from_assertion`].
+    pub fn trust_community(&self, cred: &Credential, community: &str, secret: u64) -> Result<()> {
+        self.require_service_perm(cred, Permission::Admin)?;
+        self.cas_trust.write().insert(community.to_owned(), secret);
+        Ok(())
+    }
+
+    /// Stop trusting a community (requires service Admin).
+    pub fn revoke_community_trust(&self, cred: &Credential, community: &str) -> Result<()> {
+        self.require_service_perm(cred, Permission::Admin)?;
+        self.cas_trust.write().remove(community);
+        Ok(())
+    }
+
+    /// Verify a CAS assertion against the trusted communities and build a
+    /// credential carrying the community-scoped groups.
+    pub fn credential_from_assertion(&self, assertion: &CasAssertion) -> Result<Credential> {
+        let trust = self.cas_trust.read();
+        let secret = trust.get(&assertion.community).ok_or_else(|| {
+            McsError::PermissionDenied {
+                principal: assertion.dn.clone(),
+                needed: Permission::Read,
+                object: crate::model::ObjectRef::Service,
+            }
+        })?;
+        let expect = keyed_hash(*secret, &assertion.community, &assertion.dn, &assertion.groups);
+        if expect != assertion.signature {
+            return Err(McsError::PermissionDenied {
+                principal: assertion.dn.clone(),
+                needed: Permission::Read,
+                object: crate::model::ObjectRef::Service,
+            });
+        }
+        Ok(Credential { dn: assertion.dn.clone(), groups: assertion.scoped_groups() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{FileSpec, ObjectRef, Permission, ANYONE};
+    use std::sync::Arc;
+
+    fn setup() -> (Mcs, Credential, CommunityAuthorizationService) {
+        let a = Credential::new("/CN=admin");
+        let m = Mcs::with_options(
+            &a,
+            crate::schema::IndexProfile::Paper2003,
+            Arc::new(crate::clock::ManualClock::default()),
+        )
+        .unwrap();
+        let cas = CommunityAuthorizationService::new("ligo", 0xdead_beef);
+        m.trust_community(&a, "ligo", 0xdead_beef).unwrap();
+        (m, a, cas)
+    }
+
+    #[test]
+    fn assertion_grants_group_access() {
+        let (m, a, cas) = setup();
+        m.create_file(&a, &FileSpec::named("f")).unwrap();
+        m.grant(&a, &ObjectRef::File("f".into()), "ligo:scientists", Permission::Read).unwrap();
+        cas.add_member("/CN=alice", "scientists");
+        let alice = m.credential_from_assertion(&cas.issue("/CN=alice")).unwrap();
+        assert!(m.get_file(&alice, "f").is_ok());
+        // bob is in the community but not the group
+        let bob = m.credential_from_assertion(&cas.issue("/CN=bob")).unwrap();
+        assert!(m.get_file(&bob, "f").is_err());
+    }
+
+    #[test]
+    fn forged_or_tampered_assertions_rejected() {
+        let (m, _a, cas) = setup();
+        cas.add_member("/CN=alice", "scientists");
+        let mut forged = cas.issue("/CN=alice");
+        forged.groups.push("admins".into()); // privilege escalation attempt
+        assert!(m.credential_from_assertion(&forged).is_err());
+        let mut wrong_sig = cas.issue("/CN=alice");
+        wrong_sig.signature ^= 1;
+        assert!(m.credential_from_assertion(&wrong_sig).is_err());
+        // assertion from an untrusted community
+        let other = CommunityAuthorizationService::new("esg", 0x1234);
+        assert!(m.credential_from_assertion(&other.issue("/CN=alice")).is_err());
+    }
+
+    #[test]
+    fn community_scoping_prevents_group_collisions() {
+        let (m, a, ligo_cas) = setup();
+        let esg_cas = CommunityAuthorizationService::new("esg", 0x5555);
+        m.trust_community(&a, "esg", 0x5555).unwrap();
+        m.create_file(&a, &FileSpec::named("f")).unwrap();
+        // only LIGO's `scientists` group may read
+        m.grant(&a, &ObjectRef::File("f".into()), "ligo:scientists", Permission::Read).unwrap();
+        esg_cas.add_member("/CN=carol", "scientists"); // same bare group name!
+        let carol = m.credential_from_assertion(&esg_cas.issue("/CN=carol")).unwrap();
+        assert!(m.get_file(&carol, "f").is_err(), "esg:scientists must not match ligo:scientists");
+        ligo_cas.add_member("/CN=dave", "scientists");
+        let dave = m.credential_from_assertion(&ligo_cas.issue("/CN=dave")).unwrap();
+        assert!(m.get_file(&dave, "f").is_ok());
+    }
+
+    #[test]
+    fn membership_revocation_and_trust_revocation() {
+        let (m, a, cas) = setup();
+        m.create_file(&a, &FileSpec::named("f")).unwrap();
+        m.grant(&a, &ObjectRef::File("f".into()), "ligo:ops", Permission::Read).unwrap();
+        cas.add_member("/CN=eve", "ops");
+        let eve1 = m.credential_from_assertion(&cas.issue("/CN=eve")).unwrap();
+        assert!(m.get_file(&eve1, "f").is_ok());
+        // CAS-side revocation: the next assertion no longer carries the group
+        assert!(cas.remove_member("/CN=eve", "ops"));
+        assert!(!cas.remove_member("/CN=eve", "ops"));
+        let eve2 = m.credential_from_assertion(&cas.issue("/CN=eve")).unwrap();
+        assert!(m.get_file(&eve2, "f").is_err());
+        // MCS-side trust revocation: assertions stop verifying at all
+        m.revoke_community_trust(&a, "ligo").unwrap();
+        assert!(m.credential_from_assertion(&cas.issue("/CN=eve")).is_err());
+    }
+
+    #[test]
+    fn only_admin_manages_trust() {
+        let (m, a, _cas) = setup();
+        let user = Credential::new("/CN=user");
+        assert!(m.trust_community(&user, "x", 1).is_err());
+        assert!(m.revoke_community_trust(&user, "ligo").is_err());
+        // even a service-writer isn't enough
+        m.insert_ace(crate::model::ObjectType::Service, 0, ANYONE, Permission::Write).unwrap();
+        assert!(m.trust_community(&user, "x", 1).is_err());
+        let _ = a;
+    }
+}

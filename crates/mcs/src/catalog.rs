@@ -1,0 +1,652 @@
+//! The Metadata Catalog Service object: construction, object resolution,
+//! and the logical-file / logical-collection lifecycle.
+//!
+//! Other `impl Mcs` blocks live in sibling modules: attributes
+//! ([`crate::attrs`]), views ([`crate::views`]), authorization
+//! ([`crate::authz`]), queries ([`crate::query`]), annotations, audit,
+//! history, users and external catalogs.
+
+use std::sync::Arc;
+
+use relstore::{Database, Prepared, Value};
+
+use crate::clock::{Clock, SystemClock};
+use crate::error::{McsError, Result};
+use crate::model::*;
+use crate::schema::{bootstrap, IndexProfile};
+
+/// Prepared statements for the catalog's hot paths (the original MCS used
+/// JDBC prepared statements against MySQL for the same reason).
+pub(crate) struct Statements {
+    pub ins_file: Prepared,
+    pub sel_file_name_ver: Prepared,
+    pub sel_file_versions: Prepared,
+    pub sel_file_by_id: Prepared,
+    pub del_file_by_id: Prepared,
+    pub ins_attr: Prepared,
+    pub sel_attrs_obj: Prepared,
+    pub del_attrs_obj: Prepared,
+    pub del_attr_named: Prepared,
+    pub ins_audit: Prepared,
+    pub sel_acl_obj: Prepared,
+    pub sel_attrdef: Prepared,
+    pub sel_coll_by_id: Prepared,
+    pub sel_coll_by_name: Prepared,
+    pub files_in_coll: Prepared,
+}
+
+impl Statements {
+    fn prepare(db: &Database) -> Result<Statements> {
+        Ok(Statements {
+            ins_file: db.prepare(
+                "INSERT INTO logical_files (name, version, data_type, valid, collection_id, \
+                 container_id, container_service, creator, created, master_copy, audit_enabled) \
+                 VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            )?,
+            sel_file_name_ver: db
+                .prepare("SELECT * FROM logical_files WHERE name = ? AND version = ?")?,
+            sel_file_versions: db.prepare("SELECT * FROM logical_files WHERE name = ?")?,
+            sel_file_by_id: db.prepare("SELECT * FROM logical_files WHERE id = ?")?,
+            del_file_by_id: db.prepare("DELETE FROM logical_files WHERE id = ?")?,
+            ins_attr: db.prepare(
+                "INSERT INTO user_attributes (object_type, object_id, name, attr_type, \
+                 str_value, int_value, float_value, date_value, time_value, datetime_value) \
+                 VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            )?,
+            sel_attrs_obj: db.prepare(
+                "SELECT name, attr_type, str_value, int_value, float_value, date_value, \
+                 time_value, datetime_value FROM user_attributes \
+                 WHERE object_type = ? AND object_id = ? ORDER BY name",
+            )?,
+            del_attrs_obj: db
+                .prepare("DELETE FROM user_attributes WHERE object_type = ? AND object_id = ?")?,
+            del_attr_named: db.prepare(
+                "DELETE FROM user_attributes \
+                 WHERE object_type = ? AND object_id = ? AND name = ?",
+            )?,
+            ins_audit: db.prepare(
+                "INSERT INTO audit_log (object_type, object_id, action, actor, at, details) \
+                 VALUES (?, ?, ?, ?, ?, ?)",
+            )?,
+            sel_acl_obj: db.prepare(
+                "SELECT principal, permission FROM acl_entries \
+                 WHERE object_type = ? AND object_id = ?",
+            )?,
+            sel_attrdef: db.prepare(
+                "SELECT name, attr_type, description FROM attribute_definitions WHERE name = ?",
+            )?,
+            sel_coll_by_id: db.prepare("SELECT * FROM logical_collections WHERE id = ?")?,
+            sel_coll_by_name: db.prepare("SELECT * FROM logical_collections WHERE name = ?")?,
+            files_in_coll: db
+                .prepare("SELECT * FROM logical_files WHERE collection_id = ? ORDER BY name")?,
+        })
+    }
+}
+
+/// The Metadata Catalog Service.
+///
+/// All operations take a [`Credential`] and enforce the ACL model of
+/// paper §3/§5 (effective permissions are the union of object permissions
+/// and those of the enclosing collection hierarchy).
+pub struct Mcs {
+    pub(crate) db: Arc<Database>,
+    pub(crate) clock: Arc<dyn Clock>,
+    pub(crate) stmts: Statements,
+    pub(crate) profile: IndexProfile,
+    /// Trusted communities for CAS assertions (community -> shared secret).
+    pub(crate) cas_trust: parking_lot::RwLock<std::collections::HashMap<String, u64>>,
+}
+
+impl Mcs {
+    /// Create a catalog on a fresh in-memory database. `admin` receives
+    /// Admin on the service object (the bootstrap superuser).
+    pub fn new(admin: &Credential) -> Result<Mcs> {
+        Mcs::with_options(admin, IndexProfile::Paper2003, Arc::new(SystemClock))
+    }
+
+    /// Create a catalog with an explicit index profile and clock.
+    pub fn with_options(
+        admin: &Credential,
+        profile: IndexProfile,
+        clock: Arc<dyn Clock>,
+    ) -> Result<Mcs> {
+        Mcs::with_database(Arc::new(Database::new()), admin, profile, clock)
+    }
+
+    /// Open a catalog on an existing database — e.g. one opened durably
+    /// via [`relstore::Database::open_durable`], so catalog contents
+    /// survive restarts. Bootstraps the schema and the admin's service
+    /// ACL only when the database is fresh; an already-initialized
+    /// database keeps its contents and policies.
+    pub fn with_database(
+        db: Arc<Database>,
+        admin: &Credential,
+        profile: IndexProfile,
+        clock: Arc<dyn Clock>,
+    ) -> Result<Mcs> {
+        let fresh = db.table("logical_files").is_err();
+        if fresh {
+            bootstrap(&db, profile)?;
+        }
+        let stmts = Statements::prepare(&db)?;
+        let mcs = Mcs {
+            db,
+            clock,
+            stmts,
+            profile,
+            cas_trust: parking_lot::RwLock::new(std::collections::HashMap::new()),
+        };
+        if fresh {
+            // Bootstrap ACL: the admin can do everything on the service.
+            for p in [Permission::Read, Permission::Write, Permission::Delete, Permission::Admin]
+            {
+                mcs.insert_ace(ObjectType::Service, 0, &admin.dn, p)?;
+            }
+        }
+        Ok(mcs)
+    }
+
+    /// The index profile this catalog was created with.
+    pub fn index_profile(&self) -> IndexProfile {
+        self.profile
+    }
+
+    /// Access the underlying database (used by the evaluation harness to
+    /// measure "direct MySQL" rates without the service layer).
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    pub(crate) fn now(&self) -> Value {
+        Value::DateTime(self.clock.now())
+    }
+
+    // ---------- row decoding ----------
+
+    pub(crate) fn file_from_row(row: &[Value]) -> Result<LogicalFile> {
+        let get_str = |v: &Value| -> Option<String> {
+            match v {
+                Value::Str(s) => Some(s.to_string()),
+                _ => None,
+            }
+        };
+        let get_dt = |v: &Value| match v {
+            Value::DateTime(dt) => Some(*dt),
+            _ => None,
+        };
+        Ok(LogicalFile {
+            id: row[0].as_int()?,
+            name: row[1].as_str()?.to_owned(),
+            version: row[2].as_int()?,
+            data_type: get_str(&row[3]),
+            valid: row[4].as_bool()?,
+            collection_id: match &row[5] {
+                Value::Null => None,
+                v => Some(v.as_int()?),
+            },
+            container_id: get_str(&row[6]),
+            container_service: get_str(&row[7]),
+            creator: row[8].as_str()?.to_owned(),
+            created: get_dt(&row[9])
+                .ok_or_else(|| McsError::Internal("bad created column".into()))?,
+            last_modifier: get_str(&row[10]),
+            last_modified: get_dt(&row[11]),
+            master_copy: get_str(&row[12]),
+            audit_enabled: row[13].as_bool()?,
+        })
+    }
+
+    pub(crate) fn collection_from_row(row: &[Value]) -> Result<Collection> {
+        Ok(Collection {
+            id: row[0].as_int()?,
+            name: row[1].as_str()?.to_owned(),
+            description: match &row[2] {
+                Value::Str(s) => s.to_string(),
+                _ => String::new(),
+            },
+            parent_id: match &row[3] {
+                Value::Null => None,
+                v => Some(v.as_int()?),
+            },
+            creator: row[4].as_str()?.to_owned(),
+            created: match &row[5] {
+                Value::DateTime(dt) => *dt,
+                _ => return Err(McsError::Internal("bad created column".into())),
+            },
+            last_modifier: match &row[6] {
+                Value::Str(s) => Some(s.to_string()),
+                _ => None,
+            },
+            last_modified: match &row[7] {
+                Value::DateTime(dt) => Some(*dt),
+                _ => None,
+            },
+            audit_enabled: row[8].as_bool()?,
+        })
+    }
+
+    // ---------- object resolution ----------
+
+    /// Look up a logical file by name. Errors with [`McsError::VersionConflict`]
+    /// if several versions exist (the client must then supply the version).
+    pub(crate) fn resolve_file(&self, name: &str) -> Result<LogicalFile> {
+        let rs = self.db.execute_prepared(&self.stmts.sel_file_versions, &[name.into()])?;
+        let rows = rs.rows.expect("select");
+        match rows.rows.len() {
+            0 => Err(McsError::NotFound(ObjectRef::File(name.to_owned()))),
+            1 => Self::file_from_row(&rows.rows[0]),
+            n => Err(McsError::VersionConflict(format!(
+                "`{name}` has {n} versions; specify one"
+            ))),
+        }
+    }
+
+    /// Look up a specific version of a logical file.
+    pub(crate) fn resolve_file_version(&self, name: &str, version: i64) -> Result<LogicalFile> {
+        let rs = self
+            .db
+            .execute_prepared(&self.stmts.sel_file_name_ver, &[name.into(), version.into()])?;
+        let rows = rs.rows.expect("select");
+        rows.rows
+            .first()
+            .map(|r| Self::file_from_row(r))
+            .transpose()?
+            .ok_or_else(|| McsError::NotFound(ObjectRef::FileVersion(name.to_owned(), version)))
+    }
+
+    pub(crate) fn resolve_file_by_id(&self, id: i64) -> Result<LogicalFile> {
+        let rs = self.db.execute_prepared(&self.stmts.sel_file_by_id, &[id.into()])?;
+        let rows = rs.rows.expect("select");
+        rows.rows
+            .first()
+            .map(|r| Self::file_from_row(r))
+            .transpose()?
+            .ok_or_else(|| McsError::NotFound(ObjectRef::File(format!("#{id}"))))
+    }
+
+    pub(crate) fn resolve_collection(&self, name: &str) -> Result<Collection> {
+        let rs = self.db.execute_prepared(&self.stmts.sel_coll_by_name, &[name.into()])?;
+        let rows = rs.rows.expect("select");
+        rows.rows
+            .first()
+            .map(|r| Self::collection_from_row(r))
+            .transpose()?
+            .ok_or_else(|| McsError::NotFound(ObjectRef::Collection(name.to_owned())))
+    }
+
+    pub(crate) fn resolve_collection_by_id(&self, id: i64) -> Result<Collection> {
+        let rs = self.db.execute_prepared(&self.stmts.sel_coll_by_id, &[id.into()])?;
+        let rows = rs.rows.expect("select");
+        rows.rows
+            .first()
+            .map(|r| Self::collection_from_row(r))
+            .transpose()?
+            .ok_or_else(|| McsError::NotFound(ObjectRef::Collection(format!("#{id}"))))
+    }
+
+    // ---------- logical files ----------
+
+    /// Create a logical file with its creation-time attributes
+    /// (paper API: "Creating a logical file").
+    ///
+    /// Requires Write on the target collection when one is given, else
+    /// Write on the service. The insert of the file row and its attribute
+    /// rows is atomic.
+    pub fn create_file(&self, cred: &Credential, spec: &FileSpec) -> Result<LogicalFile> {
+        validate_name(&spec.name)?;
+        let version = spec.version.unwrap_or(1);
+        let collection = match &spec.collection {
+            Some(cname) => {
+                let c = self.resolve_collection(cname)?;
+                self.require_collection_perm(cred, &c, Permission::Write)?;
+                Some(c)
+            }
+            None => {
+                self.require_service_perm(cred, Permission::Write)?;
+                None
+            }
+        };
+        // Type-check the attributes against their definitions up front.
+        let attr_rows: Vec<[Value; 10]> = spec
+            .attributes
+            .iter()
+            .map(|a| self.attr_row_values(ObjectType::File, a))
+            .collect::<Result<_>>()?;
+
+        let now = self.now();
+        let res = self.db.execute_prepared(
+            &self.stmts.ins_file,
+            &[
+                spec.name.as_str().into(),
+                version.into(),
+                opt_str(&spec.data_type),
+                true.into(),
+                collection.as_ref().map_or(Value::Null, |c| c.id.into()),
+                opt_str(&spec.container_id),
+                opt_str(&spec.container_service),
+                cred.dn.as_str().into(),
+                now.clone(),
+                opt_str(&spec.master_copy),
+                spec.audit.into(),
+            ],
+        );
+        let res = match res {
+            Err(relstore::Error::UniqueViolation { .. }) => {
+                return Err(McsError::AlreadyExists(format!("{}.v{}", spec.name, version)))
+            }
+            other => other?,
+        };
+        let id = res.last_insert_id.ok_or_else(|| McsError::Internal("no insert id".into()))?;
+        // Attribute rows; undo the file row if any attribute insert fails.
+        for (i, vals) in attr_rows.iter().enumerate() {
+            let mut params: Vec<Value> = Vec::with_capacity(10);
+            params.push(ObjectType::File.code().into());
+            params.push(id.into());
+            params.extend(vals[2..].iter().cloned());
+            // vals[0..2] are placeholders replaced by the two pushes above
+            if let Err(e) = self.db.execute_prepared(&self.stmts.ins_attr, &params) {
+                let _ = self.db.execute_prepared(&self.stmts.del_file_by_id, &[id.into()]);
+                let _ = self.db.execute_prepared(
+                    &self.stmts.del_attrs_obj,
+                    &[ObjectType::File.code().into(), id.into()],
+                );
+                return Err(if matches!(e, relstore::Error::UniqueViolation { .. }) {
+                    McsError::BadAttribute(format!(
+                        "duplicate attribute `{}`",
+                        spec.attributes[i].name
+                    ))
+                } else {
+                    e.into()
+                });
+            }
+        }
+        if spec.audit {
+            self.audit_action(ObjectType::File, id, "create", cred, &spec.name)?;
+        }
+        self.resolve_file_by_id(id)
+    }
+
+    /// Delete a logical file (paper API: "Deleting a logical file").
+    /// Removes its attributes, annotations, history, ACEs and view
+    /// memberships. Requires Delete.
+    pub fn delete_file(&self, cred: &Credential, name: &str) -> Result<()> {
+        let f = self.resolve_file(name)?;
+        self.delete_file_record(cred, &f)
+    }
+
+    /// Delete a specific version of a logical file.
+    pub fn delete_file_version(&self, cred: &Credential, name: &str, version: i64) -> Result<()> {
+        let f = self.resolve_file_version(name, version)?;
+        self.delete_file_record(cred, &f)
+    }
+
+    fn delete_file_record(&self, cred: &Credential, f: &LogicalFile) -> Result<()> {
+        self.require_file_perm(cred, f, Permission::Delete)?;
+        if f.audit_enabled {
+            self.audit_action(ObjectType::File, f.id, "delete", cred, &f.name)?;
+        }
+        self.db.execute_prepared(&self.stmts.del_file_by_id, &[f.id.into()])?;
+        self.db.execute_prepared(
+            &self.stmts.del_attrs_obj,
+            &[ObjectType::File.code().into(), f.id.into()],
+        )?;
+        self.db.execute(
+            "DELETE FROM annotations WHERE object_type = ? AND object_id = ?",
+            &[ObjectType::File.code().into(), f.id.into()],
+        )?;
+        self.db.execute(
+            "DELETE FROM transformation_history WHERE file_id = ?",
+            &[f.id.into()],
+        )?;
+        self.db.execute(
+            "DELETE FROM acl_entries WHERE object_type = ? AND object_id = ?",
+            &[ObjectType::File.code().into(), f.id.into()],
+        )?;
+        self.db.execute(
+            "DELETE FROM view_members WHERE member_type = ? AND member_id = ?",
+            &[ObjectType::File.code().into(), f.id.into()],
+        )?;
+        Ok(())
+    }
+
+    /// Fetch a file's predefined ("static") metadata by logical name
+    /// (paper API: "Querying the static attributes of a logical object").
+    pub fn get_file(&self, cred: &Credential, name: &str) -> Result<LogicalFile> {
+        let f = self.resolve_file(name)?;
+        self.require_file_perm(cred, &f, Permission::Read)?;
+        if f.audit_enabled {
+            self.audit_action(ObjectType::File, f.id, "query", cred, &f.name)?;
+        }
+        Ok(f)
+    }
+
+    /// Fetch a specific version.
+    pub fn get_file_version(
+        &self,
+        cred: &Credential,
+        name: &str,
+        version: i64,
+    ) -> Result<LogicalFile> {
+        let f = self.resolve_file_version(name, version)?;
+        self.require_file_perm(cred, &f, Permission::Read)?;
+        if f.audit_enabled {
+            self.audit_action(ObjectType::File, f.id, "query", cred, &f.name)?;
+        }
+        Ok(f)
+    }
+
+    /// All versions of a logical name, ascending.
+    pub fn get_file_versions(&self, cred: &Credential, name: &str) -> Result<Vec<LogicalFile>> {
+        let rs = self.db.execute_prepared(&self.stmts.sel_file_versions, &[name.into()])?;
+        let rows = rs.rows.expect("select");
+        if rows.rows.is_empty() {
+            return Err(McsError::NotFound(ObjectRef::File(name.to_owned())));
+        }
+        let mut out = Vec::with_capacity(rows.rows.len());
+        for r in &rows.rows {
+            let f = Self::file_from_row(r)?;
+            self.require_file_perm(cred, &f, Permission::Read)?;
+            out.push(f);
+        }
+        out.sort_by_key(|f| f.version);
+        Ok(out)
+    }
+
+    /// Update predefined attributes of a file (paper API: "Modifying the
+    /// attributes of a logical object"). Only data_type, valid,
+    /// master_copy, container fields are modifiable here; user-defined
+    /// attributes go through [`Mcs::set_attribute`].
+    pub fn update_file(
+        &self,
+        cred: &Credential,
+        name: &str,
+        update: &FileUpdate,
+    ) -> Result<LogicalFile> {
+        let f = self.resolve_file(name)?;
+        self.require_file_perm(cred, &f, Permission::Write)?;
+        let mut sets: Vec<&str> = Vec::new();
+        let mut params: Vec<Value> = Vec::new();
+        if let Some(dt) = &update.data_type {
+            sets.push("data_type = ?");
+            params.push(dt.as_str().into());
+        }
+        if let Some(v) = update.valid {
+            sets.push("valid = ?");
+            params.push(v.into());
+        }
+        if let Some(mc) = &update.master_copy {
+            sets.push("master_copy = ?");
+            params.push(mc.as_str().into());
+        }
+        if let Some(c) = &update.container_id {
+            sets.push("container_id = ?");
+            params.push(c.as_str().into());
+        }
+        if let Some(cs) = &update.container_service {
+            sets.push("container_service = ?");
+            params.push(cs.as_str().into());
+        }
+        sets.push("last_modifier = ?");
+        params.push(cred.dn.as_str().into());
+        sets.push("last_modified = ?");
+        params.push(self.now());
+        params.push(f.id.into());
+        let sql = format!("UPDATE logical_files SET {} WHERE id = ?", sets.join(", "));
+        self.db.execute(&sql, &params)?;
+        if f.audit_enabled {
+            self.audit_action(ObjectType::File, f.id, "modify", cred, &f.name)?;
+        }
+        self.resolve_file_by_id(f.id)
+    }
+
+    /// Mark a file invalid (the paper's quick-invalidation use case for
+    /// the `valid` attribute).
+    pub fn invalidate_file(&self, cred: &Credential, name: &str) -> Result<()> {
+        self.update_file(cred, name, &FileUpdate { valid: Some(false), ..Default::default() })?;
+        Ok(())
+    }
+
+    // ---------- logical collections ----------
+
+    /// Create a logical collection (paper API: "Creating a ...
+    /// collection"). Top-level creation requires service Write; nesting
+    /// requires Write on the parent.
+    pub fn create_collection(
+        &self,
+        cred: &Credential,
+        name: &str,
+        parent: Option<&str>,
+        description: &str,
+    ) -> Result<Collection> {
+        validate_name(name)?;
+        let parent_id = match parent {
+            Some(p) => {
+                let pc = self.resolve_collection(p)?;
+                self.require_collection_perm(cred, &pc, Permission::Write)?;
+                Some(pc.id)
+            }
+            None => {
+                self.require_service_perm(cred, Permission::Write)?;
+                None
+            }
+        };
+        let res = self.db.execute(
+            "INSERT INTO logical_collections (name, description, parent_id, creator, created) \
+             VALUES (?, ?, ?, ?, ?)",
+            &[
+                name.into(),
+                description.into(),
+                parent_id.map_or(Value::Null, Value::Int),
+                cred.dn.as_str().into(),
+                self.now(),
+            ],
+        );
+        let res = match res {
+            Err(relstore::Error::UniqueViolation { .. }) => {
+                return Err(McsError::AlreadyExists(name.to_owned()))
+            }
+            other => other?,
+        };
+        let id = res.last_insert_id.ok_or_else(|| McsError::Internal("no insert id".into()))?;
+        self.resolve_collection_by_id(id)
+    }
+
+    /// Delete a collection. It must be empty (no files, no
+    /// subcollections) — the paper's tree model has no cascading delete.
+    pub fn delete_collection(&self, cred: &Credential, name: &str) -> Result<()> {
+        let c = self.resolve_collection(name)?;
+        self.require_collection_perm(cred, &c, Permission::Delete)?;
+        let files =
+            self.db.execute_prepared(&self.stmts.files_in_coll, &[c.id.into()])?.rows.unwrap();
+        if !files.rows.is_empty() {
+            return Err(McsError::CollectionNotEmpty(name.to_owned()));
+        }
+        let kids = self.db.execute(
+            "SELECT COUNT(*) AS n FROM logical_collections WHERE parent_id = ?",
+            &[c.id.into()],
+        )?;
+        if kids.rows.unwrap().rows[0][0] != Value::Int(0) {
+            return Err(McsError::CollectionNotEmpty(name.to_owned()));
+        }
+        if c.audit_enabled {
+            self.audit_action(ObjectType::Collection, c.id, "delete", cred, &c.name)?;
+        }
+        self.db.execute("DELETE FROM logical_collections WHERE id = ?", &[c.id.into()])?;
+        for table in ["user_attributes", "annotations", "acl_entries"] {
+            self.db.execute(
+                &format!("DELETE FROM {table} WHERE object_type = ? AND object_id = ?"),
+                &[ObjectType::Collection.code().into(), c.id.into()],
+            )?;
+        }
+        self.db.execute(
+            "DELETE FROM view_members WHERE member_type = ? AND member_id = ?",
+            &[ObjectType::Collection.code().into(), c.id.into()],
+        )?;
+        Ok(())
+    }
+
+    /// Fetch a collection's record.
+    pub fn get_collection(&self, cred: &Credential, name: &str) -> Result<Collection> {
+        let c = self.resolve_collection(name)?;
+        self.require_collection_perm(cred, &c, Permission::Read)?;
+        if c.audit_enabled {
+            self.audit_action(ObjectType::Collection, c.id, "query", cred, &c.name)?;
+        }
+        Ok(c)
+    }
+
+    /// Move a file into a collection (or out, with `None`). Enforces the
+    /// at-most-one-collection rule of the data model.
+    pub fn assign_collection(
+        &self,
+        cred: &Credential,
+        file: &str,
+        collection: Option<&str>,
+    ) -> Result<()> {
+        let f = self.resolve_file(file)?;
+        self.require_file_perm(cred, &f, Permission::Write)?;
+        let new_id = match collection {
+            Some(cname) => {
+                if let Some(cur) = f.collection_id {
+                    let cur = self.resolve_collection_by_id(cur)?;
+                    return Err(McsError::AlreadyInCollection {
+                        file: f.name.clone(),
+                        collection: cur.name,
+                    });
+                }
+                let c = self.resolve_collection(cname)?;
+                self.require_collection_perm(cred, &c, Permission::Write)?;
+                Value::Int(c.id)
+            }
+            None => Value::Null,
+        };
+        self.db.execute(
+            "UPDATE logical_files SET collection_id = ?, last_modifier = ?, last_modified = ? \
+             WHERE id = ?",
+            &[new_id, cred.dn.as_str().into(), self.now(), f.id.into()],
+        )?;
+        Ok(())
+    }
+}
+
+/// Partial update of a logical file's predefined attributes.
+#[derive(Debug, Clone, Default)]
+pub struct FileUpdate {
+    /// New data type.
+    pub data_type: Option<String>,
+    /// New validity.
+    pub valid: Option<bool>,
+    /// New master-copy location.
+    pub master_copy: Option<String>,
+    /// New container id.
+    pub container_id: Option<String>,
+    /// New container service.
+    pub container_service: Option<String>,
+}
+
+pub(crate) fn opt_str(s: &Option<String>) -> Value {
+    match s {
+        Some(s) => s.as_str().into(),
+        None => Value::Null,
+    }
+}

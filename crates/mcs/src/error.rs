@@ -1,0 +1,79 @@
+//! MCS error types.
+
+use std::fmt;
+
+use crate::model::{ObjectRef, Permission};
+
+/// Errors produced by the Metadata Catalog Service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum McsError {
+    /// The named object does not exist.
+    NotFound(ObjectRef),
+    /// An object with this name already exists.
+    AlreadyExists(String),
+    /// The caller lacks a required permission on an object.
+    PermissionDenied {
+        /// Who was denied.
+        principal: String,
+        /// What they needed.
+        needed: Permission,
+        /// On what.
+        object: ObjectRef,
+    },
+    /// A name failed validation (empty, too long, illegal characters).
+    InvalidName(String),
+    /// Adding the member would create a cycle (collection parents, view
+    /// membership must stay acyclic per the paper's data model).
+    CycleDetected(String),
+    /// A logical file may belong to at most one logical collection.
+    AlreadyInCollection {
+        /// The file.
+        file: String,
+        /// The collection it is already in.
+        collection: String,
+    },
+    /// Collection is not empty and `recursive` was not requested.
+    CollectionNotEmpty(String),
+    /// Attribute problems: unknown definition, type mismatch, redefinition.
+    BadAttribute(String),
+    /// Version conflict (file+version pair must be unique; queries on
+    /// multi-version files must specify the version).
+    VersionConflict(String),
+    /// Underlying database error.
+    Db(relstore::Error),
+    /// Anything else.
+    Internal(String),
+}
+
+impl fmt::Display for McsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            McsError::NotFound(o) => write!(f, "{o} not found"),
+            McsError::AlreadyExists(n) => write!(f, "`{n}` already exists"),
+            McsError::PermissionDenied { principal, needed, object } => {
+                write!(f, "`{principal}` lacks {needed:?} on {object}")
+            }
+            McsError::InvalidName(n) => write!(f, "invalid name `{n}`"),
+            McsError::CycleDetected(m) => write!(f, "cycle detected: {m}"),
+            McsError::AlreadyInCollection { file, collection } => {
+                write!(f, "logical file `{file}` already belongs to collection `{collection}`")
+            }
+            McsError::CollectionNotEmpty(n) => write!(f, "collection `{n}` is not empty"),
+            McsError::BadAttribute(m) => write!(f, "attribute error: {m}"),
+            McsError::VersionConflict(m) => write!(f, "version conflict: {m}"),
+            McsError::Db(e) => write!(f, "database error: {e}"),
+            McsError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for McsError {}
+
+impl From<relstore::Error> for McsError {
+    fn from(e: relstore::Error) -> Self {
+        McsError::Db(e)
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, McsError>;

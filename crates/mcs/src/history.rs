@@ -1,0 +1,53 @@
+//! Creation & transformation history — the paper's provenance record: a
+//! textual description of how a data item was created and subsequently
+//! transformed, usable to decide whether to recreate a lost data set.
+
+use relstore::Value;
+
+use crate::catalog::Mcs;
+use crate::error::{McsError, Result};
+use crate::model::*;
+
+impl Mcs {
+    /// Append a transformation record to a file's history. Requires Write.
+    pub fn add_history(&self, cred: &Credential, file: &str, description: &str) -> Result<()> {
+        let f = self.resolve_file(file)?;
+        self.require_file_perm(cred, &f, Permission::Write)?;
+        self.db.execute(
+            "INSERT INTO transformation_history (file_id, description, actor, at) \
+             VALUES (?, ?, ?, ?)",
+            &[f.id.into(), description.into(), cred.dn.as_str().into(), self.now()],
+        )?;
+        if f.audit_enabled {
+            self.audit_action(ObjectType::File, f.id, "add_history", cred, &f.name)?;
+        }
+        Ok(())
+    }
+
+    /// Fetch a file's transformation history, oldest first. Requires Read.
+    pub fn get_history(&self, cred: &Credential, file: &str) -> Result<Vec<HistoryRecord>> {
+        let f = self.resolve_file(file)?;
+        self.require_file_perm(cred, &f, Permission::Read)?;
+        let rs = self.db.execute(
+            "SELECT description, actor, at FROM transformation_history \
+             WHERE file_id = ? ORDER BY id",
+            &[f.id.into()],
+        )?;
+        rs.rows
+            .expect("select")
+            .rows
+            .iter()
+            .map(|r| {
+                Ok(HistoryRecord {
+                    file_id: f.id,
+                    description: r[0].as_str()?.to_owned(),
+                    actor: r[1].as_str()?.to_owned(),
+                    at: match &r[2] {
+                        Value::DateTime(dt) => *dt,
+                        _ => return Err(McsError::Internal("bad at column".into())),
+                    },
+                })
+            })
+            .collect()
+    }
+}

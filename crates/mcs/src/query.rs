@@ -1,0 +1,252 @@
+//! Attribute-based discovery — the paper's core query mechanisms.
+//!
+//! * **Simple query** (Figures 6/9): value match on a single static
+//!   attribute of a logical file — [`Mcs::get_file`] / by-name lookup,
+//!   served by the unique (name, version) index, cost independent of
+//!   database size.
+//! * **Complex query** (Figures 7/10/11): conjunctive value match on many
+//!   user-defined attributes — [`Mcs::query_by_attributes`]. Under the
+//!   paper's index profile each predicate scans the posting list of its
+//!   attribute *name* (values are unindexed), so cost grows with both
+//!   database size and predicate count, reproducing the paper's shapes.
+
+use std::collections::HashSet;
+use std::ops::Bound;
+
+use relstore::predicate::like_match;
+use relstore::{IndexKey, Value};
+
+use crate::catalog::Mcs;
+use crate::error::{McsError, Result};
+use crate::model::*;
+use crate::schema::IndexProfile;
+
+/// Contents of a collection.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CollectionContents {
+    /// Files directly in the collection: (name, version).
+    pub files: Vec<(String, i64)>,
+    /// Direct subcollections, by name.
+    pub subcollections: Vec<String>,
+}
+
+impl Mcs {
+    /// Attribute-based ("complex") query: return the logical names (with
+    /// versions) of all **valid** logical files matching every predicate
+    /// (paper API: "Querying the catalog for logical objects based on
+    /// object attributes"). Requires service Read.
+    pub fn query_by_attributes(
+        &self,
+        cred: &Credential,
+        preds: &[AttrPredicate],
+    ) -> Result<Vec<(String, i64)>> {
+        self.require_service_perm(cred, Permission::Read)?;
+        if preds.is_empty() {
+            return Err(McsError::BadAttribute("query needs at least one predicate".into()));
+        }
+        // Resolve definitions and type-check before touching the table.
+        let mut checked: Vec<(&AttrPredicate, AttrType)> = Vec::with_capacity(preds.len());
+        for p in preds {
+            let def = self
+                .attribute_definition(&p.name)?
+                .ok_or_else(|| McsError::BadAttribute(format!("`{}` is not defined", p.name)))?;
+            let given = AttrType::of_value(&p.value).ok_or_else(|| {
+                McsError::BadAttribute(format!("`{}`: unsupported comparison value", p.name))
+            })?;
+            let ok = given == def.attr_type
+                || (given == AttrType::Int && def.attr_type == AttrType::Float);
+            if !ok {
+                return Err(McsError::BadAttribute(format!(
+                    "`{}` is {:?}, got {given:?}",
+                    p.name, def.attr_type
+                )));
+            }
+            if p.op == AttrOp::Like && def.attr_type != AttrType::Str {
+                return Err(McsError::BadAttribute(format!(
+                    "LIKE requires a string attribute, `{}` is {:?}",
+                    p.name, def.attr_type
+                )));
+            }
+            checked.push((p, def.attr_type));
+        }
+
+        let mut candidates: Option<HashSet<i64>> = None;
+        {
+            let handle = self.db.table("user_attributes")?;
+            let t = handle.read();
+            for (p, ty) in &checked {
+                let ids = self.eval_predicate(&t, p, *ty)?;
+                candidates = Some(match candidates {
+                    None => ids,
+                    Some(prev) => prev.intersection(&ids).copied().collect(),
+                });
+                if candidates.as_ref().is_some_and(HashSet::is_empty) {
+                    break;
+                }
+            }
+        } // release the attribute-table lock before touching logical_files
+        let ids = candidates.unwrap_or_default();
+        let mut out = Vec::with_capacity(ids.len());
+        for id in ids {
+            match self.resolve_file_by_id(id) {
+                Ok(f) if f.valid => out.push((f.name, f.version)),
+                Ok(_) => {} // invalidated files are not discoverable
+                Err(McsError::NotFound(_)) => {} // attribute row raced a delete
+                Err(e) => return Err(e),
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Evaluate one predicate against the attribute table, returning the
+    /// set of matching **file** object ids.
+    pub(crate) fn eval_predicate(
+        &self,
+        t: &relstore::Table,
+        p: &AttrPredicate,
+        ty: AttrType,
+    ) -> Result<HashSet<i64>> {
+        let value = match (&p.value, ty) {
+            (Value::Int(i), AttrType::Float) => Value::Float(*i as f64),
+            (v, _) => v.clone(),
+        };
+        let val_col = ty.full_row_column();
+        let mut out = HashSet::new();
+
+        // Value-indexed fast path (the §9 "future work" profile).
+        if self.profile == IndexProfile::ValueIndexed && p.op != AttrOp::Like {
+            let ix_name = match ty {
+                AttrType::Str => "ua_name_str",
+                AttrType::Int => "ua_name_int",
+                AttrType::Float => "ua_name_float",
+                AttrType::Date => "ua_name_date",
+                AttrType::Time => "ua_name_time",
+                AttrType::DateTime => "ua_name_datetime",
+            };
+            let ix = t
+                .index(ix_name)
+                .ok_or_else(|| McsError::Internal(format!("missing index {ix_name}")))?;
+            let mut ids = Vec::new();
+            let prefix = [Value::from(p.name.as_str())];
+            match p.op {
+                AttrOp::Eq => {
+                    let key = IndexKey(vec![prefix[0].clone(), value.clone()]);
+                    ids.extend(ix.get_eq(&key));
+                }
+                AttrOp::Ne => {
+                    // no index help for ≠; fall back to the posting scan
+                    return self.posting_scan(t, p, ty, val_col, &value);
+                }
+                AttrOp::Lt => ix.scan_prefix_range(
+                    &prefix,
+                    Bound::Unbounded,
+                    Bound::Excluded(&value),
+                    &mut ids,
+                ),
+                AttrOp::Le => ix.scan_prefix_range(
+                    &prefix,
+                    Bound::Unbounded,
+                    Bound::Included(&value),
+                    &mut ids,
+                ),
+                AttrOp::Gt => ix.scan_prefix_range(
+                    &prefix,
+                    Bound::Excluded(&value),
+                    Bound::Unbounded,
+                    &mut ids,
+                ),
+                AttrOp::Ge => ix.scan_prefix_range(
+                    &prefix,
+                    Bound::Included(&value),
+                    Bound::Unbounded,
+                    &mut ids,
+                ),
+                AttrOp::Like => unreachable!("handled above"),
+            }
+            for id in ids {
+                let row = t.get(id).ok_or_else(|| McsError::Internal("dangling index".into()))?;
+                if row[1] == Value::Int(ObjectType::File.code()) {
+                    out.insert(row[2].as_int()?);
+                }
+            }
+            return Ok(out);
+        }
+
+        self.posting_scan(t, p, ty, val_col, &value)
+    }
+
+    /// The 2003 evaluation path: walk every attribute row with this name
+    /// and compare its value column. Cost ∝ rows-with-this-name ∝
+    /// database size (each file carries each workload attribute), which is
+    /// the source of the complex-query scaling in Figures 7/10/11.
+    fn posting_scan(
+        &self,
+        t: &relstore::Table,
+        p: &AttrPredicate,
+        _ty: AttrType,
+        val_col: usize,
+        value: &Value,
+    ) -> Result<HashSet<i64>> {
+        let ix = t
+            .index("ua_name")
+            .ok_or_else(|| McsError::Internal("missing index ua_name".into()))?;
+        let key = IndexKey(vec![Value::from(p.name.as_str())]);
+        let mut out = HashSet::new();
+        for id in ix.get_eq(&key) {
+            let row = t.get(id).ok_or_else(|| McsError::Internal("dangling index".into()))?;
+            if row[1] != Value::Int(ObjectType::File.code()) {
+                continue;
+            }
+            let stored = &row[val_col];
+            let matches = match p.op {
+                AttrOp::Like => like_match(stored.as_str()?, value.as_str()?),
+                op => match stored.sql_cmp(value) {
+                    None => false,
+                    Some(ord) => match op {
+                        AttrOp::Eq => ord.is_eq(),
+                        AttrOp::Ne => ord.is_ne(),
+                        AttrOp::Lt => ord.is_lt(),
+                        AttrOp::Le => ord.is_le(),
+                        AttrOp::Gt => ord.is_gt(),
+                        AttrOp::Ge => ord.is_ge(),
+                        AttrOp::Like => unreachable!(),
+                    },
+                },
+            };
+            if matches {
+                out.insert(row[2].as_int()?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// List a collection's direct contents (paper API: "Querying the
+    /// contents of a ... logical collection"). Requires Read on it.
+    pub fn list_collection(&self, cred: &Credential, name: &str) -> Result<CollectionContents> {
+        let c = self.resolve_collection(name)?;
+        self.require_collection_perm(cred, &c, Permission::Read)?;
+        if c.audit_enabled {
+            self.audit_action(ObjectType::Collection, c.id, "list", cred, &c.name)?;
+        }
+        let mut out = CollectionContents::default();
+        let files =
+            self.db.execute_prepared(&self.stmts.files_in_coll, &[c.id.into()])?.rows.unwrap();
+        for r in &files.rows {
+            out.files.push((r[1].as_str()?.to_owned(), r[2].as_int()?));
+        }
+        let kids = self.db.execute(
+            "SELECT name FROM logical_collections WHERE parent_id = ? ORDER BY name",
+            &[c.id.into()],
+        )?;
+        for r in &kids.rows.unwrap().rows {
+            out.subcollections.push(r[0].as_str()?.to_owned());
+        }
+        Ok(out)
+    }
+
+    /// Total number of logical files in the catalog (harness helper).
+    pub fn file_count(&self) -> Result<usize> {
+        Ok(self.db.table("logical_files")?.read().len())
+    }
+}

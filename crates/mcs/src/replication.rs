@@ -1,0 +1,375 @@
+//! Replicated MCS — paper §9:
+//!
+//! > "we have assumed that strict consistency is required ... and have
+//! > assumed that we would eventually replicate the MCS over a small
+//! > number of sites to improve performance and reliability."
+//!
+//! [`ReplicatedMcs`] keeps one primary catalog and N replicas strictly
+//! consistent by synchronous logical write shipping: every write is a
+//! [`WriteOp`] applied to the primary first, then re-executed on each
+//! replica before the call returns (writes are deterministic given a
+//! shared clock, so replicas converge to identical state). Reads spread
+//! round-robin across all copies — the performance half of the claim —
+//! and a replica that fails to apply a write is evicted from the read
+//! set rather than allowed to serve stale data — the reliability half.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::catalog::{FileUpdate, Mcs};
+use crate::clock::Clock;
+use crate::error::{McsError, Result};
+use crate::model::*;
+use crate::schema::IndexProfile;
+
+/// A logical write operation, re-executable on any replica.
+#[derive(Debug, Clone)]
+pub enum WriteOp {
+    /// Define a user attribute.
+    DefineAttribute {
+        /// Attribute name.
+        name: String,
+        /// Attribute type.
+        attr_type: AttrType,
+        /// Description.
+        description: String,
+    },
+    /// Create a logical file.
+    CreateFile(FileSpec),
+    /// Delete a logical file (all metadata).
+    DeleteFile(String),
+    /// Update predefined file attributes.
+    UpdateFile {
+        /// File name.
+        name: String,
+        /// Update.
+        update: FileUpdate,
+    },
+    /// Set (upsert) a user-defined attribute.
+    SetAttribute {
+        /// Target object.
+        object: ObjectRef,
+        /// Attribute.
+        attr: Attribute,
+    },
+    /// Remove a user-defined attribute.
+    RemoveAttribute {
+        /// Target object.
+        object: ObjectRef,
+        /// Attribute name.
+        name: String,
+    },
+    /// Create a collection.
+    CreateCollection {
+        /// Name.
+        name: String,
+        /// Parent collection.
+        parent: Option<String>,
+        /// Description.
+        description: String,
+    },
+    /// Annotate an object.
+    Annotate {
+        /// Target object.
+        object: ObjectRef,
+        /// Annotation text.
+        text: String,
+    },
+    /// Append to a file's transformation history.
+    AddHistory {
+        /// File name.
+        file: String,
+        /// Description.
+        description: String,
+    },
+    /// Grant a permission.
+    Grant {
+        /// Target object.
+        object: ObjectRef,
+        /// Principal.
+        principal: String,
+        /// Permission.
+        permission: Permission,
+    },
+}
+
+impl WriteOp {
+    /// Apply this operation to one catalog.
+    pub fn apply(&self, mcs: &Mcs, cred: &Credential) -> Result<()> {
+        match self {
+            WriteOp::DefineAttribute { name, attr_type, description } => {
+                mcs.define_attribute(cred, name, *attr_type, description).map(drop)
+            }
+            WriteOp::CreateFile(spec) => mcs.create_file(cred, spec).map(drop),
+            WriteOp::DeleteFile(name) => mcs.delete_file(cred, name),
+            WriteOp::UpdateFile { name, update } => mcs.update_file(cred, name, update).map(drop),
+            WriteOp::SetAttribute { object, attr } => mcs.set_attribute(cred, object, attr),
+            WriteOp::RemoveAttribute { object, name } => {
+                mcs.remove_attribute(cred, object, name).map(drop)
+            }
+            WriteOp::CreateCollection { name, parent, description } => {
+                mcs.create_collection(cred, name, parent.as_deref(), description).map(drop)
+            }
+            WriteOp::Annotate { object, text } => mcs.annotate(cred, object, text),
+            WriteOp::AddHistory { file, description } => mcs.add_history(cred, file, description),
+            WriteOp::Grant { object, principal, permission } => {
+                mcs.grant(cred, object, principal, *permission)
+            }
+        }
+    }
+}
+
+/// A strictly consistent primary + replica deployment.
+pub struct ReplicatedMcs {
+    primary: Arc<Mcs>,
+    replicas: RwLock<Vec<Arc<Mcs>>>,
+    evicted: AtomicUsize,
+    next_read: AtomicUsize,
+}
+
+impl ReplicatedMcs {
+    /// Build a deployment with `n_replicas` replicas. All copies share
+    /// `clock` so re-executed writes produce identical timestamps (a
+    /// requirement for logical replication to converge).
+    pub fn new(
+        admin: &Credential,
+        n_replicas: usize,
+        profile: IndexProfile,
+        clock: Arc<dyn Clock>,
+    ) -> Result<ReplicatedMcs> {
+        let primary = Arc::new(Mcs::with_options(admin, profile, Arc::clone(&clock))?);
+        let mut replicas = Vec::with_capacity(n_replicas);
+        for _ in 0..n_replicas {
+            replicas.push(Arc::new(Mcs::with_options(admin, profile, Arc::clone(&clock))?));
+        }
+        Ok(ReplicatedMcs {
+            primary,
+            replicas: RwLock::new(replicas),
+            evicted: AtomicUsize::new(0),
+            next_read: AtomicUsize::new(0),
+        })
+    }
+
+    /// The primary catalog (for administrative work).
+    pub fn primary(&self) -> &Arc<Mcs> {
+        &self.primary
+    }
+
+    /// Replicas currently serving reads.
+    pub fn live_replicas(&self) -> usize {
+        self.replicas.read().len()
+    }
+
+    /// Replicas evicted after failing to apply a write.
+    pub fn evicted_replicas(&self) -> usize {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Apply a write with strict consistency: primary first; on success,
+    /// synchronously on every replica. A replica that diverges (fails an
+    /// operation the primary accepted) is evicted so it can never serve
+    /// stale reads.
+    pub fn write(&self, cred: &Credential, op: &WriteOp) -> Result<()> {
+        op.apply(&self.primary, cred)?;
+        let mut replicas = self.replicas.write();
+        let before = replicas.len();
+        replicas.retain(|r| op.apply(r, cred).is_ok());
+        self.evicted.fetch_add(before - replicas.len(), Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Pick a copy for a read (round-robin over primary + live replicas).
+    pub fn read_copy(&self) -> Arc<Mcs> {
+        let replicas = self.replicas.read();
+        let n = replicas.len() + 1;
+        let i = self.next_read.fetch_add(1, Ordering::Relaxed) % n;
+        if i == 0 {
+            Arc::clone(&self.primary)
+        } else {
+            Arc::clone(&replicas[i - 1])
+        }
+    }
+
+    /// Attribute query on some copy (strictly consistent, so any copy
+    /// gives the same answer — asserted by tests).
+    pub fn query_by_attributes(
+        &self,
+        cred: &Credential,
+        preds: &[AttrPredicate],
+    ) -> Result<Vec<(String, i64)>> {
+        self.read_copy().query_by_attributes(cred, preds)
+    }
+
+    /// Static-metadata lookup on some copy.
+    pub fn get_file(&self, cred: &Credential, name: &str) -> Result<LogicalFile> {
+        self.read_copy().get_file(cred, name)
+    }
+
+    /// Verify all copies agree on a probe query (consistency check used
+    /// by tests and operational tooling).
+    pub fn check_consistency(&self, cred: &Credential, preds: &[AttrPredicate]) -> Result<bool> {
+        let reference = self.primary.query_by_attributes(cred, preds)?;
+        for r in self.replicas.read().iter() {
+            if r.query_by_attributes(cred, preds)? != reference {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// Errors from replication-specific paths.
+impl ReplicatedMcs {
+    /// Convenience: error if no replicas remain (reliability budget
+    /// exhausted).
+    pub fn require_redundancy(&self, min_replicas: usize) -> Result<()> {
+        let live = self.live_replicas();
+        if live < min_replicas {
+            return Err(McsError::Internal(format!(
+                "only {live} replicas live (need {min_replicas})"
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    fn setup(n: usize) -> (ReplicatedMcs, Credential) {
+        let admin = Credential::new("/CN=admin");
+        let clock = Arc::new(ManualClock::default());
+        let r = ReplicatedMcs::new(&admin, n, IndexProfile::Paper2003, clock).unwrap();
+        r.write(
+            &admin,
+            &WriteOp::DefineAttribute {
+                name: "ch".into(),
+                attr_type: AttrType::Str,
+                description: String::new(),
+            },
+        )
+        .unwrap();
+        (r, admin)
+    }
+
+    #[test]
+    fn writes_replicate_and_reads_agree() {
+        let (r, a) = setup(3);
+        for i in 0..10 {
+            r.write(
+                &a,
+                &WriteOp::CreateFile(
+                    FileSpec::named(format!("f{i}")).attr("ch", if i % 2 == 0 { "H1" } else { "L1" }),
+                ),
+            )
+            .unwrap();
+        }
+        let preds = [AttrPredicate::eq("ch", "H1")];
+        assert!(r.check_consistency(&a, &preds).unwrap());
+        // round-robin reads all return the same answer
+        let first = r.query_by_attributes(&a, &preds).unwrap();
+        for _ in 0..6 {
+            assert_eq!(r.query_by_attributes(&a, &preds).unwrap(), first);
+        }
+        assert_eq!(first.len(), 5);
+    }
+
+    #[test]
+    fn deletes_and_updates_replicate() {
+        let (r, a) = setup(2);
+        r.write(&a, &WriteOp::CreateFile(FileSpec::named("f").attr("ch", "H1"))).unwrap();
+        r.write(
+            &a,
+            &WriteOp::UpdateFile {
+                name: "f".into(),
+                update: FileUpdate { valid: Some(false), ..Default::default() },
+            },
+        )
+        .unwrap();
+        assert!(r.check_consistency(&a, &[AttrPredicate::eq("ch", "H1")]).unwrap());
+        assert!(r.query_by_attributes(&a, &[AttrPredicate::eq("ch", "H1")]).unwrap().is_empty());
+        r.write(&a, &WriteOp::DeleteFile("f".into())).unwrap();
+        for _ in 0..3 {
+            assert!(matches!(r.get_file(&a, "f"), Err(McsError::NotFound(_))));
+        }
+    }
+
+    #[test]
+    fn diverged_replica_is_evicted_not_served() {
+        let (r, a) = setup(2);
+        r.write(&a, &WriteOp::CreateFile(FileSpec::named("f"))).unwrap();
+        // sabotage one replica out-of-band: delete the file directly on it
+        {
+            let replica = r.replicas.read()[0].clone();
+            replica.delete_file(&a, "f").unwrap();
+        }
+        // the next write touching that file fails on the diverged replica
+        r.write(
+            &a,
+            &WriteOp::SetAttribute {
+                object: ObjectRef::File("f".into()),
+                attr: Attribute { name: "ch".into(), value: "H1".into() },
+            },
+        )
+        .unwrap();
+        assert_eq!(r.live_replicas(), 1);
+        assert_eq!(r.evicted_replicas(), 1);
+        // every remaining copy still agrees
+        assert!(r.check_consistency(&a, &[AttrPredicate::eq("ch", "H1")]).unwrap());
+        assert!(r.require_redundancy(1).is_ok());
+        assert!(r.require_redundancy(2).is_err());
+    }
+
+    #[test]
+    fn primary_failure_means_no_replica_applies() {
+        let (r, a) = setup(2);
+        r.write(&a, &WriteOp::CreateFile(FileSpec::named("f"))).unwrap();
+        // duplicate create fails on the primary...
+        assert!(r.write(&a, &WriteOp::CreateFile(FileSpec::named("f"))).is_err());
+        // ...and replicas were never touched (still 1 file everywhere)
+        assert_eq!(r.live_replicas(), 2);
+        for replica in r.replicas.read().iter() {
+            assert_eq!(replica.file_count().unwrap(), 1);
+        }
+    }
+
+    #[test]
+    fn zero_replicas_is_a_plain_catalog() {
+        let (r, a) = setup(0);
+        r.write(&a, &WriteOp::CreateFile(FileSpec::named("f").attr("ch", "H1"))).unwrap();
+        assert_eq!(r.get_file(&a, "f").unwrap().name, "f");
+        assert_eq!(r.live_replicas(), 0);
+    }
+
+    #[test]
+    fn grants_and_annotations_replicate() {
+        let (r, a) = setup(2);
+        r.write(&a, &WriteOp::CreateFile(FileSpec::named("f"))).unwrap();
+        let user = Credential::new("/CN=u");
+        r.write(
+            &a,
+            &WriteOp::Grant {
+                object: ObjectRef::File("f".into()),
+                principal: user.dn.clone(),
+                permission: Permission::Read,
+            },
+        )
+        .unwrap();
+        r.write(&a, &WriteOp::Annotate { object: ObjectRef::File("f".into()), text: "hi".into() })
+            .unwrap();
+        // the user can read from every copy
+        for _ in 0..3 {
+            assert!(r.get_file(&user, "f").is_ok());
+        }
+        for replica in r.replicas.read().iter() {
+            assert_eq!(
+                replica.get_annotations(&a, &ObjectRef::File("f".into())).unwrap().len(),
+                1
+            );
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! XML metadata shredding — the Earth System Grid integration (paper
+//! §6.2).
+//!
+//! ESG metadata followed the netCDF convention and was stored in XML;
+//! general metadata used Dublin Core. To load it into the MCS, the XML
+//! files were *shredded*: each leaf element (and attribute) becomes one
+//! user-defined attribute keyed by its slash-joined path. The paper
+//! reports this worked but was "cumbersome and slow" and that there was
+//! "not a simple mapping between XML metadata files and MCS relational
+//! tables" — faithfully reproduced here: nested/repeated elements flatten
+//! lossily (repeats get numeric suffixes) and everything the shredder
+//! cannot type becomes a string.
+
+use relstore::{Value, ValueType};
+use xmlkit::Element;
+
+use crate::catalog::Mcs;
+use crate::error::Result;
+use crate::model::{AttrType, Attribute, Credential, FileSpec};
+
+/// One shredded attribute: a slash-joined XML path and a typed value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShreddedAttribute {
+    /// Path such as `variable/temperature/units`.
+    pub path: String,
+    /// Best-effort typed value.
+    pub value: Value,
+    /// Inferred attribute type.
+    pub attr_type: AttrType,
+}
+
+/// Infer the tightest type for a text value: int, then float, then date,
+/// then datetime, falling back to string.
+pub fn infer_value(text: &str) -> (Value, AttrType) {
+    let t = text.trim();
+    if let Ok(v) = Value::parse_as(t, ValueType::Int) {
+        return (v, AttrType::Int);
+    }
+    if let Ok(v) = Value::parse_as(t, ValueType::Float) {
+        return (v, AttrType::Float);
+    }
+    if let Ok(v) = Value::parse_as(t, ValueType::Date) {
+        return (v, AttrType::Date);
+    }
+    if let Ok(v) = Value::parse_as(t, ValueType::DateTime) {
+        return (v, AttrType::DateTime);
+    }
+    (Value::from(t), AttrType::Str)
+}
+
+/// Flatten an XML document into path/value attributes. `max_attrs` guards
+/// against pathological documents.
+pub fn shred(root: &Element, max_attrs: usize) -> Vec<ShreddedAttribute> {
+    let mut out = Vec::new();
+    walk(root, String::new(), &mut out, max_attrs);
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    // strip namespace prefixes: dc:title -> title
+    name.rsplit(':').next().unwrap_or(name).to_owned()
+}
+
+fn walk(e: &Element, prefix: String, out: &mut Vec<ShreddedAttribute>, max: usize) {
+    if out.len() >= max {
+        return;
+    }
+    let here = if prefix.is_empty() {
+        sanitize(&e.name)
+    } else {
+        format!("{prefix}/{}", sanitize(&e.name))
+    };
+    for (an, av) in &e.attrs {
+        if an.starts_with("xmlns") {
+            continue;
+        }
+        let (value, attr_type) = infer_value(av);
+        push_unique(out, format!("{here}@{}", sanitize(an)), value, attr_type, max);
+    }
+    let text = e.text_content();
+    let children: Vec<&Element> = e.elements().collect();
+    if children.is_empty() {
+        if !text.trim().is_empty() {
+            let (value, attr_type) = infer_value(&text);
+            push_unique(out, here, value, attr_type, max);
+        }
+        return;
+    }
+    for c in children {
+        walk(c, here.clone(), out, max);
+    }
+}
+
+/// Repeated paths get `#2`, `#3`... suffixes — this is the lossy
+/// flattening the ESG scientists complained about.
+fn push_unique(
+    out: &mut Vec<ShreddedAttribute>,
+    path: String,
+    value: Value,
+    attr_type: AttrType,
+    max: usize,
+) {
+    if out.len() >= max {
+        return;
+    }
+    let mut candidate = path.clone();
+    let mut n = 1;
+    while out.iter().any(|a| a.path == candidate) {
+        n += 1;
+        candidate = format!("{path}#{n}");
+    }
+    out.push(ShreddedAttribute { path: candidate, value, attr_type });
+}
+
+impl Mcs {
+    /// Shred an XML metadata document and publish it as a logical file
+    /// with the shredded attributes (the ESG loading path). Attribute
+    /// definitions are created on first use; a path whose inferred type
+    /// conflicts with an existing definition is stored as its string
+    /// rendering under `{path}.str` (the "shredding proved cumbersome"
+    /// escape hatch).
+    pub fn publish_xml_metadata(
+        &self,
+        cred: &Credential,
+        logical_name: &str,
+        xml: &str,
+    ) -> Result<(crate::model::LogicalFile, usize)> {
+        let root = xmlkit::parse(xml)
+            .map_err(|e| crate::error::McsError::BadAttribute(format!("bad XML: {e}")))?;
+        let shredded = shred(&root, 512);
+        let mut spec = FileSpec::named(logical_name);
+        spec.data_type = Some("XML".into());
+        for s in &shredded {
+            let (name, value) = match self.attribute_definition(&s.path)? {
+                Some(def) if def.attr_type != s.attr_type => {
+                    // type clash with an earlier document: degrade to string
+                    let alt = format!("{}.str", s.path);
+                    self.define_attribute(cred, &alt, AttrType::Str, "shredded (type clash)")?;
+                    (alt, Value::from(s.value.to_string()))
+                }
+                Some(_) => (s.path.clone(), s.value.clone()),
+                None => {
+                    self.define_attribute(cred, &s.path, s.attr_type, "shredded from XML")?;
+                    (s.path.clone(), s.value.clone())
+                }
+            };
+            spec.attributes.push(Attribute { name, value });
+        }
+        let n = spec.attributes.len();
+        Ok((self.create_file(cred, &spec)?, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"<?xml version="1.0"?>
+        <metadata xmlns:dc="http://purl.org/dc/elements/1.1/">
+          <dc:title>NCAR CSM run b20.007</dc:title>
+          <dc:date>1999-05-01</dc:date>
+          <variable name="TS">
+            <units>K</units>
+            <average>287.4</average>
+          </variable>
+          <variable name="PRECT">
+            <units>m/s</units>
+            <average>3.1e-8</average>
+          </variable>
+          <timesteps>1460</timesteps>
+        </metadata>"#;
+
+    #[test]
+    fn shreds_paths_and_types() {
+        let root = xmlkit::parse(SAMPLE).unwrap();
+        let attrs = shred(&root, 512);
+        let find = |p: &str| attrs.iter().find(|a| a.path == p).unwrap_or_else(|| panic!("{p}"));
+        assert_eq!(find("metadata/title").attr_type, AttrType::Str);
+        assert_eq!(find("metadata/date").attr_type, AttrType::Date);
+        assert_eq!(find("metadata/timesteps").value, Value::Int(1460));
+        assert_eq!(find("metadata/variable@name").value, Value::from("TS"));
+        // repeated <variable> flattens with suffixes — the lossy mapping
+        assert_eq!(find("metadata/variable@name#2").value, Value::from("PRECT"));
+        assert_eq!(find("metadata/variable/average").value, Value::Float(287.4));
+        assert_eq!(find("metadata/variable/average#2").value, Value::Float(3.1e-8));
+    }
+
+    #[test]
+    fn publish_and_query_shredded_metadata() {
+        let admin = Credential::new("/CN=esg-admin");
+        let m = Mcs::new(&admin).unwrap();
+        let (f, n) = m.publish_xml_metadata(&admin, "b20.007.nc", SAMPLE).unwrap();
+        assert_eq!(f.data_type.as_deref(), Some("XML"));
+        assert!(n >= 8, "expected many shredded attributes, got {n}");
+        // discover by a Dublin Core field
+        let hits = m
+            .query_by_attributes(
+                &admin,
+                &[crate::model::AttrPredicate::eq("metadata/title", "NCAR CSM run b20.007")],
+            )
+            .unwrap();
+        assert_eq!(hits, vec![("b20.007.nc".to_string(), 1)]);
+    }
+
+    #[test]
+    fn type_clash_degrades_to_string() {
+        let admin = Credential::new("/CN=esg-admin");
+        let m = Mcs::new(&admin).unwrap();
+        m.publish_xml_metadata(&admin, "a.nc", "<m><v>42</v></m>").unwrap();
+        // second document has a string where the first had an int
+        m.publish_xml_metadata(&admin, "b.nc", "<m><v>forty-two</v></m>").unwrap();
+        let attrs = m
+            .get_attributes(&admin, &crate::model::ObjectRef::File("b.nc".into()))
+            .unwrap();
+        assert!(attrs.iter().any(|a| a.name == "m/v.str"));
+    }
+
+    #[test]
+    fn shred_respects_cap() {
+        let mut doc = String::from("<m>");
+        for i in 0..100 {
+            doc.push_str(&format!("<e{i}>x</e{i}>"));
+        }
+        doc.push_str("</m>");
+        let root = xmlkit::parse(&doc).unwrap();
+        assert_eq!(shred(&root, 10).len(), 10);
+    }
+
+    #[test]
+    fn infer_value_priorities() {
+        assert_eq!(infer_value("42").1, AttrType::Int);
+        assert_eq!(infer_value("42.5").1, AttrType::Float);
+        assert_eq!(infer_value("2003-11-15").1, AttrType::Date);
+        assert_eq!(infer_value("2003-11-15 08:00:00").1, AttrType::DateTime);
+        assert_eq!(infer_value("K").1, AttrType::Str);
+    }
+}

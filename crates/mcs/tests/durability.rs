@@ -1,0 +1,107 @@
+//! The catalog on a durable database: metadata, attributes, policies and
+//! audit trails survive a restart (the implicit durability MySQL gave the
+//! 2003 deployment).
+
+use std::sync::Arc;
+
+use mcs::{
+    AttrPredicate, AttrType, Credential, FileSpec, IndexProfile, ManualClock, Mcs, ObjectRef,
+    Permission,
+};
+use relstore::{Database, SyncPolicy};
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "mcs-durable-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn open(dir: &std::path::Path, admin: &Credential) -> Mcs {
+    let db = Database::open_durable(dir, SyncPolicy::OsBuffered).unwrap();
+    Mcs::with_database(db, admin, IndexProfile::Paper2003, Arc::new(ManualClock::default()))
+        .unwrap()
+}
+
+#[test]
+fn catalog_survives_restart() {
+    let dir = tmpdir("basic");
+    let admin = Credential::new("/CN=admin");
+    {
+        let m = open(&dir, &admin);
+        m.define_attribute(&admin, "ch", AttrType::Str, "").unwrap();
+        m.create_collection(&admin, "run", None, "science run").unwrap();
+        m.create_file(&admin, &FileSpec::named("f1").in_collection("run").attr("ch", "H1"))
+            .unwrap();
+        m.annotate(&admin, &ObjectRef::File("f1".into()), "note").unwrap();
+        m.grant(&admin, &ObjectRef::File("f1".into()), "/CN=reader", Permission::Read).unwrap();
+    } // crash: process drops the catalog with no checkpoint
+
+    let m = open(&dir, &admin);
+    // metadata intact
+    let f = m.get_file(&admin, "f1").unwrap();
+    assert_eq!(f.collection_id, Some(1));
+    // attributes queryable
+    let hits = m.query_by_attributes(&admin, &[AttrPredicate::eq("ch", "H1")]).unwrap();
+    assert_eq!(hits, vec![("f1".to_string(), 1)]);
+    // annotations intact
+    assert_eq!(m.get_annotations(&admin, &ObjectRef::File("f1".into())).unwrap().len(), 1);
+    // policies intact: the reader's grant survived, a stranger is denied
+    let reader = Credential::new("/CN=reader");
+    assert!(m.get_file(&reader, "f1").is_ok());
+    let stranger = Credential::new("/CN=stranger");
+    assert!(m.get_file(&stranger, "f1").is_err());
+    // and the admin's bootstrap ACL was not re-granted away / duplicated
+    m.create_file(&admin, &FileSpec::named("f2").attr("ch", "L1")).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpoint_then_more_writes_then_crash() {
+    let dir = tmpdir("ckpt");
+    let admin = Credential::new("/CN=admin");
+    {
+        let m = open(&dir, &admin);
+        m.define_attribute(&admin, "n", AttrType::Int, "").unwrap();
+        for i in 0..20i64 {
+            m.create_file(&admin, &FileSpec::named(format!("f{i}")).attr("n", i)).unwrap();
+        }
+        m.database().checkpoint().unwrap();
+        for i in 20..30i64 {
+            m.create_file(&admin, &FileSpec::named(format!("f{i}")).attr("n", i)).unwrap();
+        }
+        m.delete_file(&admin, "f0").unwrap();
+    }
+    let m = open(&dir, &admin);
+    assert_eq!(m.file_count().unwrap(), 29);
+    let hits = m
+        .query_by_attributes(
+            &admin,
+            &[AttrPredicate { name: "n".into(), op: mcs::AttrOp::Ge, value: 25i64.into() }],
+        )
+        .unwrap();
+    assert_eq!(hits.len(), 5);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn second_admin_does_not_hijack_existing_catalog() {
+    let dir = tmpdir("hijack");
+    let admin = Credential::new("/CN=admin");
+    {
+        let m = open(&dir, &admin);
+        m.create_file(&admin, &FileSpec::named("f")).unwrap();
+    }
+    // an attacker reopening the durable directory with their own DN must
+    // not become an admin: bootstrap ACLs only apply to a fresh database
+    let attacker = Credential::new("/CN=attacker");
+    let m = open(&dir, &attacker);
+    assert!(m.get_file(&attacker, "f").is_err());
+    assert!(m.create_file(&attacker, &FileSpec::named("g")).is_err());
+    // the real admin still works
+    assert!(m.get_file(&admin, "f").is_ok());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,575 @@
+//! The database object: a named collection of tables, SQL entry points,
+//! prepared statements, and sessions with transaction support.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::error::{Error, Result};
+use crate::executor::{exec_statement, ExecResult, ResultSet};
+use crate::sql::ast::Statement;
+use crate::sql::parser::parse;
+use crate::table::Table;
+use crate::txn::UndoLog;
+use crate::value::Value;
+
+/// Counters of executed statements, for the evaluation harness (the paper
+/// reports operation rates; these let the harness cross-check the driver).
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// SELECT statements executed.
+    pub selects: AtomicU64,
+    /// INSERT statements executed.
+    pub inserts: AtomicU64,
+    /// UPDATE statements executed.
+    pub updates: AtomicU64,
+    /// DELETE statements executed.
+    pub deletes: AtomicU64,
+}
+
+impl Stats {
+    fn bump(&self, stmt: &Statement) {
+        match stmt {
+            Statement::Select(_) => &self.selects,
+            Statement::Insert { .. } => &self.inserts,
+            Statement::Update { .. } => &self.updates,
+            Statement::Delete { .. } => &self.deletes,
+            _ => return,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// An in-memory relational database.
+///
+/// Tables are individually reader-writer locked (MyISAM-style table-level
+/// locking, matching the MySQL 4.1 backend of the original MCS): many
+/// concurrent readers, one writer per table.
+#[derive(Debug, Default)]
+pub struct Database {
+    tables: RwLock<BTreeMap<String, Arc<RwLock<Table>>>>,
+    /// Execution counters.
+    pub stats: Stats,
+    /// Write-ahead log, when the database was opened durably. While
+    /// attached, write statements serialize through this mutex so the log
+    /// order matches the execution order (replay correctness).
+    wal: Mutex<Option<crate::wal::WalWriter>>,
+    durable_dir: RwLock<Option<PathBuf>>,
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Register a programmatically-built table.
+    pub fn add_table(&self, table: Table) -> Result<()> {
+        let key = table.schema.name.to_ascii_lowercase();
+        let mut tables = self.tables.write();
+        if tables.contains_key(&key) {
+            return Err(Error::TableExists(table.schema.name.clone()));
+        }
+        tables.insert(key, Arc::new(RwLock::new(table)));
+        Ok(())
+    }
+
+    /// Handle to a table by name (case-insensitive).
+    pub fn table(&self, name: &str) -> Result<Arc<RwLock<Table>>> {
+        self.tables
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| Error::NoSuchTable(name.to_owned()))
+    }
+
+    /// Remove a table.
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        self.tables
+            .write()
+            .remove(&name.to_ascii_lowercase())
+            .map(drop)
+            .ok_or_else(|| Error::NoSuchTable(name.to_owned()))
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.read().values().map(|t| t.read().schema.name.clone()).collect()
+    }
+
+    pub(crate) fn attach_wal(&self, writer: crate::wal::WalWriter, dir: PathBuf) {
+        *self.wal.lock() = Some(writer);
+        *self.durable_dir.write() = Some(dir);
+    }
+
+    pub(crate) fn durable_dir(&self) -> Option<PathBuf> {
+        self.durable_dir.read().clone()
+    }
+
+    pub(crate) fn wal_lock(
+        &self,
+    ) -> parking_lot::MutexGuard<'_, Option<crate::wal::WalWriter>> {
+        self.wal.lock()
+    }
+
+    fn is_write(stmt: &Statement) -> bool {
+        !matches!(
+            stmt,
+            Statement::Select(_) | Statement::Begin | Statement::Commit | Statement::Rollback
+        )
+    }
+
+    /// Execute a statement, logging writes ahead when durable.
+    fn run_logged(
+        &self,
+        stmt: &Statement,
+        sql: &str,
+        params: &[Value],
+        undo: Option<&mut crate::txn::UndoLog>,
+    ) -> Result<ExecResult> {
+        self.stats.bump(stmt);
+        if Self::is_write(stmt) {
+            let mut wal = self.wal.lock();
+            if let Some(w) = wal.as_mut() {
+                w.append(sql, params)?;
+                // hold the lock across execution so log order == exec order
+                return exec_statement(self, stmt, params, undo);
+            }
+        }
+        exec_statement(self, stmt, params, undo)
+    }
+
+    /// Parse and execute one statement outside any transaction.
+    pub fn execute(&self, sql: &str, params: &[Value]) -> Result<ExecResult> {
+        let stmt = parse(sql)?;
+        self.run_logged(&stmt, sql, params, None)
+    }
+
+    /// Shorthand for `execute` returning the result set of a SELECT.
+    pub fn query(&self, sql: &str, params: &[Value]) -> Result<ResultSet> {
+        self.execute(sql, params)?
+            .rows
+            .ok_or_else(|| Error::ExecError("statement returned no rows".into()))
+    }
+
+    /// Execute a batch of `;`-separated statements (DDL bootstrap helper).
+    /// Statements run independently; the first error aborts the rest.
+    pub fn execute_script(&self, script: &str) -> Result<()> {
+        for stmt_text in split_statements(script) {
+            self.execute(&stmt_text, &[])?;
+        }
+        Ok(())
+    }
+
+    /// Prepare a statement for repeated execution (parse once). This is
+    /// the hot path the MCS server uses, mirroring JDBC prepared
+    /// statements in the original implementation.
+    pub fn prepare(&self, sql: &str) -> Result<Prepared> {
+        Ok(Prepared { stmt: parse(sql)?, text: sql.to_owned() })
+    }
+
+    /// Execute a prepared statement.
+    pub fn execute_prepared(&self, p: &Prepared, params: &[Value]) -> Result<ExecResult> {
+        self.run_logged(&p.stmt, &p.text, params, None)
+    }
+
+    /// Open a session (connection) with transaction support.
+    pub fn session(self: &Arc<Self>) -> Session {
+        Session { db: Arc::clone(self), txn: None, pending_log: Vec::new() }
+    }
+}
+
+/// A parsed, reusable statement.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    stmt: Statement,
+    text: String,
+}
+
+impl Prepared {
+    /// The original SQL text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+}
+
+/// Split a script on `;` while respecting string literals.
+fn split_statements(script: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    let mut chars = script.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '\'' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ';' if !in_str => {
+                if !cur.trim().is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                } else {
+                    cur.clear();
+                }
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// A connection-like handle supporting BEGIN/COMMIT/ROLLBACK.
+///
+/// Isolation is per-statement (table-level locks are held only for the
+/// duration of each statement); the transaction provides atomicity via
+/// undo, not serializability — see [`crate::txn`].
+pub struct Session {
+    db: Arc<Database>,
+    txn: Option<UndoLog>,
+    /// Writes made inside the open transaction, logged to the WAL only at
+    /// COMMIT so a rolled-back transaction never replays.
+    pending_log: Vec<(String, Vec<Value>)>,
+}
+
+impl Session {
+    /// The underlying database.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// True if a transaction is open.
+    pub fn in_transaction(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    /// Begin a transaction. Nested transactions are rejected.
+    pub fn begin(&mut self) -> Result<()> {
+        if self.txn.is_some() {
+            return Err(Error::TxnState("transaction already open".into()));
+        }
+        self.txn = Some(UndoLog::default());
+        Ok(())
+    }
+
+    /// Commit: discard the undo log and flush the transaction's writes to
+    /// the write-ahead log.
+    pub fn commit(&mut self) -> Result<()> {
+        self.txn.take().ok_or_else(|| Error::TxnState("no open transaction".into()))?;
+        let mut wal = self.db.wal_lock();
+        if let Some(w) = wal.as_mut() {
+            for (sql, params) in self.pending_log.drain(..) {
+                w.append(&sql, &params)?;
+            }
+        } else {
+            self.pending_log.clear();
+        }
+        Ok(())
+    }
+
+    /// Roll back: apply the undo log in reverse; buffered WAL records are
+    /// discarded unlogged.
+    pub fn rollback(&mut self) -> Result<()> {
+        let log =
+            self.txn.take().ok_or_else(|| Error::TxnState("no open transaction".into()))?;
+        self.pending_log.clear();
+        log.rollback()
+    }
+
+    /// Parse and execute one statement in this session. BEGIN/COMMIT/
+    /// ROLLBACK are handled here; writes inside a transaction are recorded
+    /// for rollback.
+    pub fn execute(&mut self, sql: &str, params: &[Value]) -> Result<ExecResult> {
+        let stmt = parse(sql)?;
+        match stmt {
+            Statement::Begin => {
+                self.begin()?;
+                Ok(ExecResult::default())
+            }
+            Statement::Commit => {
+                self.commit()?;
+                Ok(ExecResult::default())
+            }
+            Statement::Rollback => {
+                self.rollback()?;
+                Ok(ExecResult::default())
+            }
+            other => self.run(&other, sql, params),
+        }
+    }
+
+    /// Execute a prepared statement in this session.
+    pub fn execute_prepared(&mut self, p: &Prepared, params: &[Value]) -> Result<ExecResult> {
+        let stmt = p.stmt.clone();
+        self.run(&stmt, &p.text, params)
+    }
+
+    fn run(&mut self, stmt: &Statement, sql: &str, params: &[Value]) -> Result<ExecResult> {
+        if self.txn.is_some() && Database::is_write(stmt) {
+            // inside a transaction: execute with undo, buffer the log
+            // record for commit time
+            self.db.stats.bump(stmt);
+            let r = exec_statement(&self.db, stmt, params, self.txn.as_mut())?;
+            self.pending_log.push((sql.to_owned(), params.to_vec()));
+            Ok(r)
+        } else {
+            self.db.run_logged(stmt, sql, params, self.txn.as_mut())
+        }
+    }
+
+    /// Run `f` inside a transaction: commit on `Ok`, roll back on `Err`.
+    pub fn with_transaction<T>(
+        &mut self,
+        f: impl FnOnce(&mut Session) -> Result<T>,
+    ) -> Result<T> {
+        self.begin()?;
+        match f(self) {
+            Ok(v) => {
+                self.commit()?;
+                Ok(v)
+            }
+            Err(e) => {
+                // Preserve the original error even if rollback also fails.
+                let _ = self.rollback();
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Arc<Database> {
+        let db = Arc::new(Database::new());
+        db.execute_script(
+            "CREATE TABLE files (
+                id INTEGER PRIMARY KEY AUTO_INCREMENT,
+                name VARCHAR(255) NOT NULL,
+                size INTEGER,
+                valid BOOLEAN DEFAULT TRUE
+            );
+            CREATE UNIQUE INDEX by_name ON files (name);
+            CREATE TABLE attrs (
+                id INTEGER PRIMARY KEY AUTO_INCREMENT,
+                file_id INTEGER NOT NULL,
+                name VARCHAR(64) NOT NULL,
+                value VARCHAR(255)
+            );
+            CREATE INDEX attrs_by_file ON attrs (file_id, name);",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn insert_select_roundtrip() {
+        let db = db();
+        let r = db
+            .execute("INSERT INTO files (name, size) VALUES ('a', 10), ('b', 20)", &[])
+            .unwrap();
+        assert_eq!(r.rows_affected, 2);
+        assert_eq!(r.last_insert_id, Some(2));
+        let rs = db.query("SELECT name, size FROM files WHERE size > 15", &[]).unwrap();
+        assert_eq!(rs.columns, vec!["name", "size"]);
+        assert_eq!(rs.rows, vec![vec![Value::from("b"), Value::Int(20)]]);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let db = db();
+        db.execute("INSERT INTO files (name) VALUES ('a')", &[]).unwrap();
+        let rs = db.query("SELECT valid, size FROM files", &[]).unwrap();
+        assert_eq!(rs.rows[0], vec![Value::Bool(true), Value::Null]);
+    }
+
+    #[test]
+    fn params_bind_in_order() {
+        let db = db();
+        db.execute("INSERT INTO files (name, size) VALUES (?, ?)", &["a".into(), 5i64.into()])
+            .unwrap();
+        let rs = db
+            .query("SELECT size FROM files WHERE name = ?", &["a".into()])
+            .unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(5));
+    }
+
+    #[test]
+    fn unique_violation_surfaces() {
+        let db = db();
+        db.execute("INSERT INTO files (name) VALUES ('a')", &[]).unwrap();
+        let err = db.execute("INSERT INTO files (name) VALUES ('a')", &[]);
+        assert!(matches!(err, Err(Error::UniqueViolation { .. })));
+    }
+
+    #[test]
+    fn multi_row_insert_is_atomic() {
+        let db = db();
+        db.execute("INSERT INTO files (name) VALUES ('a')", &[]).unwrap();
+        let err = db.execute("INSERT INTO files (name) VALUES ('b'), ('a')", &[]);
+        assert!(err.is_err());
+        let rs = db.query("SELECT COUNT(*) FROM files", &[]).unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(1)); // 'b' rolled back
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let db = db();
+        db.execute("INSERT INTO files (name, size) VALUES ('a', 1), ('b', 2)", &[]).unwrap();
+        let r = db.execute("UPDATE files SET size = 9 WHERE name = 'a'", &[]).unwrap();
+        assert_eq!(r.rows_affected, 1);
+        let r = db.execute("DELETE FROM files WHERE size = 9", &[]).unwrap();
+        assert_eq!(r.rows_affected, 1);
+        let rs = db.query("SELECT COUNT(*) AS n FROM files", &[]).unwrap();
+        assert_eq!(rs.columns, vec!["n"]);
+        assert_eq!(rs.rows[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn join_with_index_lookup() {
+        let db = db();
+        db.execute("INSERT INTO files (name) VALUES ('a'), ('b')", &[]).unwrap();
+        db.execute(
+            "INSERT INTO attrs (file_id, name, value) VALUES (1, 'ch', 'H1'), (2, 'ch', 'L1')",
+            &[],
+        )
+        .unwrap();
+        let rs = db
+            .query(
+                "SELECT f.name FROM files f JOIN attrs a ON f.id = a.file_id \
+                 WHERE a.name = 'ch' AND a.value = 'L1'",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::from("b")]]);
+    }
+
+    #[test]
+    fn self_join() {
+        let db = db();
+        db.execute("INSERT INTO files (name, size) VALUES ('a', 1), ('b', 1)", &[]).unwrap();
+        let rs = db
+            .query(
+                "SELECT x.name, y.name FROM files x JOIN files y ON x.size = y.size \
+                 WHERE x.name = 'a' AND y.name = 'b'",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(rs.rows.len(), 1);
+    }
+
+    #[test]
+    fn order_limit_offset() {
+        let db = db();
+        db.execute(
+            "INSERT INTO files (name, size) VALUES ('c', 3), ('a', 1), ('d', 4), ('b', 2)",
+            &[],
+        )
+        .unwrap();
+        let rs = db
+            .query("SELECT name FROM files ORDER BY size DESC LIMIT 2 OFFSET 1", &[])
+            .unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::from("c")], vec![Value::from("b")]]);
+    }
+
+    #[test]
+    fn aggregates() {
+        let db = db();
+        db.execute("INSERT INTO files (name, size) VALUES ('a', 1), ('b', 3), ('c', 2)", &[])
+            .unwrap();
+        let rs = db
+            .query("SELECT COUNT(*), MIN(size), MAX(size) FROM files WHERE size > 1", &[])
+            .unwrap();
+        assert_eq!(rs.rows[0], vec![Value::Int(2), Value::Int(2), Value::Int(3)]);
+        // COUNT(col) skips NULLs
+        db.execute("INSERT INTO files (name) VALUES ('d')", &[]).unwrap();
+        let rs = db.query("SELECT COUNT(size) FROM files", &[]).unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(3));
+    }
+
+    #[test]
+    fn session_rollback_restores_rows() {
+        let db = db();
+        let mut s = db.session();
+        s.execute("INSERT INTO files (name) VALUES ('keep')", &[]).unwrap();
+        s.execute("BEGIN", &[]).unwrap();
+        s.execute("INSERT INTO files (name) VALUES ('tmp')", &[]).unwrap();
+        s.execute("UPDATE files SET size = 5 WHERE name = 'keep'", &[]).unwrap();
+        s.execute("DELETE FROM files WHERE name = 'keep'", &[]).unwrap();
+        s.execute("ROLLBACK", &[]).unwrap();
+        let rs = db.query("SELECT name, size FROM files", &[]).unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::from("keep"), Value::Null]]);
+    }
+
+    #[test]
+    fn session_commit_keeps_rows() {
+        let db = db();
+        let mut s = db.session();
+        s.with_transaction(|s| {
+            s.execute("INSERT INTO files (name) VALUES ('x')", &[])?;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(db.query("SELECT COUNT(*) FROM files", &[]).unwrap().rows[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn with_transaction_rolls_back_on_error() {
+        let db = db();
+        let mut s = db.session();
+        let r: Result<()> = s.with_transaction(|s| {
+            s.execute("INSERT INTO files (name) VALUES ('x')", &[])?;
+            Err(Error::ExecError("boom".into()))
+        });
+        assert!(r.is_err());
+        assert!(!s.in_transaction());
+        assert_eq!(db.query("SELECT COUNT(*) FROM files", &[]).unwrap().rows[0][0], Value::Int(0));
+    }
+
+    #[test]
+    fn txn_state_errors() {
+        let db = db();
+        let mut s = db.session();
+        assert!(s.commit().is_err());
+        assert!(s.rollback().is_err());
+        s.begin().unwrap();
+        assert!(s.begin().is_err());
+    }
+
+    #[test]
+    fn ddl_and_drops() {
+        let db = db();
+        assert!(db.execute("CREATE TABLE files (id INTEGER)", &[]).is_err());
+        db.execute("CREATE TABLE IF NOT EXISTS files (id INTEGER)", &[]).unwrap();
+        db.execute("DROP TABLE files", &[]).unwrap();
+        assert!(db.execute("DROP TABLE files", &[]).is_err());
+        db.execute("DROP TABLE IF EXISTS files", &[]).unwrap();
+        assert!(db.query("SELECT * FROM files", &[]).is_err());
+    }
+
+    #[test]
+    fn script_splitting_respects_strings() {
+        let db = Arc::new(Database::new());
+        db.execute_script(
+            "CREATE TABLE t (s VARCHAR(32)); INSERT INTO t (s) VALUES ('a;b');",
+        )
+        .unwrap();
+        let rs = db.query("SELECT s FROM t", &[]).unwrap();
+        assert_eq!(rs.rows[0][0], Value::from("a;b"));
+    }
+
+    #[test]
+    fn stats_count_statements() {
+        let db = db();
+        db.execute("INSERT INTO files (name) VALUES ('a')", &[]).unwrap();
+        db.query("SELECT * FROM files", &[]).unwrap();
+        assert_eq!(db.stats.inserts.load(Ordering::Relaxed), 1);
+        assert_eq!(db.stats.selects.load(Ordering::Relaxed), 1);
+    }
+}

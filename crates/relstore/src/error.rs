@@ -1,0 +1,113 @@
+//! Error types for the storage engine.
+
+use std::fmt;
+
+/// All errors produced by the storage engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A table with this name already exists.
+    TableExists(String),
+    /// No table with this name.
+    NoSuchTable(String),
+    /// An index with this name already exists on the table.
+    IndexExists(String),
+    /// No index with this name.
+    NoSuchIndex(String),
+    /// No column with this name in the referenced table.
+    NoSuchColumn(String),
+    /// A value's type did not match the column type.
+    TypeMismatch {
+        /// Column (or expression position) that was being assigned or compared.
+        column: String,
+        /// Type required by the schema.
+        expected: crate::value::ValueType,
+        /// Type of the offending value.
+        got: crate::value::ValueType,
+    },
+    /// NULL assigned to a NOT NULL column.
+    NullViolation(String),
+    /// A UNIQUE or PRIMARY KEY constraint was violated.
+    UniqueViolation {
+        /// Index whose uniqueness was violated.
+        index: String,
+        /// Rendered key that collided.
+        key: String,
+    },
+    /// Row referenced by id does not exist (stale handle).
+    NoSuchRow(u64),
+    /// A VARCHAR(n) length limit was exceeded.
+    StringTooLong {
+        /// Column with the limit.
+        column: String,
+        /// Declared maximum.
+        max: usize,
+        /// Actual length.
+        got: usize,
+    },
+    /// SQL lexing failed.
+    LexError {
+        /// Byte offset in the statement text.
+        at: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// SQL parsing failed.
+    ParseError {
+        /// Approximate token position.
+        at: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// Statement was syntactically valid but cannot be executed.
+    ExecError(String),
+    /// Expression evaluation failed (e.g. type error in a WHERE clause).
+    EvalError(String),
+    /// Wrong number of `?` parameters supplied to a statement.
+    ParamCount {
+        /// Placeholders in the statement.
+        expected: usize,
+        /// Values supplied.
+        got: usize,
+    },
+    /// A value literal could not be parsed (bad date, malformed number...).
+    BadLiteral(String),
+    /// Operation requires an active transaction, or nesting was attempted.
+    TxnState(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::TableExists(t) => write!(f, "table `{t}` already exists"),
+            Error::NoSuchTable(t) => write!(f, "no such table `{t}`"),
+            Error::IndexExists(i) => write!(f, "index `{i}` already exists"),
+            Error::NoSuchIndex(i) => write!(f, "no such index `{i}`"),
+            Error::NoSuchColumn(c) => write!(f, "no such column `{c}`"),
+            Error::TypeMismatch { column, expected, got } => {
+                write!(f, "type mismatch for `{column}`: expected {expected}, got {got}")
+            }
+            Error::NullViolation(c) => write!(f, "column `{c}` may not be NULL"),
+            Error::UniqueViolation { index, key } => {
+                write!(f, "duplicate key {key} for unique index `{index}`")
+            }
+            Error::NoSuchRow(id) => write!(f, "no row with id {id}"),
+            Error::StringTooLong { column, max, got } => {
+                write!(f, "value too long for `{column}`: max {max}, got {got}")
+            }
+            Error::LexError { at, msg } => write!(f, "lex error at byte {at}: {msg}"),
+            Error::ParseError { at, msg } => write!(f, "parse error near token {at}: {msg}"),
+            Error::ExecError(m) => write!(f, "execution error: {m}"),
+            Error::EvalError(m) => write!(f, "evaluation error: {m}"),
+            Error::ParamCount { expected, got } => {
+                write!(f, "statement takes {expected} parameters, {got} supplied")
+            }
+            Error::BadLiteral(m) => write!(f, "bad literal: {m}"),
+            Error::TxnState(m) => write!(f, "transaction error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience result alias used throughout the engine.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,353 @@
+//! Access-path selection.
+//!
+//! Given the conjunctive constraints a WHERE clause places on one table's
+//! columns, pick the cheapest access path: full-width index equality, an
+//! index prefix scan (optionally range-bounded on the first unconstrained
+//! column), or a full table scan. This mirrors the access paths MySQL 4.1
+//! used for the MCS workload (paper §7 built indexes on names, ids and
+//! (name,id) pairs).
+
+use std::ops::Bound;
+
+use crate::predicate::{BoundExpr, CmpOp};
+use crate::table::Table;
+use crate::value::Value;
+
+/// Chosen access path for one table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccessPath {
+    /// Scan every live row.
+    FullScan,
+    /// Walk index `index` (position in [`Table::indexes`]): rows whose key
+    /// starts with `prefix`, with the column after the prefix bounded by
+    /// `low`/`high`.
+    Index {
+        /// Index position within the table's index list.
+        index: usize,
+        /// Equality-constrained leading key columns.
+        prefix: Vec<Value>,
+        /// Lower bound on the next key column.
+        low: Bound<Value>,
+        /// Upper bound on the next key column.
+        high: Bound<Value>,
+    },
+}
+
+impl AccessPath {
+    /// True if this is a full-width equality lookup (point query).
+    pub fn is_point_lookup(&self, table: &Table) -> bool {
+        match self {
+            AccessPath::Index { index, prefix, low, high } => {
+                matches!((low, high), (Bound::Unbounded, Bound::Unbounded))
+                    && prefix.len() == table.indexes()[*index].def.columns.len()
+            }
+            AccessPath::FullScan => false,
+        }
+    }
+}
+
+/// Per-column constraints extracted from conjuncts.
+#[derive(Debug, Default, Clone)]
+struct ColConstraint {
+    eq: Option<Value>,
+    low: Option<(Value, bool)>,  // (bound, inclusive)
+    high: Option<(Value, bool)>, // (bound, inclusive)
+}
+
+/// Extract sargable constraints for the table occupying row-buffer slots
+/// `[base, base + arity)` from the conjuncts of `pred`.
+fn constraints(pred: &BoundExpr, base: usize, arity: usize) -> Vec<ColConstraint> {
+    let mut cons = vec![ColConstraint::default(); arity];
+    for c in pred.conjuncts() {
+        let BoundExpr::Cmp(op, a, b) = c else { continue };
+        // normalize to slot <op> literal
+        let (slot, lit, op) = match (&**a, &**b) {
+            (BoundExpr::Slot(s), BoundExpr::Literal(v)) => (*s, v, *op),
+            (BoundExpr::Literal(v), BoundExpr::Slot(s)) => (*s, v, flip(*op)),
+            _ => continue,
+        };
+        if slot < base || slot >= base + arity || lit.is_null() {
+            continue;
+        }
+        let col = slot - base;
+        match op {
+            CmpOp::Eq => cons[col].eq = Some(lit.clone()),
+            CmpOp::Gt => tighten_low(&mut cons[col], lit.clone(), false),
+            CmpOp::Ge => tighten_low(&mut cons[col], lit.clone(), true),
+            CmpOp::Lt => tighten_high(&mut cons[col], lit.clone(), false),
+            CmpOp::Le => tighten_high(&mut cons[col], lit.clone(), true),
+            CmpOp::Ne => {}
+        }
+    }
+    cons
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        other => other,
+    }
+}
+
+fn tighten_low(c: &mut ColConstraint, v: Value, inclusive: bool) {
+    let replace = match &c.low {
+        None => true,
+        Some((cur, cur_incl)) => match v.index_cmp(cur) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Equal => *cur_incl && !inclusive,
+            std::cmp::Ordering::Less => false,
+        },
+    };
+    if replace {
+        c.low = Some((v, inclusive));
+    }
+}
+
+fn tighten_high(c: &mut ColConstraint, v: Value, inclusive: bool) {
+    let replace = match &c.high {
+        None => true,
+        Some((cur, cur_incl)) => match v.index_cmp(cur) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Equal => *cur_incl && !inclusive,
+            std::cmp::Ordering::Greater => false,
+        },
+    };
+    if replace {
+        c.high = Some((v, inclusive));
+    }
+}
+
+/// Pick an access path for `table` under `pred` (whose slots for this table
+/// start at `base`). Returns [`AccessPath::FullScan`] when no index helps.
+pub fn plan_table(table: &Table, pred: Option<&BoundExpr>, base: usize) -> AccessPath {
+    let Some(pred) = pred else { return AccessPath::FullScan };
+    let cons = constraints(pred, base, table.schema.arity());
+    let mut best: Option<(usize, usize, bool)> = None; // (eq_len, index_pos, has_range)
+    for (pos, ix) in table.indexes().iter().enumerate() {
+        let mut eq_len = 0;
+        for &col in &ix.def.columns {
+            if cons[col].eq.is_some() {
+                eq_len += 1;
+            } else {
+                break;
+            }
+        }
+        let has_range = ix
+            .def
+            .columns
+            .get(eq_len)
+            .is_some_and(|&col| cons[col].low.is_some() || cons[col].high.is_some());
+        if eq_len == 0 && !has_range {
+            continue;
+        }
+        let better = match best {
+            None => true,
+            Some((b_eq, _, b_range)) => {
+                eq_len > b_eq || (eq_len == b_eq && has_range && !b_range)
+            }
+        };
+        if better {
+            best = Some((eq_len, pos, has_range));
+        }
+    }
+    let Some((eq_len, pos, has_range)) = best else { return AccessPath::FullScan };
+    let ix = &table.indexes()[pos];
+    let prefix: Vec<Value> = ix.def.columns[..eq_len]
+        .iter()
+        .map(|&col| cons[col].eq.clone().expect("eq constraint checked"))
+        .collect();
+    let (low, high) = if has_range {
+        let col = ix.def.columns[eq_len];
+        let low = match &cons[col].low {
+            None => Bound::Unbounded,
+            Some((v, true)) => Bound::Included(v.clone()),
+            Some((v, false)) => Bound::Excluded(v.clone()),
+        };
+        let high = match &cons[col].high {
+            None => Bound::Unbounded,
+            Some((v, true)) => Bound::Included(v.clone()),
+            Some((v, false)) => Bound::Excluded(v.clone()),
+        };
+        (low, high)
+    } else {
+        (Bound::Unbounded, Bound::Unbounded)
+    };
+    AccessPath::Index { index: pos, prefix, low, high }
+}
+
+/// Materialize the candidate row ids for an access path.
+pub fn candidates(table: &Table, path: &AccessPath) -> Vec<crate::row::RowId> {
+    match path {
+        AccessPath::FullScan => table.scan().map(|(id, _)| id).collect(),
+        AccessPath::Index { index, prefix, low, high } => {
+            let ix = &table.indexes()[*index];
+            if prefix.len() == ix.def.columns.len()
+                && matches!((low, high), (Bound::Unbounded, Bound::Unbounded))
+            {
+                ix.get_eq(&crate::index::IndexKey(prefix.clone())).collect()
+            } else {
+                let mut out = Vec::new();
+                ix.scan_prefix_range(prefix, as_ref(low), as_ref(high), &mut out);
+                out
+            }
+        }
+    }
+}
+
+fn as_ref(b: &Bound<Value>) -> Bound<&Value> {
+    match b {
+        Bound::Unbounded => Bound::Unbounded,
+        Bound::Included(v) => Bound::Included(v),
+        Bound::Excluded(v) => Bound::Excluded(v),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexDef;
+    use crate::predicate::{bind, Expr, Scope};
+    use crate::schema::{ColumnDef, TableSchema};
+    use crate::value::ValueType;
+
+    fn table() -> Table {
+        let schema = TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::auto_id("id"),
+                ColumnDef::required("name", ValueType::Str),
+                ColumnDef::required("version", ValueType::Int),
+                ColumnDef::nullable("score", ValueType::Float),
+            ],
+            &["id"],
+        )
+        .unwrap();
+        let mut t = Table::new(schema);
+        t.create_index(IndexDef { name: "by_name_ver".into(), columns: vec![1, 2], unique: false })
+            .unwrap();
+        for i in 0..20i64 {
+            t.insert(vec![
+                Value::Null,
+                format!("f{}", i % 5).into(),
+                Value::Int(i),
+                Value::Float(i as f64),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    fn plan(t: &Table, where_sql: &Expr) -> AccessPath {
+        let scope = Scope::single(&t.schema);
+        let be = bind(where_sql, &scope, &[]).unwrap();
+        plan_table(t, Some(&be), 0)
+    }
+
+    #[test]
+    fn picks_pk_point_lookup() {
+        let t = table();
+        let p = plan(&t, &Expr::col_eq("id", 3i64));
+        assert!(p.is_point_lookup(&t));
+        assert_eq!(candidates(&t, &p).len(), 1);
+    }
+
+    #[test]
+    fn picks_composite_prefix() {
+        let t = table();
+        let e = Expr::col_eq("name", "f1");
+        let p = plan(&t, &e);
+        match &p {
+            AccessPath::Index { index, prefix, .. } => {
+                assert_eq!(t.indexes()[*index].def.name, "by_name_ver");
+                assert_eq!(prefix.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(candidates(&t, &p).len(), 4); // f1 appears for i=1,6,11,16
+    }
+
+    #[test]
+    fn eq_prefix_plus_range() {
+        let t = table();
+        let e = Expr::And(
+            Box::new(Expr::col_eq("name", "f1")),
+            Box::new(Expr::Cmp(
+                CmpOp::Ge,
+                Box::new(Expr::col("version")),
+                Box::new(Expr::lit(6i64)),
+            )),
+        );
+        let p = plan(&t, &e);
+        match &p {
+            AccessPath::Index { prefix, low, .. } => {
+                assert_eq!(prefix.len(), 1);
+                assert_eq!(*low, Bound::Included(Value::Int(6)));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(candidates(&t, &p).len(), 3); // versions 6, 11, 16
+    }
+
+    #[test]
+    fn full_scan_when_no_index_applies() {
+        let t = table();
+        let e = Expr::col_eq("score", 3.0f64);
+        assert_eq!(plan(&t, &e), AccessPath::FullScan);
+        assert_eq!(plan_table(&t, None, 0), AccessPath::FullScan);
+        assert_eq!(candidates(&t, &AccessPath::FullScan).len(), 20);
+    }
+
+    #[test]
+    fn range_only_on_first_index_column() {
+        let t = table();
+        let e = Expr::Cmp(CmpOp::Lt, Box::new(Expr::col("name")), Box::new(Expr::lit("f1")));
+        match plan(&t, &e) {
+            AccessPath::Index { prefix, high, .. } => {
+                assert!(prefix.is_empty());
+                assert_eq!(high, Bound::Excluded(Value::from("f1")));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn conflicting_bounds_tighten() {
+        let t = table();
+        // version > 3 AND version > 7 -> low bound 7 exclusive (on name-prefixed idx needs name eq too)
+        let e = Expr::and_all(vec![
+            Expr::col_eq("name", "f0"),
+            Expr::Cmp(CmpOp::Gt, Box::new(Expr::col("version")), Box::new(Expr::lit(3i64))),
+            Expr::Cmp(CmpOp::Gt, Box::new(Expr::col("version")), Box::new(Expr::lit(7i64))),
+        ])
+        .unwrap();
+        match plan(&t, &e) {
+            AccessPath::Index { low, .. } => assert_eq!(low, Bound::Excluded(Value::Int(7))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn or_disables_index_use() {
+        let t = table();
+        // OR at the top is not a conjunction of sargables
+        let e = Expr::Or(
+            Box::new(Expr::col_eq("name", "f0")),
+            Box::new(Expr::col_eq("version", 3i64)),
+        );
+        assert_eq!(plan(&t, &e), AccessPath::FullScan);
+    }
+
+    #[test]
+    fn null_literal_not_sargable() {
+        let t = table();
+        let e = Expr::Cmp(
+            CmpOp::Eq,
+            Box::new(Expr::col("name")),
+            Box::new(Expr::Literal(Value::Null)),
+        );
+        assert_eq!(plan(&t, &e), AccessPath::FullScan);
+    }
+}

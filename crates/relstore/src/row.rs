@@ -1,0 +1,19 @@
+//! Rows and row identifiers.
+
+use crate::value::Value;
+
+/// Stable identifier of a row within one table (never reused).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RowId(pub u64);
+
+/// One stored row: values in schema column order.
+pub type Row = Vec<Value>;
+
+/// A row paired with its id, as returned by scans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredRow {
+    /// Stable row id.
+    pub id: RowId,
+    /// Column values in schema order.
+    pub values: Row,
+}

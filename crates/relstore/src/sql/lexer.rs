@@ -1,0 +1,321 @@
+//! SQL tokenizer.
+
+use crate::error::{Error, Result};
+
+/// A lexed token with its byte offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset in the input.
+    pub at: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Bare identifier or keyword (`files`, `SELECT`). Keyword-ness is
+    /// decided by the parser; the lexer just uppercases a copy for matching.
+    Ident(String),
+    /// Back-quoted identifier (`` `weird name` ``) — never a keyword.
+    QuotedIdent(String),
+    /// String literal (single quotes, `''` escape).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `?` parameter placeholder.
+    Param,
+    /// Punctuation / operator.
+    Punct(Punct),
+}
+
+/// Punctuation and operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Punct {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semi,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `*`
+    Star,
+}
+
+/// Tokenize a SQL statement.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let at = i;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // -- line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Token { kind: TokenKind::Punct(Punct::LParen), at });
+                i += 1;
+            }
+            ')' => {
+                out.push(Token { kind: TokenKind::Punct(Punct::RParen), at });
+                i += 1;
+            }
+            ',' => {
+                out.push(Token { kind: TokenKind::Punct(Punct::Comma), at });
+                i += 1;
+            }
+            '.' => {
+                out.push(Token { kind: TokenKind::Punct(Punct::Dot), at });
+                i += 1;
+            }
+            ';' => {
+                out.push(Token { kind: TokenKind::Punct(Punct::Semi), at });
+                i += 1;
+            }
+            '*' => {
+                out.push(Token { kind: TokenKind::Punct(Punct::Star), at });
+                i += 1;
+            }
+            '?' => {
+                out.push(Token { kind: TokenKind::Param, at });
+                i += 1;
+            }
+            '=' => {
+                out.push(Token { kind: TokenKind::Punct(Punct::Eq), at });
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { kind: TokenKind::Punct(Punct::Ne), at });
+                    i += 2;
+                } else {
+                    return Err(Error::LexError { at, msg: "lone `!`".into() });
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    out.push(Token { kind: TokenKind::Punct(Punct::Le), at });
+                    i += 2;
+                }
+                Some(&b'>') => {
+                    out.push(Token { kind: TokenKind::Punct(Punct::Ne), at });
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token { kind: TokenKind::Punct(Punct::Lt), at });
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { kind: TokenKind::Punct(Punct::Ge), at });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Punct(Punct::Gt), at });
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // string literal; '' escapes a quote
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(Error::LexError { at, msg: "unterminated string".into() })
+                        }
+                        Some(&b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(_) => {
+                            // copy one UTF-8 char
+                            let ch_len = utf8_len(bytes[i]);
+                            s.push_str(&input[i..i + ch_len]);
+                            i += ch_len;
+                        }
+                    }
+                }
+                out.push(Token { kind: TokenKind::Str(s), at });
+            }
+            '`' => {
+                let start = i + 1;
+                let end = input[start..]
+                    .find('`')
+                    .ok_or(Error::LexError { at, msg: "unterminated quoted identifier".into() })?;
+                out.push(Token {
+                    kind: TokenKind::QuotedIdent(input[start..start + end].to_owned()),
+                    at,
+                });
+                i = start + end + 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &input[start..i];
+                let kind = if is_float {
+                    TokenKind::Float(
+                        text.parse()
+                            .map_err(|_| Error::LexError { at, msg: format!("bad float `{text}`") })?,
+                    )
+                } else {
+                    TokenKind::Int(
+                        text.parse()
+                            .map_err(|_| Error::LexError { at, msg: format!("bad integer `{text}`") })?,
+                    )
+                };
+                out.push(Token { kind, at });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token { kind: TokenKind::Ident(input[start..i].to_owned()), at });
+            }
+            other => {
+                return Err(Error::LexError { at, msg: format!("unexpected character `{other}`") })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(s: &str) -> Vec<TokenKind> {
+        lex(s).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("SELECT * FROM t WHERE a = 1"),
+            vec![
+                Ident("SELECT".into()),
+                Punct(super::Punct::Star),
+                Ident("FROM".into()),
+                Ident("t".into()),
+                Ident("WHERE".into()),
+                Ident("a".into()),
+                Punct(super::Punct::Eq),
+                Int(1),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(kinds("'it''s'"), vec![TokenKind::Str("it's".into())]);
+        assert_eq!(kinds("'héllo'"), vec![TokenKind::Str("héllo".into())]);
+        assert!(lex("'unterminated").is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42"), vec![TokenKind::Int(42)]);
+        assert_eq!(kinds("4.5"), vec![TokenKind::Float(4.5)]);
+        assert_eq!(kinds("1e3"), vec![TokenKind::Float(1000.0)]);
+        assert_eq!(kinds("1.5e-2"), vec![TokenKind::Float(0.015)]);
+        // `1.x` lexes as Int Dot Ident (qualified-name digits never occur,
+        // but the lexer must not panic)
+        assert_eq!(kinds("1.")[0], TokenKind::Int(1));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        use Punct::*;
+        let ks = kinds("< <= > >= <> != =");
+        let ps: Vec<Punct> = ks
+            .into_iter()
+            .map(|k| match k {
+                TokenKind::Punct(p) => p,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(ps, vec![Lt, Le, Gt, Ge, Ne, Ne, Eq]);
+    }
+
+    #[test]
+    fn comments_and_params() {
+        assert_eq!(
+            kinds("a -- comment\n ?"),
+            vec![TokenKind::Ident("a".into()), TokenKind::Param]
+        );
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        assert_eq!(kinds("`weird name`"), vec![TokenKind::QuotedIdent("weird name".into())]);
+        assert!(lex("`open").is_err());
+    }
+}

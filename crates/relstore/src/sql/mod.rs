@@ -1,0 +1,8 @@
+//! SQL front end: lexer, AST, and recursive-descent parser.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::Statement;
+pub use parser::parse;

@@ -1,0 +1,398 @@
+//! Heap storage for one table plus its indexes.
+
+use crate::error::{Error, Result};
+use crate::index::{Index, IndexDef, IndexKey};
+use crate::row::{Row, RowId};
+use crate::schema::TableSchema;
+use crate::value::Value;
+
+/// A table: schema, row heap, and indexes. Row ids are slot numbers in the
+/// heap and are never reused, so deleted rows leave `None` tombstones
+/// (compacted storage is not needed for the MCS workloads, which keep
+/// database size roughly constant).
+#[derive(Debug)]
+pub struct Table {
+    /// The table's schema.
+    pub schema: TableSchema,
+    rows: Vec<Option<Row>>,
+    live: usize,
+    indexes: Vec<Index>,
+    /// Next value handed out per AUTO_INCREMENT column (indexed by column
+    /// position; non-auto columns keep 0).
+    auto_next: Vec<i64>,
+    last_auto: Option<i64>,
+}
+
+impl Table {
+    /// Create an empty table. Declares a unique `pk_<table>` index if the
+    /// schema has a primary key.
+    pub fn new(schema: TableSchema) -> Table {
+        let auto_next = vec![1; schema.columns.len()];
+        let mut t = Table {
+            rows: Vec::new(),
+            live: 0,
+            indexes: Vec::new(),
+            auto_next,
+            last_auto: None,
+            schema,
+        };
+        if !t.schema.primary_key.is_empty() {
+            let def = IndexDef {
+                name: format!("pk_{}", t.schema.name),
+                columns: t.schema.primary_key.clone(),
+                unique: true,
+            };
+            t.indexes.push(Index::new(def));
+        }
+        t
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if the table has no live rows.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// The value assigned by the most recent AUTO_INCREMENT insert.
+    pub fn last_auto_value(&self) -> Option<i64> {
+        self.last_auto
+    }
+
+    /// Add a secondary index, building it from existing rows. Fails (and
+    /// leaves the table unchanged) if `unique` is violated by current data.
+    pub fn create_index(&mut self, def: IndexDef) -> Result<()> {
+        if self.indexes.iter().any(|ix| ix.def.name.eq_ignore_ascii_case(&def.name)) {
+            return Err(Error::IndexExists(def.name));
+        }
+        for &c in &def.columns {
+            if c >= self.schema.arity() {
+                return Err(Error::NoSuchColumn(format!("{}[{}]", self.schema.name, c)));
+            }
+        }
+        let mut ix = Index::new(def);
+        for (slot, row) in self.rows.iter().enumerate() {
+            if let Some(row) = row {
+                let key = ix.key_of(row);
+                ix.check_unique(&key)?;
+                ix.insert(key, RowId(slot as u64));
+            }
+        }
+        self.indexes.push(ix);
+        Ok(())
+    }
+
+    /// Drop an index by name. The primary-key index cannot be dropped.
+    pub fn drop_index(&mut self, name: &str) -> Result<()> {
+        let pos = self
+            .indexes
+            .iter()
+            .position(|ix| ix.def.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| Error::NoSuchIndex(name.to_owned()))?;
+        if self.indexes[pos].def.name == format!("pk_{}", self.schema.name) {
+            return Err(Error::ExecError(format!("cannot drop primary key of `{}`", self.schema.name)));
+        }
+        self.indexes.remove(pos);
+        Ok(())
+    }
+
+    /// All indexes on this table.
+    pub fn indexes(&self) -> &[Index] {
+        &self.indexes
+    }
+
+    /// Find an index by name.
+    pub fn index(&self, name: &str) -> Option<&Index> {
+        self.indexes.iter().find(|ix| ix.def.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Validate a full row (schema order) and fill AUTO_INCREMENT slots.
+    fn prepare_row(&mut self, values: Vec<Value>) -> Result<Row> {
+        if values.len() != self.schema.arity() {
+            return Err(Error::ExecError(format!(
+                "table `{}` has {} columns, {} values given",
+                self.schema.name,
+                self.schema.arity(),
+                values.len()
+            )));
+        }
+        let mut row = Vec::with_capacity(values.len());
+        for (i, v) in values.into_iter().enumerate() {
+            let col = &self.schema.columns[i];
+            let v = col.check(v)?;
+            if v.is_null() && col.auto_increment {
+                let next = self.auto_next[i];
+                self.auto_next[i] = next + 1;
+                self.last_auto = Some(next);
+                row.push(Value::Int(next));
+            } else {
+                if let (Value::Int(given), true) = (&v, col.auto_increment) {
+                    // Explicit value supplied for an auto column: advance
+                    // the counter past it, as MySQL does.
+                    if *given >= self.auto_next[i] {
+                        self.auto_next[i] = given + 1;
+                    }
+                }
+                row.push(v);
+            }
+        }
+        Ok(row)
+    }
+
+    /// Insert a row (values in schema order; use [`Value::Null`] to request
+    /// AUTO_INCREMENT or a default). Returns the new row id.
+    pub fn insert(&mut self, values: Vec<Value>) -> Result<RowId> {
+        let row = self.prepare_row(values)?;
+        // Validate all unique indexes before touching any of them, so a
+        // failed insert leaves every index unchanged.
+        let keys: Vec<IndexKey> = self.indexes.iter().map(|ix| ix.key_of(&row)).collect();
+        for (ix, key) in self.indexes.iter().zip(&keys) {
+            ix.check_unique(key)?;
+        }
+        let id = RowId(self.rows.len() as u64);
+        for (ix, key) in self.indexes.iter_mut().zip(keys) {
+            ix.insert(key, id);
+        }
+        self.rows.push(Some(row));
+        self.live += 1;
+        Ok(id)
+    }
+
+    /// Re-insert a previously deleted row at its original id (transaction
+    /// rollback of a DELETE). The slot must be a tombstone.
+    pub(crate) fn undelete(&mut self, id: RowId, row: Row) -> Result<()> {
+        let slot = self
+            .rows
+            .get_mut(id.0 as usize)
+            .ok_or(Error::NoSuchRow(id.0))?;
+        if slot.is_some() {
+            return Err(Error::ExecError(format!("slot {} is occupied", id.0)));
+        }
+        for ix in &mut self.indexes {
+            let key = ix.key_of(&row);
+            ix.insert(key, id);
+        }
+        *slot = Some(row);
+        self.live += 1;
+        Ok(())
+    }
+
+    /// Delete a row by id, returning the removed values (for undo logs).
+    pub fn delete(&mut self, id: RowId) -> Result<Row> {
+        let slot = self
+            .rows
+            .get_mut(id.0 as usize)
+            .ok_or(Error::NoSuchRow(id.0))?;
+        let row = slot.take().ok_or(Error::NoSuchRow(id.0))?;
+        self.live -= 1;
+        for ix in &mut self.indexes {
+            let key = ix.key_of(&row);
+            ix.remove(&key, id);
+        }
+        Ok(row)
+    }
+
+    /// Replace a row's values, returning the old values (for undo logs).
+    pub fn update(&mut self, id: RowId, values: Vec<Value>) -> Result<Row> {
+        let old = self
+            .rows
+            .get(id.0 as usize)
+            .and_then(Option::as_ref)
+            .ok_or(Error::NoSuchRow(id.0))?
+            .clone();
+        let new = self.prepare_row(values)?;
+        // Uniqueness: only keys that actually change can conflict.
+        let changes: Vec<(usize, IndexKey, IndexKey)> = self
+            .indexes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, ix)| {
+                let old_key = ix.key_of(&old);
+                let new_key = ix.key_of(&new);
+                (old_key != new_key).then_some((i, old_key, new_key))
+            })
+            .collect();
+        for (i, _, new_key) in &changes {
+            self.indexes[*i].check_unique(new_key)?;
+        }
+        for (i, old_key, new_key) in changes {
+            self.indexes[i].remove(&old_key, id);
+            self.indexes[i].insert(new_key, id);
+        }
+        self.rows[id.0 as usize] = Some(new);
+        Ok(old)
+    }
+
+    /// Fetch a row by id.
+    pub fn get(&self, id: RowId) -> Option<&Row> {
+        self.rows.get(id.0 as usize).and_then(Option::as_ref)
+    }
+
+    /// Iterate all live rows in slot order.
+    pub fn scan(&self) -> impl Iterator<Item = (RowId, &Row)> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().map(|row| (RowId(i as u64), row)))
+    }
+
+    /// Internal integrity check used by property tests: every index entry
+    /// points at a live row with a matching key, and every live row appears
+    /// exactly once in every index.
+    pub fn check_integrity(&self) -> Result<()> {
+        for ix in &self.indexes {
+            let mut seen = 0usize;
+            for (key, ids) in ix.iter() {
+                for &id in ids {
+                    let row = self
+                        .get(id)
+                        .ok_or_else(|| Error::ExecError(format!("index `{}` points at dead row {}", ix.def.name, id.0)))?;
+                    if &ix.key_of(row) != key {
+                        return Err(Error::ExecError(format!(
+                            "index `{}` key mismatch for row {}",
+                            ix.def.name, id.0
+                        )));
+                    }
+                    seen += 1;
+                }
+            }
+            if seen != self.live {
+                return Err(Error::ExecError(format!(
+                    "index `{}` has {} entries for {} live rows",
+                    ix.def.name, seen, self.live
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::value::ValueType;
+
+    fn table() -> Table {
+        let schema = TableSchema::new(
+            "files",
+            vec![
+                ColumnDef::auto_id("id"),
+                ColumnDef::required("name", ValueType::Str),
+                ColumnDef::nullable("size", ValueType::Int),
+            ],
+            &["id"],
+        )
+        .unwrap();
+        let mut t = Table::new(schema);
+        t.create_index(IndexDef { name: "by_name".into(), columns: vec![1], unique: true })
+            .unwrap();
+        t
+    }
+
+    #[test]
+    fn insert_auto_increment() {
+        let mut t = table();
+        let id1 = t.insert(vec![Value::Null, "a".into(), Value::Int(1)]).unwrap();
+        let id2 = t.insert(vec![Value::Null, "b".into(), Value::Null]).unwrap();
+        assert_ne!(id1, id2);
+        assert_eq!(t.get(id1).unwrap()[0], Value::Int(1));
+        assert_eq!(t.get(id2).unwrap()[0], Value::Int(2));
+        assert_eq!(t.last_auto_value(), Some(2));
+        assert_eq!(t.len(), 2);
+        t.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn explicit_auto_value_advances_counter() {
+        let mut t = table();
+        t.insert(vec![Value::Int(10), "a".into(), Value::Null]).unwrap();
+        let id = t.insert(vec![Value::Null, "b".into(), Value::Null]).unwrap();
+        assert_eq!(t.get(id).unwrap()[0], Value::Int(11));
+    }
+
+    #[test]
+    fn unique_index_rejects_duplicates_atomically() {
+        let mut t = table();
+        t.insert(vec![Value::Null, "a".into(), Value::Null]).unwrap();
+        let err = t.insert(vec![Value::Null, "a".into(), Value::Null]);
+        assert!(matches!(err, Err(Error::UniqueViolation { .. })));
+        // failed insert must not leave partial index entries
+        t.check_integrity().unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn delete_and_undelete() {
+        let mut t = table();
+        let id = t.insert(vec![Value::Null, "a".into(), Value::Int(5)]).unwrap();
+        let row = t.delete(id).unwrap();
+        assert_eq!(t.len(), 0);
+        assert!(t.get(id).is_none());
+        assert!(t.delete(id).is_err());
+        t.undelete(id, row).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(id).unwrap()[1], "a".into());
+        t.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn update_maintains_indexes() {
+        let mut t = table();
+        let id = t.insert(vec![Value::Null, "a".into(), Value::Int(5)]).unwrap();
+        t.insert(vec![Value::Null, "b".into(), Value::Null]).unwrap();
+        // renaming a -> b collides on the unique name index
+        let err = t.update(id, vec![Value::Int(1), "b".into(), Value::Int(5)]);
+        assert!(matches!(err, Err(Error::UniqueViolation { .. })));
+        t.check_integrity().unwrap();
+        // renaming a -> c works
+        let old = t.update(id, vec![Value::Int(1), "c".into(), Value::Int(6)]).unwrap();
+        assert_eq!(old[1], "a".into());
+        t.check_integrity().unwrap();
+        let ix = t.index("by_name").unwrap();
+        assert_eq!(ix.get_eq(&IndexKey(vec!["c".into()])).collect::<Vec<_>>(), vec![id]);
+        assert_eq!(ix.count_eq(&IndexKey(vec!["a".into()])), 0);
+    }
+
+    #[test]
+    fn update_same_key_no_self_collision() {
+        let mut t = table();
+        let id = t.insert(vec![Value::Null, "a".into(), Value::Int(5)]).unwrap();
+        // same unique key, different other column: must not self-collide
+        t.update(id, vec![Value::Int(1), "a".into(), Value::Int(9)]).unwrap();
+        assert_eq!(t.get(id).unwrap()[2], Value::Int(9));
+    }
+
+    #[test]
+    fn create_index_on_existing_data_checks_unique() {
+        let mut t = table();
+        t.insert(vec![Value::Null, "a".into(), Value::Int(1)]).unwrap();
+        t.insert(vec![Value::Null, "b".into(), Value::Int(1)]).unwrap();
+        let err = t.create_index(IndexDef { name: "u_size".into(), columns: vec![2], unique: true });
+        assert!(err.is_err());
+        // non-unique works
+        t.create_index(IndexDef { name: "by_size".into(), columns: vec![2], unique: false })
+            .unwrap();
+        t.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        let mut t = table();
+        assert!(t.insert(vec![Value::Null, "a".into()]).is_err());
+    }
+
+    #[test]
+    fn scan_skips_tombstones() {
+        let mut t = table();
+        let a = t.insert(vec![Value::Null, "a".into(), Value::Null]).unwrap();
+        t.insert(vec![Value::Null, "b".into(), Value::Null]).unwrap();
+        t.delete(a).unwrap();
+        let names: Vec<String> =
+            t.scan().map(|(_, r)| r[1].to_string()).collect();
+        assert_eq!(names, vec!["b"]);
+    }
+}

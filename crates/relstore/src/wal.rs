@@ -1,0 +1,605 @@
+//! Durability: write-ahead logging and snapshots.
+//!
+//! MySQL — the backend the original MCS ran on — survives restarts; an
+//! in-memory stand-in needs an explicit persistence story to be a fair
+//! substitute. `relstore` uses *logical* write-ahead logging: every write
+//! statement (SQL text + parameters) is appended to a checksummed log
+//! before it executes, and a *snapshot* serializes full table contents so
+//! the log can be truncated. Recovery = load snapshot, replay log;
+//! statements are deterministic, so replay converges to the pre-crash
+//! state. Torn tails (a crash mid-append) are detected by the per-record
+//! checksum and cleanly ignored.
+//!
+//! ```
+//! use relstore::{Database, Value};
+//! use relstore::wal::SyncPolicy;
+//! let dir = std::env::temp_dir().join(format!("relstore-doc-{}", std::process::id()));
+//! let db = Database::open_durable(&dir, SyncPolicy::EveryWrite).unwrap();
+//! db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY AUTO_INCREMENT, v VARCHAR(16))", &[]).unwrap();
+//! db.execute("INSERT INTO t (v) VALUES (?)", &[Value::from("persisted")]).unwrap();
+//! drop(db);
+//! let db = Database::open_durable(&dir, SyncPolicy::EveryWrite).unwrap();
+//! let rs = db.query("SELECT v FROM t", &[]).unwrap();
+//! assert_eq!(rs.rows[0][0], Value::from("persisted"));
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::db::Database;
+use crate::error::{Error, Result};
+use crate::index::IndexDef;
+use crate::schema::{ColumnDef, TableSchema};
+use crate::table::Table;
+use crate::value::{Date, DateTime, Time, Value, ValueType};
+
+/// How aggressively the log reaches stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// `fsync` after every write statement (safest, slowest) — the
+    /// equivalent of `innodb_flush_log_at_trx_commit = 1`.
+    EveryWrite,
+    /// Let the OS flush; data survives process crashes but not power
+    /// loss (MyISAM-era reality).
+    OsBuffered,
+}
+
+/// Log file name inside the durability directory.
+pub const WAL_FILE: &str = "wal.log";
+/// Snapshot file name inside the durability directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.db";
+
+// ---------- binary value encoding ----------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn corrupt(what: &str) -> Error {
+        Error::ExecError(format!("corrupt durability file: {what}"))
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(Self::corrupt("truncated"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| Self::corrupt("non-utf8 string"))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// Append one value's binary encoding.
+pub(crate) fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Int(i) => {
+            out.push(1);
+            put_u64(out, *i as u64);
+        }
+        Value::Float(f) => {
+            out.push(2);
+            put_u64(out, f.to_bits());
+        }
+        Value::Str(s) => {
+            out.push(3);
+            put_str(out, s);
+        }
+        Value::Bool(b) => out.push(if *b { 5 } else { 4 }),
+        Value::Date(d) => {
+            out.push(6);
+            put_u64(out, d.days_from_epoch() as u64);
+        }
+        Value::Time(t) => {
+            out.push(7);
+            put_u32(out, t.seconds_from_midnight());
+        }
+        Value::DateTime(dt) => {
+            out.push(8);
+            put_u64(out, dt.seconds_from_epoch() as u64);
+        }
+    }
+}
+
+fn decode_value(c: &mut Cursor<'_>) -> Result<Value> {
+    Ok(match c.u8()? {
+        0 => Value::Null,
+        1 => Value::Int(c.u64()? as i64),
+        2 => Value::Float(f64::from_bits(c.u64()?)),
+        3 => Value::Str(c.str()?.into()),
+        4 => Value::Bool(false),
+        5 => Value::Bool(true),
+        6 => Value::Date(Date::from_days_from_epoch(c.u64()? as i64)),
+        7 => {
+            let s = c.u32()?;
+            Value::Time(
+                Time::new((s / 3600) as u8, ((s % 3600) / 60) as u8, (s % 60) as u8)
+                    .map_err(|_| Cursor::corrupt("bad time"))?,
+            )
+        }
+        8 => Value::DateTime(DateTime::from_seconds_from_epoch(c.u64()? as i64)),
+        _ => return Err(Cursor::corrupt("unknown value tag")),
+    })
+}
+
+fn type_code(t: ValueType) -> u8 {
+    match t {
+        ValueType::Int => 0,
+        ValueType::Float => 1,
+        ValueType::Str => 2,
+        ValueType::Bool => 3,
+        ValueType::Date => 4,
+        ValueType::Time => 5,
+        ValueType::DateTime => 6,
+    }
+}
+
+fn type_from(c: u8) -> Result<ValueType> {
+    Ok(match c {
+        0 => ValueType::Int,
+        1 => ValueType::Float,
+        2 => ValueType::Str,
+        3 => ValueType::Bool,
+        4 => ValueType::Date,
+        5 => ValueType::Time,
+        6 => ValueType::DateTime,
+        _ => return Err(Cursor::corrupt("unknown type code")),
+    })
+}
+
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+// ---------- the write-ahead log ----------
+
+/// Appends write statements to the log file.
+#[derive(Debug)]
+pub(crate) struct WalWriter {
+    file: BufWriter<File>,
+    policy: SyncPolicy,
+}
+
+impl WalWriter {
+    fn open_append(path: &Path, policy: SyncPolicy) -> Result<WalWriter> {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| Error::ExecError(format!("open wal: {e}")))?;
+        Ok(WalWriter { file: BufWriter::new(file), policy })
+    }
+
+    /// Append one (sql, params) record: `[len][checksum][payload]`.
+    pub(crate) fn append(&mut self, sql: &str, params: &[Value]) -> Result<()> {
+        let mut payload = Vec::with_capacity(sql.len() + 16);
+        put_str(&mut payload, sql);
+        put_u32(&mut payload, params.len() as u32);
+        for p in params {
+            encode_value(p, &mut payload);
+        }
+        let mut rec = Vec::with_capacity(payload.len() + 12);
+        put_u32(&mut rec, payload.len() as u32);
+        put_u64(&mut rec, fnv1a(&payload));
+        rec.extend_from_slice(&payload);
+        self.file
+            .write_all(&rec)
+            .map_err(|e| Error::ExecError(format!("wal append: {e}")))?;
+        self.file.flush().map_err(|e| Error::ExecError(format!("wal flush: {e}")))?;
+        if self.policy == SyncPolicy::EveryWrite {
+            self.file
+                .get_ref()
+                .sync_data()
+                .map_err(|e| Error::ExecError(format!("wal sync: {e}")))?;
+        }
+        Ok(())
+    }
+}
+
+/// Read all intact records from a log; a torn tail ends replay cleanly.
+fn read_wal(path: &Path) -> Result<Vec<(String, Vec<Value>)>> {
+    let mut out = Vec::new();
+    let Ok(file) = File::open(path) else { return Ok(out) };
+    let mut r = BufReader::new(file);
+    let mut header = [0u8; 12];
+    loop {
+        match r.read_exact(&mut header) {
+            Ok(()) => {}
+            Err(_) => break, // clean or torn end-of-log
+        }
+        let len = u32::from_le_bytes(header[0..4].try_into().expect("4")) as usize;
+        let checksum = u64::from_le_bytes(header[4..12].try_into().expect("8"));
+        if len > 64 * 1024 * 1024 {
+            break; // implausible length: torn record
+        }
+        let mut payload = vec![0u8; len];
+        if r.read_exact(&mut payload).is_err() {
+            break; // torn tail
+        }
+        if fnv1a(&payload) != checksum {
+            break; // corrupt tail
+        }
+        let mut c = Cursor::new(&payload);
+        let sql = c.str()?;
+        let n = c.u32()? as usize;
+        let mut params = Vec::with_capacity(n);
+        for _ in 0..n {
+            params.push(decode_value(&mut c)?);
+        }
+        out.push((sql, params));
+    }
+    Ok(out)
+}
+
+// ---------- snapshots ----------
+
+fn snapshot_bytes(db: &Database) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(4096);
+    out.extend_from_slice(b"RSSNAP01");
+    let names = db.table_names();
+    put_u32(&mut out, names.len() as u32);
+    for name in names {
+        let handle = db.table(&name)?;
+        let t = handle.read();
+        // schema
+        put_str(&mut out, &t.schema.name);
+        put_u32(&mut out, t.schema.columns.len() as u32);
+        for col in &t.schema.columns {
+            put_str(&mut out, &col.name);
+            out.push(type_code(col.ty));
+            out.push(u8::from(col.nullable));
+            put_u32(&mut out, col.max_len.map_or(u32::MAX, |m| m as u32));
+            match &col.default {
+                None => out.push(0),
+                Some(v) => {
+                    out.push(1);
+                    encode_value(v, &mut out);
+                }
+            }
+            out.push(u8::from(col.auto_increment));
+        }
+        put_u32(&mut out, t.schema.primary_key.len() as u32);
+        for &pk in &t.schema.primary_key {
+            put_u32(&mut out, pk as u32);
+        }
+        // secondary indexes (the implicit pk index is rebuilt by Table::new)
+        let pk_name = format!("pk_{}", t.schema.name);
+        let secondary: Vec<&IndexDef> = t
+            .indexes()
+            .iter()
+            .map(|ix| &ix.def)
+            .filter(|d| d.name != pk_name)
+            .collect();
+        put_u32(&mut out, secondary.len() as u32);
+        for d in secondary {
+            put_str(&mut out, &d.name);
+            out.push(u8::from(d.unique));
+            put_u32(&mut out, d.columns.len() as u32);
+            for &c in &d.columns {
+                put_u32(&mut out, c as u32);
+            }
+        }
+        // rows
+        put_u32(&mut out, t.len() as u32);
+        for (_, row) in t.scan() {
+            for v in row {
+                encode_value(v, &mut out);
+            }
+        }
+    }
+    let checksum = fnv1a(&out);
+    put_u64(&mut out, checksum);
+    Ok(out)
+}
+
+fn load_snapshot(db: &Database, bytes: &[u8]) -> Result<()> {
+    if bytes.len() < 16 || &bytes[..8] != b"RSSNAP01" {
+        return Err(Cursor::corrupt("bad snapshot magic"));
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().expect("8"));
+    if fnv1a(body) != stored {
+        return Err(Cursor::corrupt("snapshot checksum mismatch"));
+    }
+    let mut c = Cursor::new(&body[8..]);
+    let n_tables = c.u32()?;
+    for _ in 0..n_tables {
+        let name = c.str()?;
+        let n_cols = c.u32()?;
+        let mut cols = Vec::with_capacity(n_cols as usize);
+        for _ in 0..n_cols {
+            let cname = c.str()?;
+            let ty = type_from(c.u8()?)?;
+            let nullable = c.u8()? == 1;
+            let max_len = match c.u32()? {
+                u32::MAX => None,
+                m => Some(m as usize),
+            };
+            let default = match c.u8()? {
+                0 => None,
+                _ => Some(decode_value(&mut c)?),
+            };
+            let auto_increment = c.u8()? == 1;
+            cols.push(ColumnDef { name: cname, ty, nullable, max_len, default, auto_increment });
+        }
+        let n_pk = c.u32()?;
+        let mut pk_cols = Vec::with_capacity(n_pk as usize);
+        for _ in 0..n_pk {
+            pk_cols.push(c.u32()? as usize);
+        }
+        let mut schema = TableSchema::new(&name, cols, &[])?;
+        schema.primary_key = pk_cols;
+        let arity = schema.arity();
+        let mut table = Table::new(schema);
+        let n_ix = c.u32()?;
+        for _ in 0..n_ix {
+            let ix_name = c.str()?;
+            let unique = c.u8()? == 1;
+            let n = c.u32()?;
+            let mut columns = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                columns.push(c.u32()? as usize);
+            }
+            table.create_index(IndexDef { name: ix_name, unique, columns })?;
+        }
+        let n_rows = c.u32()?;
+        for _ in 0..n_rows {
+            let mut row = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                row.push(decode_value(&mut c)?);
+            }
+            table.insert(row)?;
+        }
+        db.add_table(table)?;
+    }
+    if !c.done() {
+        return Err(Cursor::corrupt("trailing bytes in snapshot"));
+    }
+    Ok(())
+}
+
+impl Database {
+    /// Open (or create) a durable database rooted at `dir`: load the
+    /// snapshot if present, replay the write-ahead log, and attach a log
+    /// writer so subsequent writes persist.
+    pub fn open_durable(dir: impl AsRef<Path>, policy: SyncPolicy) -> Result<Arc<Database>> {
+        let dir: PathBuf = dir.as_ref().to_owned();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| Error::ExecError(format!("create {dir:?}: {e}")))?;
+        let db = Arc::new(Database::new());
+        let snap_path = dir.join(SNAPSHOT_FILE);
+        if let Ok(bytes) = std::fs::read(&snap_path) {
+            load_snapshot(&db, &bytes)?;
+        }
+        for (sql, params) in read_wal(&dir.join(WAL_FILE))? {
+            // Deterministic replay: a statement that failed originally
+            // fails again; both outcomes reproduce the pre-crash state.
+            let _ = db.execute(&sql, &params);
+        }
+        db.attach_wal(WalWriter::open_append(&dir.join(WAL_FILE), policy)?, dir);
+        Ok(db)
+    }
+
+    /// Write a snapshot of the current state and truncate the log
+    /// (checkpoint). Pauses logging for the duration. No-op on a
+    /// non-durable database.
+    pub fn checkpoint(&self) -> Result<()> {
+        let Some(dir) = self.durable_dir() else {
+            return Err(Error::ExecError("checkpoint on a non-durable database".into()));
+        };
+        // Hold the WAL lock across the whole checkpoint so no write can
+        // slip between snapshot and truncation.
+        let mut wal = self.wal_lock();
+        let bytes = snapshot_bytes(self)?;
+        let tmp = dir.join("snapshot.tmp");
+        std::fs::write(&tmp, &bytes).map_err(|e| Error::ExecError(format!("snapshot: {e}")))?;
+        std::fs::rename(&tmp, dir.join(SNAPSHOT_FILE))
+            .map_err(|e| Error::ExecError(format!("snapshot rename: {e}")))?;
+        let policy = wal.as_ref().map_or(SyncPolicy::OsBuffered, |w| w.policy);
+        std::fs::write(dir.join(WAL_FILE), b"")
+            .map_err(|e| Error::ExecError(format!("wal truncate: {e}")))?;
+        *wal = Some(WalWriter::open_append(&dir.join(WAL_FILE), policy)?);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "relstore-wal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn seed(db: &Database) {
+        db.execute_script(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY AUTO_INCREMENT,
+                             name VARCHAR(32) NOT NULL, v INTEGER);
+             CREATE UNIQUE INDEX t_name ON t (name);",
+        )
+        .unwrap();
+        db.execute("INSERT INTO t (name, v) VALUES ('a', 1), ('b', 2)", &[]).unwrap();
+    }
+
+    #[test]
+    fn reopen_replays_log() {
+        let dir = tmpdir("replay");
+        {
+            let db = Database::open_durable(&dir, SyncPolicy::EveryWrite).unwrap();
+            seed(&db);
+            db.execute("UPDATE t SET v = 9 WHERE name = 'a'", &[]).unwrap();
+            db.execute("DELETE FROM t WHERE name = 'b'", &[]).unwrap();
+        } // "crash": no checkpoint
+        let db = Database::open_durable(&dir, SyncPolicy::EveryWrite).unwrap();
+        let rs = db.query("SELECT name, v FROM t", &[]).unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::from("a"), Value::Int(9)]]);
+        // indexes rebuilt and functional
+        assert!(db.execute("INSERT INTO t (name) VALUES ('a')", &[]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_truncates_and_recovers() {
+        let dir = tmpdir("ckpt");
+        {
+            let db = Database::open_durable(&dir, SyncPolicy::OsBuffered).unwrap();
+            seed(&db);
+            db.checkpoint().unwrap();
+            let wal_len = std::fs::metadata(dir.join(WAL_FILE)).unwrap().len();
+            assert_eq!(wal_len, 0, "checkpoint must truncate the log");
+            db.execute("INSERT INTO t (name, v) VALUES ('c', 3)", &[]).unwrap();
+        }
+        let db = Database::open_durable(&dir, SyncPolicy::OsBuffered).unwrap();
+        let rs = db.query("SELECT COUNT(*) FROM t", &[]).unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(3)); // snapshot (2) + log (1)
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_ignored() {
+        let dir = tmpdir("torn");
+        {
+            let db = Database::open_durable(&dir, SyncPolicy::EveryWrite).unwrap();
+            seed(&db);
+        }
+        // simulate a crash mid-append: garbage half-record at the tail
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(dir.join(WAL_FILE)).unwrap();
+            f.write_all(&[0x55; 7]).unwrap();
+        }
+        let db = Database::open_durable(&dir, SyncPolicy::EveryWrite).unwrap();
+        let rs = db.query("SELECT COUNT(*) FROM t", &[]).unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(2));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn all_value_types_survive_snapshot() {
+        let dir = tmpdir("types");
+        {
+            let db = Database::open_durable(&dir, SyncPolicy::EveryWrite).unwrap();
+            db.execute_script(
+                "CREATE TABLE v (i INTEGER, f DOUBLE, s TEXT, b BOOLEAN,
+                                 d DATE, t TIME, dt DATETIME)",
+            )
+            .unwrap();
+            db.execute(
+                "INSERT INTO v VALUES (?, ?, ?, ?, DATE '2003-11-15', ?, ?)",
+                &[
+                    Value::Int(-5),
+                    Value::Float(2.5),
+                    Value::from("strings & <xml>"),
+                    Value::Bool(true),
+                    Value::parse_as("23:59:59", ValueType::Time).unwrap(),
+                    Value::parse_as("2003-11-15 08:00:00", ValueType::DateTime).unwrap(),
+                ],
+            )
+            .unwrap();
+            db.execute("INSERT INTO v (i) VALUES (NULL)", &[]).unwrap();
+            db.checkpoint().unwrap();
+        }
+        let db = Database::open_durable(&dir, SyncPolicy::EveryWrite).unwrap();
+        let rs = db.query("SELECT * FROM v ORDER BY i DESC", &[]).unwrap();
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.rows[0][0], Value::Int(-5));
+        assert_eq!(rs.rows[0][2], Value::from("strings & <xml>"));
+        assert!(matches!(rs.rows[0][4], Value::Date(_)));
+        assert!(matches!(rs.rows[0][6], Value::DateTime(_)));
+        assert!(rs.rows[1].iter().all(Value::is_null));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn auto_increment_continues_after_recovery() {
+        let dir = tmpdir("autoinc");
+        {
+            let db = Database::open_durable(&dir, SyncPolicy::EveryWrite).unwrap();
+            seed(&db);
+            db.execute("DELETE FROM t WHERE name = 'b'", &[]).unwrap();
+        }
+        let db = Database::open_durable(&dir, SyncPolicy::EveryWrite).unwrap();
+        let r = db.execute("INSERT INTO t (name) VALUES ('c')", &[]).unwrap();
+        // id 2 was used by 'b' before deletion; replay of the original
+        // inserts advances the counter past it
+        assert_eq!(r.last_insert_id, Some(3));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_requires_durability() {
+        let db = Database::new();
+        assert!(db.checkpoint().is_err());
+    }
+
+    #[test]
+    fn failed_statements_replay_harmlessly() {
+        let dir = tmpdir("failed");
+        {
+            let db = Database::open_durable(&dir, SyncPolicy::EveryWrite).unwrap();
+            seed(&db);
+            // logged (write-ahead) but fails: duplicate key
+            assert!(db.execute("INSERT INTO t (name) VALUES ('a')", &[]).is_err());
+            db.execute("INSERT INTO t (name) VALUES ('c')", &[]).unwrap();
+        }
+        let db = Database::open_durable(&dir, SyncPolicy::EveryWrite).unwrap();
+        let rs = db.query("SELECT COUNT(*) FROM t", &[]).unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(3));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

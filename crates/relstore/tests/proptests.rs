@@ -1,0 +1,212 @@
+//! Property-based tests for the storage engine's core invariants.
+
+use proptest::prelude::*;
+use relstore::predicate::like_match;
+use relstore::{
+    ColumnDef, Database, Date, DateTime, IndexDef, Table, TableSchema, Value, ValueType,
+};
+use std::sync::Arc;
+
+// ---------- LIKE vs a reference implementation ----------
+
+/// Naive recursive reference for LIKE.
+fn like_ref(s: &[char], p: &[char]) -> bool {
+    match p.first() {
+        None => s.is_empty(),
+        Some('%') => {
+            (0..=s.len()).any(|k| like_ref(&s[k..], &p[1..]))
+        }
+        Some('_') => !s.is_empty() && like_ref(&s[1..], &p[1..]),
+        Some(c) => s.first() == Some(c) && like_ref(&s[1..], &p[1..]),
+    }
+}
+
+proptest! {
+    #[test]
+    fn like_matches_reference(s in "[abc_%]{0,12}", p in "[abc_%]{0,8}") {
+        let sc: Vec<char> = s.chars().collect();
+        let pc: Vec<char> = p.chars().collect();
+        prop_assert_eq!(like_match(&s, &p), like_ref(&sc, &pc));
+    }
+}
+
+// ---------- civil date arithmetic ----------
+
+proptest! {
+    #[test]
+    fn date_epoch_roundtrip(z in -1_000_000i64..1_000_000) {
+        let d = Date::from_days_from_epoch(z);
+        prop_assert_eq!(d.days_from_epoch(), z);
+        // components must be valid
+        prop_assert!(Date::new(d.year, d.month, d.day).is_ok());
+    }
+
+    #[test]
+    fn date_epoch_monotonic(z in -500_000i64..500_000) {
+        let a = Date::from_days_from_epoch(z);
+        let b = Date::from_days_from_epoch(z + 1);
+        prop_assert!(a < b);
+    }
+
+    #[test]
+    fn datetime_epoch_roundtrip(s in -50_000_000_000i64..50_000_000_000) {
+        let dt = DateTime::from_seconds_from_epoch(s);
+        prop_assert_eq!(dt.seconds_from_epoch(), s);
+    }
+}
+
+// ---------- value ordering is a total order ----------
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        "[a-z]{0,6}".prop_map(Value::from),
+        any::<bool>().prop_map(Value::Bool),
+        (-100_000i64..100_000).prop_map(|z| Value::Date(Date::from_days_from_epoch(z))),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn index_cmp_antisymmetric(a in arb_value(), b in arb_value()) {
+        prop_assert_eq!(a.index_cmp(&b), b.index_cmp(&a).reverse());
+    }
+
+    #[test]
+    fn index_cmp_transitive(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering::*;
+        let (ab, bc, ac) = (a.index_cmp(&b), b.index_cmp(&c), a.index_cmp(&c));
+        if ab == Less && bc == Less { prop_assert_eq!(ac, Less); }
+        if ab == Greater && bc == Greater { prop_assert_eq!(ac, Greater); }
+        if ab == Equal && bc == Equal { prop_assert_eq!(ac, Equal); }
+    }
+}
+
+// ---------- table/index integrity under random operation sequences ----------
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { name: String, size: i64 },
+    DeleteByName(String),
+    UpdateSize { name: String, size: i64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let name = "[ab][0-9]"; // small key space to force collisions
+    prop_oneof![
+        (name, any::<i64>()).prop_map(|(name, size)| Op::Insert { name, size }),
+        name.prop_map(Op::DeleteByName),
+        (name, any::<i64>()).prop_map(|(name, size)| Op::UpdateSize { name, size }),
+    ]
+}
+
+fn mk_table() -> Table {
+    let schema = TableSchema::new(
+        "t",
+        vec![
+            ColumnDef::auto_id("id"),
+            ColumnDef::required("name", ValueType::Str),
+            ColumnDef::required("size", ValueType::Int),
+        ],
+        &["id"],
+    )
+    .unwrap();
+    let mut t = Table::new(schema);
+    t.create_index(IndexDef { name: "by_name".into(), columns: vec![1], unique: true }).unwrap();
+    t.create_index(IndexDef { name: "by_size".into(), columns: vec![2], unique: false }).unwrap();
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn table_integrity_under_random_ops(ops in prop::collection::vec(arb_op(), 1..60)) {
+        use std::collections::HashMap;
+        let mut t = mk_table();
+        let mut model: HashMap<String, (relstore::RowId, i64)> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Insert { name, size } => {
+                    let r = t.insert(vec![Value::Null, name.as_str().into(), Value::Int(size)]);
+                    if model.contains_key(&name) {
+                        prop_assert!(r.is_err(), "duplicate insert must fail");
+                    } else {
+                        model.insert(name, (r.unwrap(), size));
+                    }
+                }
+                Op::DeleteByName(name) => {
+                    if let Some((id, _)) = model.remove(&name) {
+                        t.delete(id).unwrap();
+                    }
+                }
+                Op::UpdateSize { name, size } => {
+                    if let Some((id, s)) = model.get_mut(&name) {
+                        let id = *id;
+                        let row = t.get(id).unwrap().clone();
+                        t.update(id, vec![row[0].clone(), row[1].clone(), Value::Int(size)])
+                            .unwrap();
+                        *s = size;
+                    }
+                }
+            }
+            t.check_integrity().unwrap();
+        }
+        // final state matches the model
+        prop_assert_eq!(t.len(), model.len());
+        for (name, (id, size)) in &model {
+            let row = t.get(*id).unwrap();
+            prop_assert_eq!(&row[1], &Value::from(name.as_str()));
+            prop_assert_eq!(&row[2], &Value::Int(*size));
+        }
+    }
+}
+
+// ---------- planner: indexed access must agree with a full scan ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn indexed_query_equals_full_scan(
+        rows in prop::collection::vec(("[a-c]", 0i64..20), 0..40),
+        probe_name in "[a-c]",
+        lo in 0i64..20,
+        hi in 0i64..20,
+    ) {
+        let db = Arc::new(Database::new());
+        db.execute_script(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY AUTO_INCREMENT,
+                             name VARCHAR(8) NOT NULL,
+                             v INTEGER NOT NULL);
+             CREATE INDEX t_name_v ON t (name, v);",
+        ).unwrap();
+        // shadow table without the secondary index
+        db.execute_script(
+            "CREATE TABLE u (id INTEGER PRIMARY KEY AUTO_INCREMENT,
+                             name VARCHAR(8) NOT NULL,
+                             v INTEGER NOT NULL);",
+        ).unwrap();
+        for (n, v) in &rows {
+            db.execute("INSERT INTO t (name, v) VALUES (?, ?)",
+                       &[n.as_str().into(), (*v).into()]).unwrap();
+            db.execute("INSERT INTO u (name, v) VALUES (?, ?)",
+                       &[n.as_str().into(), (*v).into()]).unwrap();
+        }
+        let sqls = [
+            "SELECT id FROM {T} WHERE name = ? ORDER BY id",
+            "SELECT id FROM {T} WHERE name = ? AND v >= ? ORDER BY id",
+            "SELECT id FROM {T} WHERE name = ? AND v >= ? AND v < ? ORDER BY id",
+        ];
+        let params: [&[Value]; 3] = [
+            &[probe_name.as_str().into()],
+            &[probe_name.as_str().into(), lo.into()],
+            &[probe_name.as_str().into(), lo.into(), hi.into()],
+        ];
+        for (sql, ps) in sqls.iter().zip(params.iter()) {
+            let rt = db.query(&sql.replace("{T}", "t"), ps).unwrap();
+            let ru = db.query(&sql.replace("{T}", "u"), ps).unwrap();
+            prop_assert_eq!(rt.rows, ru.rows);
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! SQL-level integration tests: multi-statement scenarios against the
+//! engine, exercising the planner, joins, expressions, and edge cases
+//! beyond the per-module unit tests.
+
+use std::sync::Arc;
+
+use relstore::{Database, Error, Value};
+
+fn db() -> Arc<Database> {
+    let db = Arc::new(Database::new());
+    db.execute_script(
+        "CREATE TABLE files (
+            id INTEGER PRIMARY KEY AUTO_INCREMENT,
+            name VARCHAR(255) NOT NULL,
+            coll INTEGER,
+            size INTEGER,
+            kind VARCHAR(16) DEFAULT 'data',
+            added DATE
+        );
+        CREATE UNIQUE INDEX f_name ON files (name);
+        CREATE INDEX f_coll ON files (coll);
+        CREATE TABLE colls (
+            id INTEGER PRIMARY KEY AUTO_INCREMENT,
+            name VARCHAR(255) NOT NULL UNIQUE
+        );",
+    )
+    .unwrap();
+    db.execute("INSERT INTO colls (name) VALUES ('run1'), ('run2')", &[]).unwrap();
+    db.execute(
+        "INSERT INTO files (name, coll, size, added) VALUES
+            ('a', 1, 10, DATE '2003-01-01'),
+            ('b', 1, 20, DATE '2003-02-01'),
+            ('c', 2, 30, DATE '2003-03-01'),
+            ('d', 2, NULL, NULL),
+            ('e', NULL, 50, DATE '2003-05-01')",
+        &[],
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn where_with_and_or_parentheses() {
+    let db = db();
+    let rs = db
+        .query(
+            "SELECT name FROM files WHERE (coll = 1 AND size > 15) OR size >= 50 ORDER BY name",
+            &[],
+        )
+        .unwrap();
+    let names: Vec<String> = rs.rows.iter().map(|r| r[0].to_string()).collect();
+    assert_eq!(names, vec!["b", "e"]);
+}
+
+#[test]
+fn null_semantics_in_where() {
+    let db = db();
+    // NULL size never matches a comparison...
+    let rs = db.query("SELECT COUNT(*) FROM files WHERE size > 0", &[]).unwrap();
+    assert_eq!(rs.rows[0][0], Value::Int(4));
+    let rs = db.query("SELECT COUNT(*) FROM files WHERE NOT size > 0", &[]).unwrap();
+    assert_eq!(rs.rows[0][0], Value::Int(0));
+    // ...only IS NULL sees it
+    let rs = db.query("SELECT name FROM files WHERE size IS NULL", &[]).unwrap();
+    assert_eq!(rs.rows[0][0], Value::from("d"));
+    let rs = db.query("SELECT COUNT(*) FROM files WHERE size IS NOT NULL", &[]).unwrap();
+    assert_eq!(rs.rows[0][0], Value::Int(4));
+}
+
+#[test]
+fn join_groups_files_with_collections() {
+    let db = db();
+    let rs = db
+        .query(
+            "SELECT c.name, f.name FROM colls c JOIN files f ON c.id = f.coll \
+             ORDER BY c.name, f.name",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 4); // d has a coll, e does not
+    assert_eq!(rs.rows[0], vec![Value::from("run1"), Value::from("a")]);
+    assert_eq!(rs.rows[3], vec![Value::from("run2"), Value::from("d")]);
+}
+
+#[test]
+fn date_comparisons_and_between() {
+    let db = db();
+    let rs = db
+        .query(
+            "SELECT name FROM files WHERE added BETWEEN DATE '2003-01-15' AND DATE '2003-03-15' \
+             ORDER BY name",
+            &[],
+        )
+        .unwrap();
+    let names: Vec<String> = rs.rows.iter().map(|r| r[0].to_string()).collect();
+    assert_eq!(names, vec!["b", "c"]);
+}
+
+#[test]
+fn like_and_in_predicates() {
+    let db = db();
+    db.execute("INSERT INTO files (name) VALUES ('run_H1_0042.gwf')", &[]).unwrap();
+    let rs = db.query("SELECT name FROM files WHERE name LIKE 'run!_%'", &[]).unwrap();
+    assert!(rs.rows.is_empty()); // `!` is literal, no escape syntax
+    let rs = db.query("SELECT name FROM files WHERE name LIKE 'run_H1%'", &[]).unwrap();
+    assert_eq!(rs.rows.len(), 1);
+    let rs = db
+        .query("SELECT COUNT(*) FROM files WHERE name IN ('a', 'c', 'zz')", &[])
+        .unwrap();
+    assert_eq!(rs.rows[0][0], Value::Int(2));
+}
+
+#[test]
+fn update_with_index_maintenance_via_sql() {
+    let db = db();
+    db.execute("UPDATE files SET coll = 2 WHERE name = 'a'", &[]).unwrap();
+    let rs = db.query("SELECT COUNT(*) FROM files WHERE coll = 2", &[]).unwrap();
+    assert_eq!(rs.rows[0][0], Value::Int(3));
+    // the moved row is findable through the coll index (same results as a
+    // fresh scan — verified by dropping the index)
+    db.execute("DROP INDEX f_coll ON files", &[]).unwrap();
+    let rs2 = db.query("SELECT COUNT(*) FROM files WHERE coll = 2", &[]).unwrap();
+    assert_eq!(rs.rows, rs2.rows);
+}
+
+#[test]
+fn delete_then_reinsert_same_unique_key() {
+    let db = db();
+    db.execute("DELETE FROM files WHERE name = 'a'", &[]).unwrap();
+    db.execute("INSERT INTO files (name) VALUES ('a')", &[]).unwrap();
+    let rs = db.query("SELECT kind FROM files WHERE name = 'a'", &[]).unwrap();
+    assert_eq!(rs.rows[0][0], Value::from("data")); // default applied
+}
+
+#[test]
+fn aggregate_edge_cases() {
+    let db = db();
+    // aggregates over an empty match set
+    let rs = db
+        .query("SELECT COUNT(*), MIN(size), MAX(size) FROM files WHERE size > 999", &[])
+        .unwrap();
+    assert_eq!(rs.rows[0], vec![Value::Int(0), Value::Null, Value::Null]);
+    // MIN/MAX skip NULLs
+    let rs = db.query("SELECT MIN(size), MAX(size) FROM files", &[]).unwrap();
+    assert_eq!(rs.rows[0], vec![Value::Int(10), Value::Int(50)]);
+}
+
+#[test]
+fn order_by_nulls_first_and_multi_key() {
+    let db = db();
+    let rs = db.query("SELECT name FROM files ORDER BY size, name", &[]).unwrap();
+    // NULL sorts first under index ordering
+    assert_eq!(rs.rows[0][0], Value::from("d"));
+    let rs = db
+        .query("SELECT name FROM files ORDER BY coll DESC, size DESC", &[])
+        .unwrap();
+    assert_eq!(rs.rows[0][0], Value::from("c")); // coll 2, size 30 beats NULL size
+}
+
+#[test]
+fn type_errors_are_reported_not_panicked() {
+    let db = db();
+    assert!(matches!(
+        db.execute("INSERT INTO files (name, size) VALUES ('x', 'not-a-number')", &[]),
+        Err(Error::TypeMismatch { .. })
+    ));
+    assert!(db.query("SELECT * FROM files WHERE size > 'abc'", &[]).is_err());
+    assert!(matches!(
+        db.query("SELECT nope FROM files", &[]),
+        Err(Error::NoSuchColumn(_))
+    ));
+}
+
+#[test]
+fn three_way_join() {
+    let db = db();
+    db.execute_script(
+        "CREATE TABLE tags (id INTEGER PRIMARY KEY AUTO_INCREMENT,
+                            file_id INTEGER NOT NULL, tag VARCHAR(32) NOT NULL);
+         CREATE INDEX t_file ON tags (file_id);",
+    )
+    .unwrap();
+    db.execute(
+        "INSERT INTO tags (file_id, tag) VALUES (1, 'hot'), (2, 'hot'), (3, 'cold')",
+        &[],
+    )
+    .unwrap();
+    let rs = db
+        .query(
+            "SELECT c.name, f.name, t.tag FROM colls c \
+             JOIN files f ON c.id = f.coll \
+             JOIN tags t ON t.file_id = f.id \
+             WHERE t.tag = 'hot' ORDER BY f.name",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 2);
+    assert_eq!(rs.rows[0][1], Value::from("a"));
+    assert_eq!(rs.rows[1][1], Value::from("b"));
+}
+
+#[test]
+fn limit_offset_beyond_end() {
+    let db = db();
+    let rs = db.query("SELECT name FROM files ORDER BY name LIMIT 3 OFFSET 4", &[]).unwrap();
+    assert_eq!(rs.rows.len(), 1);
+    let rs = db.query("SELECT name FROM files LIMIT 0", &[]).unwrap();
+    assert!(rs.rows.is_empty());
+    let rs = db.query("SELECT name FROM files OFFSET 99", &[]).unwrap();
+    assert!(rs.rows.is_empty());
+}
+
+#[test]
+fn concurrent_readers_during_writes() {
+    let db = db();
+    let readers: Vec<_> = (0..3)
+        .map(|_| {
+            let db = Arc::clone(&db);
+            std::thread::spawn(move || {
+                for _ in 0..200 {
+                    let rs = db.query("SELECT COUNT(*) FROM files WHERE coll = 1", &[]).unwrap();
+                    let n = rs.rows[0][0].as_int().unwrap();
+                    assert!(n >= 1, "collection 1 never drops below 1 row");
+                }
+            })
+        })
+        .collect();
+    let writer = {
+        let db = Arc::clone(&db);
+        std::thread::spawn(move || {
+            for i in 0..100 {
+                db.execute(
+                    "INSERT INTO files (name, coll) VALUES (?, 1)",
+                    &[format!("w{i}").into()],
+                )
+                .unwrap();
+                db.execute("DELETE FROM files WHERE name = ?", &[format!("w{i}").into()])
+                    .unwrap();
+            }
+        })
+    };
+    for r in readers {
+        r.join().unwrap();
+    }
+    writer.join().unwrap();
+    let t = db.table("files").unwrap();
+    t.read().check_integrity().unwrap();
+}

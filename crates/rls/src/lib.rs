@@ -1,0 +1,25 @@
+//! # rls — a Replica Location Service
+//!
+//! The Giggle-style RLS ([Chervenak et al., SC'02] — reference [4] of the
+//! MCS paper) that the Metadata Catalog Service federates with: the MCS
+//! maps descriptive attributes to *logical* names; the RLS maps logical
+//! names to *physical* replicas (Figure 2, steps 3–4).
+//!
+//! Two components:
+//! * [`LocalReplicaCatalog`] — authoritative LFN→PFN mappings for a site;
+//! * [`ReplicaLocationIndex`] — an index node fed by soft-state
+//!   Bloom-filter digests with TTL expiry, answering "which sites might
+//!   hold this file?".
+//!
+//! The same soft-state machinery is what paper §9 proposes for federating
+//! self-consistent metadata catalogs; the `federation` example reuses it.
+
+#![warn(missing_docs)]
+
+pub mod lrc;
+pub mod rli;
+pub mod softstate;
+
+pub use lrc::{LocalReplicaCatalog, RlsError};
+pub use rli::ReplicaLocationIndex;
+pub use softstate::{BloomFilter, Digest};

@@ -1,0 +1,141 @@
+//! Local Replica Catalog: authoritative logical-name → physical-name
+//! mappings for one site (Giggle's LRC component).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use parking_lot::RwLock;
+
+/// Errors from LRC operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RlsError {
+    /// The mapping already exists.
+    MappingExists {
+        /// Logical file name.
+        lfn: String,
+        /// Physical file name.
+        pfn: String,
+    },
+    /// No such mapping.
+    NoSuchMapping {
+        /// Logical file name.
+        lfn: String,
+        /// Physical file name (empty = any).
+        pfn: String,
+    },
+}
+
+impl std::fmt::Display for RlsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RlsError::MappingExists { lfn, pfn } => {
+                write!(f, "mapping {lfn} -> {pfn} already exists")
+            }
+            RlsError::NoSuchMapping { lfn, pfn } if pfn.is_empty() => {
+                write!(f, "no mappings for {lfn}")
+            }
+            RlsError::NoSuchMapping { lfn, pfn } => write!(f, "no mapping {lfn} -> {pfn}"),
+        }
+    }
+}
+
+impl std::error::Error for RlsError {}
+
+/// A Local Replica Catalog.
+#[derive(Debug, Default)]
+pub struct LocalReplicaCatalog {
+    /// Site identifier advertised to RLIs.
+    id: String,
+    map: RwLock<BTreeMap<String, BTreeSet<String>>>,
+}
+
+impl LocalReplicaCatalog {
+    /// New catalog for a site.
+    pub fn new(id: impl Into<String>) -> LocalReplicaCatalog {
+        LocalReplicaCatalog { id: id.into(), map: RwLock::default() }
+    }
+
+    /// This catalog's site id.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Register a replica. Errors if the exact mapping already exists.
+    pub fn add(&self, lfn: &str, pfn: &str) -> Result<(), RlsError> {
+        let mut map = self.map.write();
+        let set = map.entry(lfn.to_owned()).or_default();
+        if !set.insert(pfn.to_owned()) {
+            return Err(RlsError::MappingExists { lfn: lfn.to_owned(), pfn: pfn.to_owned() });
+        }
+        Ok(())
+    }
+
+    /// Remove one replica mapping. Removes the LFN entirely when its last
+    /// replica goes.
+    pub fn remove(&self, lfn: &str, pfn: &str) -> Result<(), RlsError> {
+        let mut map = self.map.write();
+        let Some(set) = map.get_mut(lfn) else {
+            return Err(RlsError::NoSuchMapping { lfn: lfn.to_owned(), pfn: String::new() });
+        };
+        if !set.remove(pfn) {
+            return Err(RlsError::NoSuchMapping { lfn: lfn.to_owned(), pfn: pfn.to_owned() });
+        }
+        if set.is_empty() {
+            map.remove(lfn);
+        }
+        Ok(())
+    }
+
+    /// Physical locations of a logical file (paper Figure 2, steps 3–4).
+    pub fn lookup(&self, lfn: &str) -> Vec<String> {
+        self.map.read().get(lfn).map(|s| s.iter().cloned().collect()).unwrap_or_default()
+    }
+
+    /// Does this catalog know the logical file?
+    pub fn contains(&self, lfn: &str) -> bool {
+        self.map.read().contains_key(lfn)
+    }
+
+    /// Number of logical files with at least one replica.
+    pub fn lfn_count(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Snapshot of all logical names (digest input for soft-state updates).
+    pub fn lfns(&self) -> Vec<String> {
+        self.map.read().keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_lookup_remove() {
+        let lrc = LocalReplicaCatalog::new("isi");
+        lrc.add("lfn1", "gsiftp://a/f1").unwrap();
+        lrc.add("lfn1", "gsiftp://b/f1").unwrap();
+        assert_eq!(lrc.lookup("lfn1").len(), 2);
+        assert!(lrc.contains("lfn1"));
+        lrc.remove("lfn1", "gsiftp://a/f1").unwrap();
+        assert_eq!(lrc.lookup("lfn1"), vec!["gsiftp://b/f1"]);
+        lrc.remove("lfn1", "gsiftp://b/f1").unwrap();
+        assert!(!lrc.contains("lfn1"));
+        assert_eq!(lrc.lfn_count(), 0);
+    }
+
+    #[test]
+    fn duplicate_and_missing_errors() {
+        let lrc = LocalReplicaCatalog::new("isi");
+        lrc.add("l", "p").unwrap();
+        assert!(matches!(lrc.add("l", "p"), Err(RlsError::MappingExists { .. })));
+        assert!(matches!(lrc.remove("l", "q"), Err(RlsError::NoSuchMapping { .. })));
+        assert!(matches!(lrc.remove("x", "p"), Err(RlsError::NoSuchMapping { .. })));
+    }
+
+    #[test]
+    fn lookup_unknown_is_empty() {
+        let lrc = LocalReplicaCatalog::new("isi");
+        assert!(lrc.lookup("nope").is_empty());
+    }
+}

@@ -1,0 +1,107 @@
+//! Replica Location Index: aggregates soft-state digests from many LRCs
+//! and answers "which sites might hold this logical file?" (Giggle's RLI;
+//! also the aggregation-node prototype for §9's federated-MCS sketch).
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+use crate::softstate::Digest;
+
+/// One registered digest plus its freshness bookkeeping.
+#[derive(Debug, Clone)]
+struct Entry {
+    digest: Digest,
+    received_at: u64,
+}
+
+/// A Replica Location Index node.
+#[derive(Debug)]
+pub struct ReplicaLocationIndex {
+    entries: RwLock<HashMap<String, Entry>>,
+    /// Digests older than this many seconds are ignored and pruned —
+    /// soft state: a crashed LRC silently ages out.
+    ttl: u64,
+}
+
+impl ReplicaLocationIndex {
+    /// Index node with the given digest time-to-live (seconds).
+    pub fn new(ttl: u64) -> ReplicaLocationIndex {
+        ReplicaLocationIndex { entries: RwLock::new(HashMap::new()), ttl }
+    }
+
+    /// Accept a digest push from an LRC (replaces any previous digest
+    /// from the same site).
+    pub fn update(&self, digest: Digest, now: u64) {
+        self.entries
+            .write()
+            .insert(digest.lrc_id.clone(), Entry { digest, received_at: now });
+    }
+
+    /// Sites whose (fresh) digest claims the logical name. May contain
+    /// false positives (Bloom), never false negatives for fresh digests.
+    pub fn query(&self, lfn: &str, now: u64) -> Vec<String> {
+        let entries = self.entries.read();
+        let mut out: Vec<String> = entries
+            .values()
+            .filter(|e| now.saturating_sub(e.received_at) <= self.ttl)
+            .filter(|e| e.digest.filter.contains(lfn))
+            .map(|e| e.digest.lrc_id.clone())
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Drop entries whose digest has aged beyond the TTL.
+    pub fn expire(&self, now: u64) -> usize {
+        let mut entries = self.entries.write();
+        let before = entries.len();
+        entries.retain(|_, e| now.saturating_sub(e.received_at) <= self.ttl);
+        before - entries.len()
+    }
+
+    /// Number of live site digests.
+    pub fn site_count(&self) -> usize {
+        self.entries.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest(site: &str, lfns: &[&str], at: u64) -> Digest {
+        let lfns: Vec<String> = lfns.iter().map(|s| (*s).to_owned()).collect();
+        Digest::build(site, &lfns, at, 0.001)
+    }
+
+    #[test]
+    fn query_routes_to_owning_sites() {
+        let rli = ReplicaLocationIndex::new(300);
+        rli.update(digest("isi", &["a", "b"], 0), 0);
+        rli.update(digest("cern", &["b", "c"], 0), 0);
+        assert_eq!(rli.query("a", 10), vec!["isi"]);
+        assert_eq!(rli.query("b", 10), vec!["cern", "isi"]);
+        assert!(rli.query("zzz-not-there", 10).is_empty());
+    }
+
+    #[test]
+    fn stale_digests_ignored_and_expired() {
+        let rli = ReplicaLocationIndex::new(60);
+        rli.update(digest("isi", &["a"], 0), 0);
+        assert_eq!(rli.query("a", 59), vec!["isi"]);
+        assert!(rli.query("a", 61).is_empty()); // aged out
+        assert_eq!(rli.site_count(), 1);
+        assert_eq!(rli.expire(61), 1);
+        assert_eq!(rli.site_count(), 0);
+    }
+
+    #[test]
+    fn new_digest_replaces_old() {
+        let rli = ReplicaLocationIndex::new(300);
+        rli.update(digest("isi", &["old"], 0), 0);
+        rli.update(digest("isi", &["new"], 100), 100);
+        assert!(rli.query("old", 100).is_empty());
+        assert_eq!(rli.query("new", 100), vec!["isi"]);
+    }
+}

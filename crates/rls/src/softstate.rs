@@ -1,0 +1,139 @@
+//! Soft-state digests: Bloom-filter summaries of an LRC's logical-name
+//! set, periodically pushed to index nodes (Giggle's "compressed state
+//! updates" — the same mechanism the MCS paper's §9 proposes for
+//! federating metadata catalogs).
+
+/// A fixed-size Bloom filter over strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    m: usize,
+    k: u32,
+}
+
+impl BloomFilter {
+    /// Filter sized for `expected` elements at roughly the given
+    /// false-positive rate (standard m/k formulas).
+    pub fn with_capacity(expected: usize, fp_rate: f64) -> BloomFilter {
+        let expected = expected.max(1);
+        let fp = fp_rate.clamp(1e-9, 0.5);
+        let m = ((-(expected as f64) * fp.ln()) / (std::f64::consts::LN_2.powi(2))).ceil() as usize;
+        let m = m.max(64);
+        let k = (((m as f64 / expected as f64) * std::f64::consts::LN_2).round() as u32).max(1);
+        BloomFilter { bits: vec![0u64; m.div_ceil(64)], m, k }
+    }
+
+    fn indexes(&self, item: &str) -> impl Iterator<Item = usize> + '_ {
+        // double hashing: h_i = h1 + i*h2
+        let h1 = fnv1a(item.as_bytes(), 0xcbf2_9ce4_8422_2325);
+        let h2 = fnv1a(item.as_bytes(), 0x9e37_79b9_7f4a_7c15) | 1;
+        let m = self.m as u64;
+        (0..self.k as u64).map(move |i| (h1.wrapping_add(i.wrapping_mul(h2)) % m) as usize)
+    }
+
+    /// Insert an item.
+    pub fn insert(&mut self, item: &str) {
+        let idx: Vec<usize> = self.indexes(item).collect();
+        for i in idx {
+            self.bits[i / 64] |= 1u64 << (i % 64);
+        }
+    }
+
+    /// Membership test (no false negatives; tunable false positives).
+    pub fn contains(&self, item: &str) -> bool {
+        self.indexes(item).collect::<Vec<_>>().iter().all(|&i| self.bits[i / 64] >> (i % 64) & 1 == 1)
+    }
+
+    /// Size of the filter in bits.
+    pub fn bit_len(&self) -> usize {
+        self.m
+    }
+
+    /// Fraction of set bits (diagnostic; ~50% at design capacity).
+    pub fn fill_ratio(&self) -> f64 {
+        let ones: u32 = self.bits.iter().map(|w| w.count_ones()).sum();
+        f64::from(ones) / self.m as f64
+    }
+}
+
+fn fnv1a(data: &[u8], seed: u64) -> u64 {
+    let mut h = seed;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A digest pushed from an LRC to an index node.
+#[derive(Debug, Clone)]
+pub struct Digest {
+    /// Originating LRC id.
+    pub lrc_id: String,
+    /// Bloom summary of the LRC's logical names.
+    pub filter: BloomFilter,
+    /// Logical time (seconds) at which the digest was produced.
+    pub produced_at: u64,
+}
+
+impl Digest {
+    /// Build a digest from a name list.
+    pub fn build(lrc_id: &str, lfns: &[String], produced_at: u64, fp_rate: f64) -> Digest {
+        let mut filter = BloomFilter::with_capacity(lfns.len(), fp_rate);
+        for l in lfns {
+            filter.insert(l);
+        }
+        Digest { lrc_id: lrc_id.to_owned(), filter, produced_at }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::with_capacity(1000, 0.01);
+        for i in 0..1000 {
+            f.insert(&format!("lfn-{i}"));
+        }
+        for i in 0..1000 {
+            assert!(f.contains(&format!("lfn-{i}")));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_roughly_as_designed() {
+        let n = 5000;
+        let mut f = BloomFilter::with_capacity(n, 0.01);
+        for i in 0..n {
+            f.insert(&format!("member-{i}"));
+        }
+        let mut fp = 0;
+        let probes = 20_000;
+        for i in 0..probes {
+            if f.contains(&format!("absent-{i}")) {
+                fp += 1;
+            }
+        }
+        let rate = f64::from(fp) / f64::from(probes);
+        assert!(rate < 0.03, "false positive rate {rate} too high");
+        // and the filter is actually doing something (not all-ones)
+        assert!(f.fill_ratio() < 0.6);
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing() {
+        let f = BloomFilter::with_capacity(100, 0.01);
+        assert!(!f.contains("anything"));
+    }
+
+    #[test]
+    fn digest_builds_from_lfn_list() {
+        let lfns: Vec<String> = (0..50).map(|i| format!("f{i}")).collect();
+        let d = Digest::build("site-a", &lfns, 1234, 0.01);
+        assert_eq!(d.lrc_id, "site-a");
+        assert!(d.filter.contains("f17"));
+        assert_eq!(d.produced_at, 1234);
+    }
+}

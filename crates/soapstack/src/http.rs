@@ -1,0 +1,313 @@
+//! HTTP/1.1 subset: Content-Length framed requests and responses over any
+//! `Read`/`Write`, with keep-alive support. This is the transport under
+//! the SOAP layer, standing in for Tomcat's HTTP connector.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Maximum accepted header block (DoS guard).
+const MAX_HEADER_BYTES: usize = 64 * 1024;
+/// Maximum accepted body (the MCS never ships more than a result set).
+const MAX_BODY_BYTES: usize = 256 * 1024 * 1024;
+
+/// HTTP errors.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Underlying I/O failed.
+    Io(io::Error),
+    /// The peer sent a malformed message.
+    Malformed(String),
+    /// Message exceeded a size limit.
+    TooLarge(&'static str),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "http i/o error: {e}"),
+            HttpError::Malformed(m) => write!(f, "malformed http message: {m}"),
+            HttpError::TooLarge(what) => write!(f, "http {what} too large"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, HttpError>;
+
+/// An HTTP request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Method (`POST`, `GET`...).
+    pub method: String,
+    /// Request target (path).
+    pub path: String,
+    /// Headers in order received/written.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Reason phrase.
+    pub reason: String,
+    /// Headers.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// A POST with a body and content type.
+    pub fn post(path: &str, content_type: &str, body: Vec<u8>) -> Request {
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            headers: vec![("Content-Type".into(), content_type.into())],
+            body,
+        }
+    }
+
+    /// Header value by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header(&self.headers, name)
+    }
+
+    /// Does the client want the connection kept open after this exchange?
+    pub fn keep_alive(&self) -> bool {
+        !self
+            .header("Connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+impl Response {
+    /// A 200 response with a body and content type.
+    pub fn ok(content_type: &str, body: Vec<u8>) -> Response {
+        Response {
+            status: 200,
+            reason: "OK".into(),
+            headers: vec![("Content-Type".into(), content_type.into())],
+            body,
+        }
+    }
+
+    /// An error response with a plain-text body.
+    pub fn error(status: u16, reason: &str, body: &str) -> Response {
+        Response {
+            status,
+            reason: reason.into(),
+            headers: vec![("Content-Type".into(), "text/plain".into())],
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    /// Header value by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header(&self.headers, name)
+    }
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case(name))
+        .map(|(_, v)| v.as_str())
+}
+
+/// Read one request. Returns `Ok(None)` on a clean EOF before any bytes
+/// (client closed a kept-alive connection).
+pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>> {
+    let Some(start) = read_line_opt(r)? else { return Ok(None) };
+    let mut parts = start.split_whitespace();
+    let method = parts.next().ok_or_else(|| HttpError::Malformed("empty start line".into()))?;
+    let path = parts.next().ok_or_else(|| HttpError::Malformed("missing path".into()))?;
+    let version =
+        parts.next().ok_or_else(|| HttpError::Malformed("missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("unsupported version {version}")));
+    }
+    let headers = read_headers(r)?;
+    let body = read_body(r, &headers)?;
+    Ok(Some(Request {
+        method: method.to_owned(),
+        path: path.to_owned(),
+        headers,
+        body,
+    }))
+}
+
+/// Write one request (adds Content-Length and Host).
+pub fn write_request(w: &mut impl Write, req: &Request, host: &str) -> Result<()> {
+    let mut head = format!("{} {} HTTP/1.1\r\nHost: {}\r\n", req.method, req.path, host);
+    for (n, v) in &req.headers {
+        head.push_str(n);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str(&format!("Content-Length: {}\r\n\r\n", req.body.len()));
+    w.write_all(head.as_bytes())?;
+    w.write_all(&req.body)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one response.
+pub fn read_response(r: &mut impl BufRead) -> Result<Response> {
+    let start = read_line_opt(r)?
+        .ok_or_else(|| HttpError::Io(io::Error::new(io::ErrorKind::UnexpectedEof, "no response")))?;
+    let mut parts = start.splitn(3, ' ');
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("bad status line `{start}`")));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| HttpError::Malformed(format!("bad status in `{start}`")))?;
+    let reason = parts.next().unwrap_or("").to_owned();
+    let headers = read_headers(r)?;
+    let body = read_body(r, &headers)?;
+    Ok(Response { status, reason, headers, body })
+}
+
+/// Write one response (adds Content-Length).
+pub fn write_response(w: &mut impl Write, resp: &Response, keep_alive: bool) -> Result<()> {
+    let mut head = format!("HTTP/1.1 {} {}\r\n", resp.status, resp.reason);
+    for (n, v) in &resp.headers {
+        head.push_str(n);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str(if keep_alive { "Connection: keep-alive\r\n" } else { "Connection: close\r\n" });
+    head.push_str(&format!("Content-Length: {}\r\n\r\n", resp.body.len()));
+    w.write_all(head.as_bytes())?;
+    w.write_all(&resp.body)?;
+    w.flush()?;
+    Ok(())
+}
+
+fn read_line_opt(r: &mut impl BufRead) -> Result<Option<String>> {
+    let mut line = String::new();
+    let n = r.read_line(&mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(Some(line))
+}
+
+fn read_headers(r: &mut impl BufRead) -> Result<Vec<(String, String)>> {
+    let mut headers = Vec::new();
+    let mut total = 0usize;
+    loop {
+        let line = read_line_opt(r)?
+            .ok_or_else(|| HttpError::Malformed("EOF inside headers".into()))?;
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        total += line.len();
+        if total > MAX_HEADER_BYTES {
+            return Err(HttpError::TooLarge("header block"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("bad header line `{line}`")))?;
+        headers.push((name.trim().to_owned(), value.trim().to_owned()));
+    }
+}
+
+fn read_body(r: &mut impl BufRead, headers: &[(String, String)]) -> Result<Vec<u8>> {
+    let len: usize = match header(headers, "Content-Length") {
+        None => return Ok(Vec::new()),
+        Some(v) => v
+            .parse()
+            .map_err(|_| HttpError::Malformed(format!("bad Content-Length `{v}`")))?,
+    };
+    if len > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge("body"));
+    }
+    let mut body = vec![0u8; len];
+    io::Read::read_exact(r, &mut body)?;
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn request_roundtrip() {
+        let req = Request::post("/mcs", "text/xml", b"<x/>".to_vec());
+        let mut wire = Vec::new();
+        write_request(&mut wire, &req, "localhost:9999").unwrap();
+        let text = String::from_utf8(wire.clone()).unwrap();
+        assert!(text.starts_with("POST /mcs HTTP/1.1\r\n"));
+        assert!(text.contains("Content-Length: 4\r\n"));
+        let got = read_request(&mut BufReader::new(&wire[..])).unwrap().unwrap();
+        assert_eq!(got.method, "POST");
+        assert_eq!(got.path, "/mcs");
+        assert_eq!(got.body, b"<x/>");
+        assert_eq!(got.header("content-type"), Some("text/xml"));
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = Response::ok("text/xml", b"<ok/>".to_vec());
+        let mut wire = Vec::new();
+        write_response(&mut wire, &resp, true).unwrap();
+        let got = read_response(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(got.status, 200);
+        assert_eq!(got.body, b"<ok/>");
+        assert_eq!(got.header("connection"), Some("keep-alive"));
+    }
+
+    #[test]
+    fn clean_eof_yields_none() {
+        let empty: &[u8] = b"";
+        assert!(read_request(&mut BufReader::new(empty)).unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        let bad: &[u8] = b"NOT A REQUEST\r\n\r\n";
+        assert!(read_request(&mut BufReader::new(bad)).is_err());
+        let badver: &[u8] = b"GET / SPDY/9\r\n\r\n";
+        assert!(read_request(&mut BufReader::new(badver)).is_err());
+        let badlen: &[u8] = b"POST / HTTP/1.1\r\nContent-Length: wat\r\n\r\n";
+        assert!(read_request(&mut BufReader::new(badlen)).is_err());
+        let truncated: &[u8] = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        assert!(read_request(&mut BufReader::new(truncated)).is_err());
+    }
+
+    #[test]
+    fn keep_alive_semantics() {
+        let mut req = Request::post("/", "t", vec![]);
+        assert!(req.keep_alive()); // HTTP/1.1 default
+        req.headers.push(("Connection".into(), "close".into()));
+        assert!(!req.keep_alive());
+    }
+
+    #[test]
+    fn error_response_shape() {
+        let r = Response::error(500, "Internal Server Error", "boom");
+        assert_eq!(r.status, 500);
+        assert_eq!(r.body, b"boom");
+    }
+}

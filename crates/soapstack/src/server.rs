@@ -1,0 +1,203 @@
+//! Threaded HTTP server with a SOAP dispatch layer (the Tomcat+Axis
+//! stand-in hosting the MCS service).
+
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::http::{read_request, write_response, Request, Response};
+use crate::soap::{self, Fault};
+use crate::threadpool::ThreadPool;
+use crate::xml::Element;
+
+/// Request handler for the HTTP layer.
+pub trait Handler: Send + Sync + 'static {
+    /// Handle one request, producing a response.
+    fn handle(&self, req: &Request) -> Response;
+}
+
+impl<F> Handler for F
+where
+    F: Fn(&Request) -> Response + Send + Sync + 'static,
+{
+    fn handle(&self, req: &Request) -> Response {
+        self(req)
+    }
+}
+
+/// Counters exposed by the server (requests served, connections accepted).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Total HTTP requests served.
+    pub requests: AtomicU64,
+    /// Total TCP connections accepted.
+    pub connections: AtomicU64,
+}
+
+/// A running HTTP server; dropping it shuts it down.
+pub struct HttpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    /// Service counters.
+    pub stats: Arc<ServerStats>,
+}
+
+impl HttpServer {
+    /// Bind `bind_addr` (e.g. `127.0.0.1:0`) and serve requests on
+    /// `workers` pool threads.
+    pub fn start(
+        bind_addr: &str,
+        handler: Arc<dyn Handler>,
+        workers: usize,
+    ) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(bind_addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ServerStats::default());
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_stats = Arc::clone(&stats);
+        let accept_thread = std::thread::Builder::new()
+            .name("soap-accept".into())
+            .spawn(move || {
+                let pool = ThreadPool::new(workers);
+                for conn in listener.incoming() {
+                    if accept_shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    accept_stats.connections.fetch_add(1, Ordering::Relaxed);
+                    let handler = Arc::clone(&handler);
+                    let stats = Arc::clone(&accept_stats);
+                    pool.execute(move || serve_connection(stream, &*handler, &stats));
+                }
+                // pool drops here, joining workers
+            })?;
+        Ok(HttpServer { addr, shutdown, accept_thread: Some(accept_thread), stats })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Request shutdown and join the accept thread.
+    pub fn stop(&mut self) {
+        if self.accept_thread.is_none() {
+            return;
+        }
+        self.shutdown.store(true, Ordering::Release);
+        // Unblock accept() with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn serve_connection(stream: TcpStream, handler: &dyn Handler, stats: &ServerStats) {
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let req = match read_request(&mut reader) {
+            Ok(Some(r)) => r,
+            Ok(None) => return, // clean close
+            Err(_) => {
+                let resp = Response::error(400, "Bad Request", "malformed request");
+                let _ = write_response(&mut writer, &resp, false);
+                return;
+            }
+        };
+        stats.requests.fetch_add(1, Ordering::Relaxed);
+        let keep = req.keep_alive();
+        let resp = handler.handle(&req);
+        if write_response(&mut writer, &resp, keep).is_err() || !keep {
+            return;
+        }
+    }
+}
+
+/// A SOAP method implementation: takes the decoded method element,
+/// returns a result element (children are the response payload) or a fault.
+pub type SoapMethod = Box<dyn Fn(&Element) -> Result<Element, Fault> + Send + Sync>;
+
+/// Dispatches SOAP calls on an HTTP path to registered methods.
+#[derive(Default)]
+pub struct SoapDispatcher {
+    methods: HashMap<String, SoapMethod>,
+}
+
+impl SoapDispatcher {
+    /// New, empty dispatcher.
+    pub fn new() -> SoapDispatcher {
+        SoapDispatcher::default()
+    }
+
+    /// Register `method` under its SOAP name.
+    pub fn register(
+        &mut self,
+        name: &str,
+        method: impl Fn(&Element) -> Result<Element, Fault> + Send + Sync + 'static,
+    ) {
+        self.methods.insert(name.to_owned(), Box::new(method));
+    }
+
+    /// Names of all registered methods, sorted (used by the WSDL generator).
+    pub fn method_names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.methods.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+impl Handler for SoapDispatcher {
+    fn handle(&self, req: &Request) -> Response {
+        let body = match std::str::from_utf8(&req.body) {
+            Ok(s) => s,
+            Err(_) => return Response::error(400, "Bad Request", "body is not UTF-8"),
+        };
+        let (method, el) = match soap::decode_request(body) {
+            Ok(x) => x,
+            Err(e) => {
+                let fault =
+                    Fault { code: "soap:Client".into(), message: format!("bad envelope: {e}") };
+                return soap_response(500, &soap::encode_fault(&fault));
+            }
+        };
+        match self.methods.get(&method) {
+            None => {
+                let fault = Fault {
+                    code: "soap:Client".into(),
+                    message: format!("no such method `{method}`"),
+                };
+                soap_response(500, &soap::encode_fault(&fault))
+            }
+            Some(f) => match f(&el) {
+                Ok(result) => soap_response(200, &soap::encode_response(&method, result)),
+                Err(fault) => soap_response(500, &soap::encode_fault(&fault)),
+            },
+        }
+    }
+}
+
+fn soap_response(status: u16, xml: &str) -> Response {
+    let mut resp = Response::ok("text/xml; charset=utf-8", xml.as_bytes().to_vec());
+    resp.status = status;
+    if status != 200 {
+        resp.reason = "Internal Server Error".into();
+    }
+    resp
+}

@@ -1,0 +1,190 @@
+//! SOAP 1.1 envelope encoding/decoding and fault model.
+//!
+//! The MCS exposed its Java API through Apache Axis doc/literal SOAP; we
+//! reproduce the same wire shape: a `soap:Envelope` / `soap:Body` pair
+//! around a method element in the `urn:mcs` namespace, and `soap:Fault`
+//! for errors. The byte cost of building, escaping and parsing these
+//! envelopes is the measured "web service overhead" of the paper's
+//! evaluation (Figures 5–10).
+
+use std::fmt;
+
+use crate::xml::{self, Element, XmlError};
+
+/// SOAP envelope namespace (SOAP 1.1).
+pub const SOAP_NS: &str = "http://schemas.xmlsoap.org/soap/envelope/";
+/// Application namespace for MCS methods.
+pub const MCS_NS: &str = "urn:mcs";
+
+/// A SOAP fault (server-reported error).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fault {
+    /// Fault code, e.g. `soap:Server` or `soap:Client`.
+    pub code: String,
+    /// Human-readable fault string.
+    pub message: String,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SOAP fault {}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for Fault {}
+
+/// Errors crossing the SOAP client/server boundary.
+#[derive(Debug)]
+pub enum SoapError {
+    /// Transport-level failure.
+    Http(crate::http::HttpError),
+    /// Envelope did not parse or had the wrong shape.
+    Xml(XmlError),
+    /// The server reported a fault.
+    Fault(Fault),
+}
+
+impl fmt::Display for SoapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SoapError::Http(e) => write!(f, "{e}"),
+            SoapError::Xml(e) => write!(f, "{e}"),
+            SoapError::Fault(fl) => write!(f, "{fl}"),
+        }
+    }
+}
+
+impl std::error::Error for SoapError {}
+
+impl From<crate::http::HttpError> for SoapError {
+    fn from(e: crate::http::HttpError) -> Self {
+        SoapError::Http(e)
+    }
+}
+impl From<XmlError> for SoapError {
+    fn from(e: XmlError) -> Self {
+        SoapError::Xml(e)
+    }
+}
+impl From<Fault> for SoapError {
+    fn from(f: Fault) -> Self {
+        SoapError::Fault(f)
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, SoapError>;
+
+fn envelope(body_child: Element) -> Element {
+    Element::new("soap:Envelope").attr("xmlns:soap", SOAP_NS).child(
+        Element::new("soap:Body").child(body_child),
+    )
+}
+
+/// Encode a request calling `method` with an already-built argument
+/// element tree (children of the method element).
+pub fn encode_request(method: &str, args: Element) -> String {
+    let mut call = Element::new(format!("m:{method}")).attr("xmlns:m", MCS_NS);
+    call.children = args.children;
+    let mut out = String::with_capacity(256);
+    out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+    out.push_str(&envelope(call).to_xml());
+    out
+}
+
+/// Encode a successful response: `<m:{method}Response>` wrapping `result`'s
+/// children.
+pub fn encode_response(method: &str, result: Element) -> String {
+    let mut resp = Element::new(format!("m:{method}Response")).attr("xmlns:m", MCS_NS);
+    resp.children = result.children;
+    let mut out = String::with_capacity(256);
+    out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+    out.push_str(&envelope(resp).to_xml());
+    out
+}
+
+/// Encode a fault response.
+pub fn encode_fault(fault: &Fault) -> String {
+    let f = Element::new("soap:Fault")
+        .child(Element::new("faultcode").text(&fault.code))
+        .child(Element::new("faultstring").text(&fault.message));
+    let mut out = String::with_capacity(256);
+    out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+    out.push_str(&envelope(f).to_xml());
+    out
+}
+
+/// Decode a request envelope into `(method, method_element)`.
+pub fn decode_request(body: &str) -> Result<(String, Element)> {
+    let root = xml::parse(body)?;
+    if root.local_name() != "Envelope" {
+        return Err(XmlError::Shape(format!("expected Envelope, got <{}>", root.name)).into());
+    }
+    let soap_body = root.expect("Body")?;
+    let call = soap_body
+        .elements()
+        .next()
+        .ok_or_else(|| XmlError::Shape("empty soap:Body".into()))?;
+    Ok((call.local_name().to_owned(), call.clone()))
+}
+
+/// Decode a response envelope: either the `{method}Response` element or a
+/// decoded [`Fault`].
+pub fn decode_response(body: &str) -> Result<Element> {
+    let root = xml::parse(body)?;
+    let soap_body = root.expect("Body")?;
+    let first = soap_body
+        .elements()
+        .next()
+        .ok_or_else(|| XmlError::Shape("empty soap:Body".into()))?;
+    if first.local_name() == "Fault" {
+        let code = first.find("faultcode").map(|e| e.text_content()).unwrap_or_default();
+        let message =
+            first.find("faultstring").map(|e| e.text_content()).unwrap_or_default();
+        return Err(SoapError::Fault(Fault { code, message }));
+    }
+    Ok(first.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let args = Element::new("args")
+            .child(Element::new("logicalName").text("f1"))
+            .child(Element::new("collection").text("run <42>"));
+        let wire = encode_request("createFile", args);
+        assert!(wire.contains("urn:mcs"));
+        let (method, el) = decode_request(&wire).unwrap();
+        assert_eq!(method, "createFile");
+        assert_eq!(el.find("logicalName").unwrap().text_content(), "f1");
+        assert_eq!(el.find("collection").unwrap().text_content(), "run <42>");
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let result = Element::new("r").child(Element::new("id").text("17"));
+        let wire = encode_response("createFile", result);
+        let el = decode_response(&wire).unwrap();
+        assert_eq!(el.local_name(), "createFileResponse");
+        assert_eq!(el.find("id").unwrap().text_content(), "17");
+    }
+
+    #[test]
+    fn fault_roundtrip() {
+        let f = Fault { code: "soap:Server".into(), message: "no such file".into() };
+        let wire = encode_fault(&f);
+        match decode_response(&wire) {
+            Err(SoapError::Fault(got)) => assert_eq!(got, f),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_envelope_rejected() {
+        assert!(decode_request("<notsoap/>").is_err());
+        assert!(decode_request("<soap:Envelope xmlns:soap=\"x\"/>").is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! A fixed-size worker pool (Tomcat's request-processing threads).
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Sender};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Fixed pool of worker threads executing submitted jobs.
+pub struct ThreadPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawn `size` workers (at least 1).
+    pub fn new(size: usize) -> ThreadPool {
+        let size = size.max(1);
+        let (tx, rx) = unbounded::<Job>();
+        let rx = Arc::new(rx);
+        let workers = (0..size)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("soap-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+        ThreadPool { tx: Some(tx), workers }
+    }
+
+    /// Submit a job. Panics if the pool is shut down (programming error).
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.tx
+            .as_ref()
+            .expect("pool alive")
+            .send(Box::new(job))
+            .expect("workers alive");
+    }
+
+    /// Number of workers.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Close the channel so workers drain and exit, then join them.
+        self.tx.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = ThreadPool::new(4);
+        let n = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let n = Arc::clone(&n);
+            pool.execute(move || {
+                n.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool); // joins workers
+        assert_eq!(n.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn zero_size_clamped() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.size(), 1);
+    }
+}

@@ -1,0 +1,42 @@
+//! Property tests: HTTP request/response framing round-trips arbitrary
+//! bodies.
+
+use proptest::prelude::*;
+use soapstack::{Request, Response};
+use std::io::BufReader;
+
+proptest! {
+    #[test]
+    fn http_request_roundtrip(body in prop::collection::vec(any::<u8>(), 0..2048),
+                              path in "/[a-z]{0,12}") {
+        let req = Request::post(&path, "application/octet-stream", body.clone());
+        let mut wire = Vec::new();
+        soapstack::http::write_request(&mut wire, &req, "h:1").unwrap();
+        let got = soapstack::http::read_request(&mut BufReader::new(&wire[..]))
+            .unwrap().unwrap();
+        prop_assert_eq!(got.body, body);
+        prop_assert_eq!(got.path, path);
+    }
+
+    #[test]
+    fn http_response_roundtrip(body in prop::collection::vec(any::<u8>(), 0..2048),
+                               status in 200u16..600) {
+        let mut resp = Response::ok("application/octet-stream", body.clone());
+        resp.status = status;
+        let mut wire = Vec::new();
+        soapstack::http::write_response(&mut wire, &resp, false).unwrap();
+        let got = soapstack::http::read_response(&mut BufReader::new(&wire[..])).unwrap();
+        prop_assert_eq!(got.status, status);
+        prop_assert_eq!(got.body, body);
+    }
+
+    #[test]
+    fn soap_envelope_roundtrip_escapes(method in "[a-z]{1,10}", payload in "\\PC{0,64}") {
+        use soapstack::xml::Element;
+        let args = Element::new("args").child(Element::new("v").text(payload.clone()));
+        let wire = soapstack::soap::encode_request(&method, args);
+        let (m, el) = soapstack::soap::decode_request(&wire).unwrap();
+        prop_assert_eq!(m, method);
+        prop_assert_eq!(el.find("v").unwrap().text_content(), payload);
+    }
+}

@@ -1,0 +1,160 @@
+//! Server robustness: malformed input, connection churn, concurrency,
+//! and shutdown behaviour of the HTTP/SOAP stack.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use soapstack::xml::Element;
+use soapstack::{Fault, HttpServer, Request, Response, SoapClient, SoapDispatcher};
+
+fn echo_server(workers: usize) -> HttpServer {
+    let mut d = SoapDispatcher::new();
+    d.register("echo", |el| {
+        Ok(Element::new("r").child(Element::new("msg").text(
+            el.find("msg").map(|m| m.text_content()).unwrap_or_default(),
+        )))
+    });
+    d.register("slow", |_| {
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        Ok(Element::new("r"))
+    });
+    HttpServer::start("127.0.0.1:0", Arc::new(d), workers).unwrap()
+}
+
+fn raw(addr: std::net::SocketAddr, bytes: &[u8]) -> String {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(bytes).unwrap();
+    let _ = s.shutdown(std::net::Shutdown::Write);
+    let mut out = String::new();
+    let _ = s.read_to_string(&mut out);
+    out
+}
+
+#[test]
+fn malformed_request_line_gets_400() {
+    let server = echo_server(2);
+    let resp = raw(server.addr(), b"GARBAGE\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+}
+
+#[test]
+fn non_soap_body_gets_fault() {
+    let server = echo_server(2);
+    let resp = raw(
+        server.addr(),
+        b"POST /mcs HTTP/1.1\r\nHost: x\r\nContent-Length: 9\r\nConnection: close\r\n\r\nnot xml!!",
+    );
+    assert!(resp.contains("soap:Client"), "{resp}");
+    assert!(resp.starts_with("HTTP/1.1 500"));
+}
+
+#[test]
+fn empty_connection_is_tolerated() {
+    let server = echo_server(2);
+    // connect and immediately close — must not wedge the server
+    for _ in 0..5 {
+        drop(TcpStream::connect(server.addr()).unwrap());
+    }
+    let mut c = SoapClient::new(server.addr().to_string(), "/mcs");
+    let r = c.call("echo", Element::new("a").child(Element::new("msg").text("still alive")));
+    assert_eq!(r.unwrap().find("msg").unwrap().text_content(), "still alive");
+}
+
+#[test]
+fn many_concurrent_clients_on_few_workers() {
+    let server = echo_server(2); // fewer workers than clients: requests queue
+    let addr = server.addr().to_string();
+    let threads: Vec<_> = (0..8)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut c = SoapClient::new(addr, "/mcs");
+                for j in 0..10 {
+                    let msg = format!("t{i}-{j}");
+                    let r = c
+                        .call("echo", Element::new("a").child(Element::new("msg").text(&msg)))
+                        .unwrap();
+                    assert_eq!(r.find("msg").unwrap().text_content(), msg);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert_eq!(
+        server.stats.requests.load(std::sync::atomic::Ordering::Relaxed),
+        80
+    );
+}
+
+#[test]
+fn slow_handler_does_not_block_other_workers() {
+    let server = echo_server(4);
+    let addr = server.addr().to_string();
+    let slow = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut c = SoapClient::new(addr, "/mcs");
+            c.call("slow", Element::new("a")).unwrap();
+        })
+    };
+    // while `slow` sleeps, echoes still go through
+    let mut c = SoapClient::new(addr, "/mcs");
+    let t0 = std::time::Instant::now();
+    c.call("echo", Element::new("a").child(Element::new("msg").text("fast"))).unwrap();
+    assert!(t0.elapsed() < std::time::Duration::from_millis(25));
+    slow.join().unwrap();
+}
+
+#[test]
+fn custom_handler_get_and_post() {
+    struct Both;
+    impl soapstack::Handler for Both {
+        fn handle(&self, req: &Request) -> Response {
+            if req.method == "GET" {
+                Response::ok("text/plain", b"hello".to_vec())
+            } else {
+                Response::error(405, "Method Not Allowed", "POST not here")
+            }
+        }
+    }
+    let server = HttpServer::start("127.0.0.1:0", Arc::new(Both), 1).unwrap();
+    let resp = raw(server.addr(), b"GET / HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
+    assert!(resp.ends_with("hello"));
+    let resp = raw(
+        server.addr(),
+        b"POST / HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+    );
+    assert!(resp.starts_with("HTTP/1.1 405"));
+}
+
+#[test]
+fn fault_details_cross_the_wire() {
+    let mut d = SoapDispatcher::new();
+    d.register("always_fails", |_| {
+        Err(Fault { code: "soap:Server.Custom".into(), message: "with <angle> & amp".into() })
+    });
+    let server = HttpServer::start("127.0.0.1:0", Arc::new(d), 1).unwrap();
+    let mut c = SoapClient::new(server.addr().to_string(), "/mcs");
+    match c.call("always_fails", Element::new("a")) {
+        Err(soapstack::SoapError::Fault(f)) => {
+            assert_eq!(f.code, "soap:Server.Custom");
+            assert_eq!(f.message, "with <angle> & amp");
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn server_survives_drop_while_clients_active() {
+    let mut server = echo_server(2);
+    let addr = server.addr().to_string();
+    let mut c = SoapClient::new(addr, "/mcs");
+    c.call("echo", Element::new("a").child(Element::new("msg").text("x"))).unwrap();
+    server.stop();
+    // further calls fail cleanly rather than hanging
+    let r = c.call("echo", Element::new("a").child(Element::new("msg").text("y")));
+    assert!(r.is_err());
+}

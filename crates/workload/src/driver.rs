@@ -1,0 +1,210 @@
+//! Closed-loop measurement driver: H simulated client hosts × T threads
+//! each issue one operation after another for a fixed duration, and the
+//! driver reports the sustained operation rate (the paper's
+//! "operations per second" methodology).
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// Run phases communicated to workers.
+const WARMUP: u8 = 0;
+const MEASURE: u8 = 1;
+const STOP: u8 = 2;
+
+/// Driver configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Simulated client hosts.
+    pub hosts: usize,
+    /// Threads per host.
+    pub threads_per_host: usize,
+    /// Measured interval.
+    pub duration: Duration,
+    /// Warm-up before measurement starts.
+    pub warmup: Duration,
+    /// Keep measuring (beyond `duration`) until at least this many
+    /// operations completed — slow operations (complex queries on large
+    /// databases) would otherwise report noise or zero.
+    pub min_ops: u64,
+    /// Hard cap on the measurement extension.
+    pub max_extension: Duration,
+}
+
+impl RunConfig {
+    /// Single host with `threads` threads (Figures 5–7).
+    pub fn single_host(threads: usize, duration: Duration) -> RunConfig {
+        RunConfig {
+            hosts: 1,
+            threads_per_host: threads,
+            duration,
+            warmup: Duration::from_millis(200),
+            min_ops: 0,
+            max_extension: Duration::ZERO,
+        }
+    }
+
+    /// Multiple hosts, four threads each (Figures 8–10).
+    pub fn hosts(hosts: usize, duration: Duration) -> RunConfig {
+        RunConfig {
+            hosts,
+            threads_per_host: 4,
+            duration,
+            warmup: Duration::from_millis(200),
+            min_ops: 0,
+            max_extension: Duration::ZERO,
+        }
+    }
+}
+
+/// One worker's operation source. `run_once` performs one operation and
+/// reports success.
+pub trait Workload: Send {
+    /// Perform one operation.
+    fn run_once(&mut self) -> bool;
+}
+
+impl<F: FnMut() -> bool + Send> Workload for F {
+    fn run_once(&mut self) -> bool {
+        self()
+    }
+}
+
+/// Result of a measurement run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Successful operations inside the measured interval.
+    pub ops: u64,
+    /// Failed operations inside the measured interval.
+    pub errors: u64,
+    /// Actual measured interval.
+    pub elapsed: Duration,
+}
+
+impl Measurement {
+    /// Sustained successful-operation rate (ops/second).
+    pub fn rate(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Run `cfg.hosts × cfg.threads_per_host` workers built by
+/// `make_worker(host, thread)` in a closed loop and measure throughput.
+pub fn run_closed_loop<F>(cfg: &RunConfig, make_worker: F) -> Measurement
+where
+    F: Fn(usize, usize) -> Box<dyn Workload>,
+{
+    let phase = Arc::new(AtomicU8::new(WARMUP));
+    let ops = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(AtomicU64::new(0));
+    let total_workers = cfg.hosts * cfg.threads_per_host;
+    let start_barrier = Arc::new(Barrier::new(total_workers + 1));
+
+    std::thread::scope(|scope| {
+        for host in 0..cfg.hosts {
+            for thread in 0..cfg.threads_per_host {
+                let mut worker = make_worker(host, thread);
+                let phase = Arc::clone(&phase);
+                let ops = Arc::clone(&ops);
+                let errors = Arc::clone(&errors);
+                let barrier = Arc::clone(&start_barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    loop {
+                        match phase.load(Ordering::Acquire) {
+                            STOP => return,
+                            current => {
+                                let success = worker.run_once();
+                                if current == MEASURE {
+                                    if success {
+                                        ops.fetch_add(1, Ordering::Relaxed);
+                                    } else {
+                                        errors.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        }
+        start_barrier.wait();
+        std::thread::sleep(cfg.warmup);
+        phase.store(MEASURE, Ordering::Release);
+        let t0 = Instant::now();
+        std::thread::sleep(cfg.duration);
+        // adaptive extension for slow operations
+        while ops.load(Ordering::Relaxed) + errors.load(Ordering::Relaxed) < cfg.min_ops
+            && t0.elapsed() < cfg.duration + cfg.max_extension
+        {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        phase.store(STOP, Ordering::Release);
+        let elapsed = t0.elapsed();
+        // scope joins all workers here
+        Measurement {
+            ops: ops.load(Ordering::Relaxed),
+            errors: errors.load(Ordering::Relaxed),
+            elapsed,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_only_measured_ops() {
+        let cfg = RunConfig {
+            hosts: 2,
+            threads_per_host: 2,
+            duration: Duration::from_millis(120),
+            warmup: Duration::from_millis(40),
+            min_ops: 0,
+            max_extension: Duration::ZERO,
+        };
+        let m = run_closed_loop(&cfg, |_h, _t| {
+            Box::new(|| {
+                std::thread::sleep(Duration::from_millis(1));
+                true
+            })
+        });
+        assert!(m.ops > 0);
+        assert_eq!(m.errors, 0);
+        // 4 workers × ~1ms/op over ~120ms ≈ 480 max; warmup excluded
+        assert!(m.ops < 800, "warmup leaked into measurement: {}", m.ops);
+        assert!(m.rate() > 0.0);
+    }
+
+    #[test]
+    fn min_ops_extends_measurement() {
+        let mut cfg = RunConfig::single_host(1, Duration::from_millis(30));
+        cfg.min_ops = 3;
+        cfg.max_extension = Duration::from_secs(5);
+        // each op takes ~80ms, so 30ms would catch none without extension
+        let m = run_closed_loop(&cfg, |_h, _t| {
+            Box::new(|| {
+                std::thread::sleep(Duration::from_millis(80));
+                true
+            })
+        });
+        assert!(m.ops >= 3, "extension must gather min_ops: got {}", m.ops);
+        assert!(m.elapsed > Duration::from_millis(30));
+    }
+
+    #[test]
+    fn errors_counted_separately() {
+        let cfg = RunConfig::single_host(1, Duration::from_millis(60));
+        let m = run_closed_loop(&cfg, |_h, _t| {
+            let mut i = 0u64;
+            Box::new(move || {
+                i += 1;
+                std::thread::sleep(Duration::from_micros(200));
+                i % 2 == 0
+            })
+        });
+        assert!(m.errors > 0);
+        assert!(m.ops > 0);
+    }
+}

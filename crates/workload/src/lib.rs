@@ -1,0 +1,18 @@
+//! # workload — evaluation workload generation and client driver
+//!
+//! Reproduces the paper's §7 methodology: bulk-loaded catalogs of N
+//! logical files (1000 per collection, ten typed user-defined attributes
+//! each), and a closed-loop driver running H simulated client hosts × T
+//! threads of add/simple-query/complex-query operations against either
+//! the in-process catalog ("no web service") or the SOAP service.
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod ops;
+pub mod populate;
+pub mod spec;
+
+pub use driver::{run_closed_loop, Measurement, RunConfig, Workload};
+pub use ops::{driver_credential, make_worker, Access, OpKind};
+pub use populate::{build_catalog, BuiltCatalog, ADMIN_DN};

@@ -1,0 +1,233 @@
+//! Bulk catalog population.
+//!
+//! The paper loaded databases of 100 k / 1 M / 5 M logical files before
+//! measuring. Loading through the per-file service API would dominate
+//! setup time, so — like any production catalog deployment — we provide a
+//! bulk loader that writes the same rows through the storage engine with
+//! batched multi-row prepared inserts. The resulting database is
+//! byte-for-byte what the per-file API would have produced (asserted by
+//! `tests/populate_equiv.rs`).
+
+use std::sync::Arc;
+
+use mcs::{Credential, IndexProfile, ManualClock, Mcs};
+use relstore::Value;
+
+use crate::spec::{self, ATTR_NAMES, ATTR_TYPES, FILES_PER_COLLECTION};
+
+/// A populated catalog ready for the evaluation drivers.
+pub struct BuiltCatalog {
+    /// The catalog.
+    pub mcs: Arc<Mcs>,
+    /// Superuser credential.
+    pub admin: Credential,
+    /// Number of logical files loaded.
+    pub n_files: u64,
+}
+
+/// DN of the bulk loader / superuser.
+pub const ADMIN_DN: &str = "/O=Grid/OU=ISI/CN=mcs-admin";
+
+fn typed_null_row(name: &str, a: usize, v: Value) -> [Value; 8] {
+    // columns: name, attr_type, str, int, float, date, time, datetime
+    let mut row: [Value; 8] = [
+        name.into(),
+        ATTR_TYPES[a].code().into(),
+        Value::Null,
+        Value::Null,
+        Value::Null,
+        Value::Null,
+        Value::Null,
+        Value::Null,
+    ];
+    let col = match ATTR_TYPES[a] {
+        mcs::AttrType::Str => 2,
+        mcs::AttrType::Int => 3,
+        mcs::AttrType::Float => 4,
+        mcs::AttrType::Date => 5,
+        mcs::AttrType::Time => 6,
+        mcs::AttrType::DateTime => 7,
+    };
+    row[col] = v;
+    row
+}
+
+/// Build and load a catalog with `n_files` logical files per the paper's
+/// workload (§7): collections of 1000 files, ten typed attributes per
+/// file and per collection, service opened to everyone.
+pub fn build_catalog(n_files: u64, profile: IndexProfile) -> BuiltCatalog {
+    let admin = Credential::new(ADMIN_DN);
+    let clock = Arc::new(ManualClock::default());
+    let mcs = Arc::new(Mcs::with_options(&admin, profile, clock).expect("bootstrap"));
+    mcs.allow_anyone(&admin).expect("open service");
+    for (a, name) in ATTR_NAMES.iter().enumerate() {
+        mcs.define_attribute(&admin, name, ATTR_TYPES[a], "evaluation workload attribute")
+            .expect("define attribute");
+    }
+    let db = mcs.database();
+    let created = Value::DateTime(spec::load_timestamp());
+
+    // --- collections ---
+    let n_colls = n_files.div_ceil(FILES_PER_COLLECTION).max(1);
+    {
+        let batch = 500usize;
+        let one = "(?, ?, ?)";
+        let sql_batch = format!(
+            "INSERT INTO logical_collections (name, creator, created) VALUES {}",
+            vec![one; batch].join(", ")
+        );
+        let prepared = db.prepare(&sql_batch).expect("prepare");
+        let single = db
+            .prepare("INSERT INTO logical_collections (name, creator, created) VALUES (?, ?, ?)")
+            .expect("prepare");
+        let mut params: Vec<Value> = Vec::with_capacity(batch * 3);
+        let mut in_batch = 0usize;
+        for c in 0..n_colls {
+            params.push(spec::collection_name(c).into());
+            params.push(ADMIN_DN.into());
+            params.push(created.clone());
+            in_batch += 1;
+            if in_batch == batch {
+                db.execute_prepared(&prepared, &params).expect("insert collections");
+                params.clear();
+                in_batch = 0;
+            }
+        }
+        for chunk in params.chunks(3) {
+            db.execute_prepared(&single, chunk).expect("insert collection");
+        }
+    }
+
+    // --- files ---
+    {
+        let batch = 500usize;
+        let one = "(?, ?, ?, ?)";
+        let sql_batch = format!(
+            "INSERT INTO logical_files (name, collection_id, creator, created) VALUES {}",
+            vec![one; batch].join(", ")
+        );
+        let prepared = db.prepare(&sql_batch).expect("prepare");
+        let single = db
+            .prepare(
+                "INSERT INTO logical_files (name, collection_id, creator, created) \
+                 VALUES (?, ?, ?, ?)",
+            )
+            .expect("prepare");
+        let mut params: Vec<Value> = Vec::with_capacity(batch * 4);
+        let mut in_batch = 0usize;
+        for i in 0..n_files {
+            params.push(spec::file_name(i).into());
+            // collections auto-increment from 1 in creation order
+            params.push(Value::Int(spec::collection_of(i) as i64 + 1));
+            params.push(ADMIN_DN.into());
+            params.push(created.clone());
+            in_batch += 1;
+            if in_batch == batch {
+                db.execute_prepared(&prepared, &params).expect("insert files");
+                params.clear();
+                in_batch = 0;
+            }
+        }
+        for chunk in params.chunks(4) {
+            db.execute_prepared(&single, chunk).expect("insert file");
+        }
+    }
+
+    // --- attributes: ten per file and ten per collection ---
+    {
+        let batch = 100usize; // 100 × 10 attrs × 10 cols = 10k params
+        let one = "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?)";
+        let cols = "object_type, object_id, name, attr_type, str_value, int_value, \
+                    float_value, date_value, time_value, datetime_value";
+        let sql_batch = format!(
+            "INSERT INTO user_attributes ({cols}) VALUES {}",
+            vec![one; batch * 10].join(", ")
+        );
+        let prepared = db.prepare(&sql_batch).expect("prepare");
+        let sql_one = format!("INSERT INTO user_attributes ({cols}) VALUES {one}");
+        let single = db.prepare(&sql_one).expect("prepare");
+        let mut params: Vec<Value> = Vec::with_capacity(batch * 100);
+        let mut in_batch = 0usize;
+        let push_object = |params: &mut Vec<Value>,
+                               in_batch: &mut usize,
+                               object_type: i64,
+                               object_id: i64,
+                               idx: u64| {
+            for a in 0..10usize {
+                params.push(Value::Int(object_type));
+                params.push(Value::Int(object_id));
+                let row = typed_null_row(ATTR_NAMES[a], a, spec::attr_value(a, idx));
+                params.extend(row);
+            }
+            *in_batch += 1;
+            if *in_batch == batch {
+                db.execute_prepared(&prepared, params).expect("insert attributes");
+                params.clear();
+                *in_batch = 0;
+            }
+        };
+        for i in 0..n_files {
+            // files auto-increment from 1 in creation order
+            push_object(&mut params, &mut in_batch, 0, i as i64 + 1, i);
+        }
+        for c in 0..n_colls {
+            push_object(&mut params, &mut in_batch, 1, c as i64 + 1, c);
+        }
+        for chunk in params.chunks(10) {
+            db.execute_prepared(&single, chunk).expect("insert attribute");
+        }
+    }
+
+    BuiltCatalog { mcs, admin, n_files }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs::AttrPredicate;
+
+    #[test]
+    fn loads_expected_counts() {
+        let built = build_catalog(2_500, IndexProfile::Paper2003);
+        assert_eq!(built.mcs.file_count().unwrap(), 2_500);
+        // 3 collections (1000+1000+500)
+        let db = built.mcs.database();
+        assert_eq!(db.table("logical_collections").unwrap().read().len(), 3);
+        // 2500 files × 10 + 3 collections × 10 attributes
+        assert_eq!(db.table("user_attributes").unwrap().read().len(), 25_030);
+    }
+
+    #[test]
+    fn loaded_files_are_queryable_through_the_service() {
+        let built = build_catalog(1_200, IndexProfile::Paper2003);
+        let cred = Credential::new("/CN=anyone-at-all");
+        // simple query
+        let f = built.mcs.get_file(&cred, &spec::file_name(1_111)).unwrap();
+        assert_eq!(f.collection_id, Some(2));
+        // complex query for one file's attributes finds exactly it
+        let hits = built.mcs.query_by_attributes(&cred, &spec::complex_query(777, 10)).unwrap();
+        assert_eq!(hits, vec![(spec::file_name(777), 1)]);
+        // collection listing
+        let contents = built.mcs.list_collection(&cred, &spec::collection_name(1)).unwrap();
+        assert_eq!(contents.files.len(), 200); // files 1000..1199
+        // collection attributes exist
+        let attrs = built
+            .mcs
+            .get_attributes(&cred, &mcs::ObjectRef::Collection(spec::collection_name(0)))
+            .unwrap();
+        assert_eq!(attrs.len(), 10);
+    }
+
+    #[test]
+    fn partial_complex_queries_widen() {
+        let built = build_catalog(2_000, IndexProfile::Paper2003);
+        let cred = Credential::new("/CN=u");
+        let narrow = built.mcs.query_by_attributes(&cred, &spec::complex_query(42, 10)).unwrap();
+        let wide = built.mcs.query_by_attributes(&cred, &spec::complex_query(42, 1)).unwrap();
+        assert_eq!(narrow.len(), 1);
+        assert!(wide.len() > narrow.len());
+        assert!(wide.contains(&(spec::file_name(42), 1)));
+        let preds: Vec<AttrPredicate> = spec::complex_query(42, 10);
+        assert_eq!(preds.len(), 10);
+    }
+}

@@ -1,0 +1,134 @@
+//! The paper's evaluation workload (§7), as data.
+//!
+//! Databases of N logical files, 1000 files per logical collection, ten
+//! user-defined attributes of mixed types (string, float, integer, date,
+//! datetime — two of each) attached to every file and every collection.
+//! Attribute values are deterministic functions of the file index so the
+//! drivers can build "query for exactly file i's attributes" complex
+//! queries without lookups, matching the paper's complex-query operation.
+
+use mcs::{AttrPredicate, AttrType, Attribute};
+use relstore::{Date, DateTime, Time, Value};
+
+/// Files per logical collection (paper §7: "1000 logical files per
+/// collection").
+pub const FILES_PER_COLLECTION: u64 = 1000;
+
+/// The ten user-defined attributes of the workload.
+pub const ATTR_NAMES: [&str; 10] = [
+    "wl_site", "wl_type", "wl_seq", "wl_coll", "wl_freq", "wl_snr", "wl_date", "wl_caldate",
+    "wl_start", "wl_end",
+];
+
+/// Attribute types, index-aligned with [`ATTR_NAMES`].
+pub const ATTR_TYPES: [AttrType; 10] = [
+    AttrType::Str,
+    AttrType::Str,
+    AttrType::Int,
+    AttrType::Int,
+    AttrType::Float,
+    AttrType::Float,
+    AttrType::Date,
+    AttrType::Date,
+    AttrType::DateTime,
+    AttrType::DateTime,
+];
+
+const EPOCH_DAY: i64 = 12_341; // 2003-10-16
+const EPOCH_SEC: i64 = 1_066_262_400;
+
+/// Logical file name for index `i`.
+pub fn file_name(i: u64) -> String {
+    format!("lfn.{i:09}.dat")
+}
+
+/// Collection name for collection index `c`.
+pub fn collection_name(c: u64) -> String {
+    format!("coll.{c:06}")
+}
+
+/// Collection index owning file `i`.
+pub fn collection_of(i: u64) -> u64 {
+    i / FILES_PER_COLLECTION
+}
+
+/// Value of attribute `a` (0..10) for file index `i`.
+pub fn attr_value(a: usize, i: u64) -> Value {
+    let i = i as i64;
+    match a {
+        0 => Value::from(format!("site_{:02}", i % 50)),
+        1 => Value::from(format!("type_{:02}", i % 20)),
+        2 => Value::Int(i % 1000),
+        3 => Value::Int(i / 1000),
+        4 => Value::Float((i % 997) as f64 * 0.5),
+        5 => Value::Float((i % 101) as f64 * 1.25),
+        6 => Value::Date(Date::from_days_from_epoch(EPOCH_DAY + i % 365)),
+        7 => Value::Date(Date::from_days_from_epoch(EPOCH_DAY + i % 30)),
+        8 => Value::DateTime(DateTime::from_seconds_from_epoch(EPOCH_SEC + (i % 86_400) * 7)),
+        9 => Value::DateTime(DateTime::from_seconds_from_epoch(EPOCH_SEC + (i % 3_600) * 11)),
+        _ => panic!("attribute index out of range"),
+    }
+}
+
+/// All ten attributes of file `i`.
+pub fn attributes_of(i: u64) -> Vec<Attribute> {
+    (0..10)
+        .map(|a| Attribute { name: ATTR_NAMES[a].to_owned(), value: attr_value(a, i) })
+        .collect()
+}
+
+/// The paper's complex-query operation for file `i`: equality on its
+/// first `k` user-defined attributes (k = 10 reproduces Figures 7/10;
+/// varying k reproduces Figure 11). Attributes 2 and 3 together pin the
+/// file index, so full queries typically match exactly one file.
+pub fn complex_query(i: u64, k: usize) -> Vec<AttrPredicate> {
+    (0..k.min(10))
+        .map(|a| AttrPredicate {
+            name: ATTR_NAMES[a].to_owned(),
+            op: mcs::AttrOp::Eq,
+            value: attr_value(a, i),
+        })
+        .collect()
+}
+
+/// Creation timestamp used for bulk-loaded rows.
+pub fn load_timestamp() -> DateTime {
+    DateTime::new(Date::from_days_from_epoch(EPOCH_DAY), Time::new(0, 0, 0).unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_match_declared_types() {
+        for a in 0..10 {
+            for i in [0u64, 1, 999, 123_456] {
+                let v = attr_value(a, i);
+                assert_eq!(
+                    mcs::AttrType::of_value(&v),
+                    Some(ATTR_TYPES[a]),
+                    "attr {a} file {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_query_pins_the_file() {
+        // attrs 2 (i % 1000) and 3 (i / 1000) jointly identify i
+        let q = complex_query(424_242, 10);
+        assert_eq!(q.len(), 10);
+        assert_eq!(q[2].value, Value::Int(242));
+        assert_eq!(q[3].value, Value::Int(424));
+    }
+
+    #[test]
+    fn names_are_stable_and_sortable() {
+        assert_eq!(file_name(7), "lfn.000000007.dat");
+        assert!(file_name(9) < file_name(10));
+        assert_eq!(collection_of(999), 0);
+        assert_eq!(collection_of(1000), 1);
+        assert_eq!(collection_name(3), "coll.000003");
+    }
+}

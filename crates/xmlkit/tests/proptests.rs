@@ -1,0 +1,63 @@
+//! Property tests: XML serialize→parse is the identity on element trees.
+
+use proptest::prelude::*;
+use xmlkit::{parse, Element, Node};
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,6}(:[a-z][a-z0-9]{0,4})?"
+}
+
+/// Text with tricky characters but never whitespace-only (the parser
+/// canonicalizes indentation-only runs away).
+fn arb_text() -> impl Strategy<Value = String> {
+    "[a-z<>&\"' ]{0,10}[a-z<>&\"']"
+}
+
+fn arb_element() -> impl Strategy<Value = Element> {
+    let leaf = (arb_name(), prop::collection::vec((arb_name(), arb_text()), 0..3)).prop_map(
+        |(name, attrs)| {
+            let mut e = Element::new(name);
+            e.attrs = dedup_attrs(attrs);
+            e
+        },
+    );
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (
+            arb_name(),
+            prop::collection::vec((arb_name(), arb_text()), 0..3),
+            prop::collection::vec(
+                prop_oneof![
+                    inner.prop_map(Node::Element),
+                    arb_text().prop_map(Node::Text),
+                ],
+                0..4,
+            ),
+        )
+            .prop_map(|(name, attrs, children)| {
+                let mut e = Element::new(name);
+                e.attrs = dedup_attrs(attrs);
+                // merge adjacent text nodes (parser always coalesces them)
+                for c in children {
+                    match (e.children.last_mut(), c) {
+                        (Some(Node::Text(prev)), Node::Text(t)) => prev.push_str(&t),
+                        (_, c) => e.children.push(c),
+                    }
+                }
+                e
+            })
+    })
+}
+
+fn dedup_attrs(attrs: Vec<(String, String)>) -> Vec<(String, String)> {
+    let mut seen = std::collections::HashSet::new();
+    attrs.into_iter().filter(|(n, _)| seen.insert(n.clone())).collect()
+}
+
+proptest! {
+    #[test]
+    fn xml_serialize_parse_roundtrip(e in arb_element()) {
+        let wire = e.to_xml();
+        let parsed = parse(&wire).unwrap();
+        prop_assert_eq!(parsed, e);
+    }
+}

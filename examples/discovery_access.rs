@@ -1,0 +1,112 @@
+//! The paper's Figure 2, end to end: attribute-based discovery and data
+//! access across three federated Grid services —
+//!
+//! 1–2. query the **MCS** by descriptive attributes → logical names;
+//! 3–4. query the **RLS** (RLI → LRC) → physical replicas;
+//! 5–6. select a replica and fetch it with **GridFTP**.
+//!
+//! The MCS runs as a real SOAP service over loopback TCP; the transfer
+//! layer is the deterministic simulator (see DESIGN.md substitutions).
+//!
+//! Run with `cargo run --example discovery_access`.
+
+use std::sync::Arc;
+
+use gridftp::{transfer, Endpoint, GridFtpServer, TransferOptions};
+use mcs::{AttrPredicate, AttrType, Credential, FileSpec, IndexProfile, ManualClock, Mcs};
+use mcs_net::{McsClient, McsServer};
+use rls::{Digest, LocalReplicaCatalog, ReplicaLocationIndex};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- the Grid: one MCS service, two sites with LRCs, one RLI ----
+    let admin = Credential::new("/O=Grid/CN=admin");
+    let catalog =
+        Arc::new(Mcs::with_options(&admin, IndexProfile::Paper2003, Arc::new(ManualClock::default()))?);
+    let server = McsServer::start(Arc::clone(&catalog), "127.0.0.1:0", 4)?;
+    let mut client = McsClient::connect(server.addr().to_string(), admin.clone());
+
+    let caltech_lrc = LocalReplicaCatalog::new("ldas.ligo.caltech.edu");
+    let isi_lrc = LocalReplicaCatalog::new("storage.isi.edu");
+    let rli = ReplicaLocationIndex::new(300);
+
+    let caltech = GridFtpServer::new(
+        "ldas.ligo.caltech.edu",
+        Endpoint { bandwidth_mbps: 622.0, latency_ms: 28.0 },
+    );
+    // the ISI cache sits on Alice's gigabit campus LAN — near and fast
+    let isi = GridFtpServer::new(
+        "storage.isi.edu",
+        Endpoint { bandwidth_mbps: 1000.0, latency_ms: 0.5 },
+    );
+    let workstation = GridFtpServer::new("alice-desktop.isi.edu", Endpoint::lan());
+
+    // ---- publication: metadata to MCS, replicas to LRCs ----
+    client.define_attribute("instrument", AttrType::Str, "")?;
+    client.define_attribute("gpsStart", AttrType::Int, "")?;
+    for i in 0..6i64 {
+        let lfn = format!("S1-H1-{i:04}.gwf");
+        client.create_file(
+            &FileSpec::named(&lfn).attr("instrument", "H1").attr("gpsStart", 714_000_000 + 16 * i),
+        )?;
+        let path = format!("/frames/{lfn}");
+        caltech.put(&path, 128 << 20)?;
+        caltech_lrc.add(&lfn, &caltech.url(&path))?;
+        if i < 2 {
+            // two segments are also cached at ISI, much closer to Alice
+            isi.put(&path, 128 << 20)?;
+            isi_lrc.add(&lfn, &isi.url(&path))?;
+        }
+    }
+    // soft-state: each LRC pushes its digest to the index
+    for lrc in [&caltech_lrc, &isi_lrc] {
+        rli.update(Digest::build(lrc.id(), &lrc.lfns(), 0, 0.001), 0);
+    }
+
+    // ---- steps 1–2: attribute query against the metadata service ----
+    let hits = client.query_by_attributes(&[
+        AttrPredicate::eq("instrument", "H1"),
+        AttrPredicate { name: "gpsStart".into(), op: mcs::AttrOp::Lt, value: 714_000_032i64.into() },
+    ])?;
+    println!("MCS returned {} logical names", hits.len());
+    assert_eq!(hits.len(), 2);
+
+    // ---- steps 3–4: logical name -> physical replicas via RLI + LRCs ----
+    let lrcs = [&caltech_lrc, &isi_lrc];
+    for (lfn, _version) in &hits {
+        let sites = rli.query(lfn, 1);
+        let mut replicas = Vec::new();
+        for site in &sites {
+            let lrc = lrcs.iter().find(|l| l.id() == site).expect("known site");
+            replicas.extend(lrc.lookup(lfn));
+        }
+        println!("{lfn}: {} replica(s) at sites {sites:?}", replicas.len());
+        assert_eq!(replicas.len(), 2, "both sites hold the early segments");
+
+        // ---- steps 5–6: replica selection + GridFTP retrieval ----
+        // naive selection: try each replica, keep the fastest simulated
+        // transfer (a real broker would use NWS forecasts)
+        let path = format!("/frames/{lfn}");
+        let mut best: Option<(String, gridftp::TransferReport)> = None;
+        for (srcname, src) in [("ldas.ligo.caltech.edu", &caltech), ("storage.isi.edu", &isi)] {
+            if src.size_of(&path).is_none() {
+                continue;
+            }
+            let dst_path = format!("/scratch/{srcname}/{lfn}");
+            let report = transfer(src, &path, &workstation, &dst_path, TransferOptions::default())?;
+            if best.as_ref().is_none_or(|(_, b)| report.duration < b.duration) {
+                best = Some((srcname.to_owned(), report));
+            }
+        }
+        let (site, report) = best.expect("at least one replica");
+        println!(
+            "  fetched from {site}: {:.1} MB in {:.2}s ({:.0} Mbit/s)",
+            report.bytes as f64 / 1e6,
+            report.duration.as_secs_f64(),
+            report.throughput_mbps
+        );
+        assert_eq!(site, "storage.isi.edu", "the near replica must win");
+    }
+
+    println!("figure-2 scenario complete: {} files delivered", workstation.file_count() / 2);
+    Ok(())
+}

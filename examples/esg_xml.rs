@@ -1,0 +1,90 @@
+//! The Earth System Grid integration (paper §6.2): loading
+//! netCDF-convention + Dublin Core XML metadata into the MCS by
+//! *shredding* it into user-defined attributes — including the friction
+//! the ESG scientists reported.
+//!
+//! Run with `cargo run --example esg_xml`.
+
+use mcs::{AttrPredicate, Credential, Mcs, ObjectRef};
+
+/// A climate-model dataset description in the style ESG used: netCDF
+/// variable metadata plus Dublin Core fields.
+fn esg_document(run: &str, variable: &str, mean: f64) -> String {
+    format!(
+        r#"<?xml version="1.0"?>
+<dataset xmlns:dc="http://purl.org/dc/elements/1.1/">
+  <dc:title>PCM run {run}</dc:title>
+  <dc:creator>NCAR Climate and Global Dynamics</dc:creator>
+  <dc:date>2002-08-15</dc:date>
+  <dc:format>netCDF</dc:format>
+  <convention>CF-1.0</convention>
+  <run>{run}</run>
+  <variable name="{variable}">
+    <long_name>surface temperature</long_name>
+    <units>K</units>
+    <mean>{mean}</mean>
+  </variable>
+  <grid>
+    <resolution_deg>2.8</resolution_deg>
+    <levels>18</levels>
+  </grid>
+  <timesteps>1460</timesteps>
+</dataset>"#
+    )
+}
+
+fn main() -> mcs::Result<()> {
+    let admin = Credential::new("/O=ESG/CN=loader");
+    let catalog = Mcs::new(&admin)?;
+
+    // Load three datasets; shredding defines attributes on first use.
+    let mut total_attrs = 0;
+    for (run, var, mean) in [("B06.22", "TS", 287.4), ("B06.23", "TS", 287.9), ("B06.28", "TS", 286.8)]
+    {
+        let name = format!("pcm.{run}.nc");
+        let (_, n) = catalog.publish_xml_metadata(&admin, &name, &esg_document(run, var, mean))?;
+        total_attrs += n;
+        println!("loaded {name}: {n} shredded attributes");
+    }
+    println!(
+        "{} attribute definitions now in the catalog (vs. 3 XML documents — the paper's \
+         'no simple mapping between XML metadata files and MCS relational tables')",
+        catalog.attribute_definitions()?.len()
+    );
+
+    // Discovery works, through Dublin Core...
+    let by_creator = catalog.query_by_attributes(
+        &admin,
+        &[AttrPredicate::eq("dataset/creator", "NCAR Climate and Global Dynamics")],
+    )?;
+    println!("datasets by NCAR CGD: {}", by_creator.len());
+    assert_eq!(by_creator.len(), 3);
+
+    // ...and through netCDF-derived numeric attributes with ranges.
+    let warm = catalog.query_by_attributes(
+        &admin,
+        &[AttrPredicate {
+            name: "dataset/variable/mean".into(),
+            op: mcs::AttrOp::Ge,
+            value: 287.5f64.into(),
+        }],
+    )?;
+    println!("runs with mean TS >= 287.5 K: {warm:?}");
+    assert_eq!(warm.len(), 1);
+
+    // The friction, reproduced: the shredded paths are unwieldy...
+    let attrs = catalog.get_attributes(&admin, &ObjectRef::File("pcm.B06.22.nc".into()))?;
+    println!("example shredded paths for one dataset:");
+    for a in attrs.iter().take(5) {
+        println!("  {} = {}", a.name, a.value);
+    }
+    // ...and round-tripping back to XML is lossy (repeats got suffixes,
+    // document order is gone) — which is why §9 proposes a native XML
+    // backend as future work.
+    println!(
+        "({} attributes total across {} files; reconstructing the original XML from \
+         these rows is not possible — paper §6.2's 'cumbersome and slow')",
+        total_attrs, 3
+    );
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! Federated metadata catalogs — the §9 future-work design, running:
+//! several self-consistent site catalogs push soft-state digests to an
+//! aggregating index; clients query the index first and sub-query only
+//! the candidate sites.
+//!
+//! Run with `cargo run --example federation`.
+
+use std::sync::Arc;
+
+use mcs::{AttrPredicate, AttrType, Credential, FileSpec, Mcs};
+use mcs_repro::federation::{digest_catalog, federated_query, FederatedSite, FederationIndex};
+
+fn site(id: &str, experiment: &str, files: usize) -> FederatedSite {
+    let admin = Credential::new(format!("/O=Grid/OU={id}/CN=admin"));
+    let m = Mcs::new(&admin).unwrap();
+    m.allow_anyone(&admin).unwrap();
+    m.define_attribute(&admin, "experiment", AttrType::Str, "").unwrap();
+    m.define_attribute(&admin, "year", AttrType::Int, "").unwrap();
+    for i in 0..files {
+        m.create_file(
+            &admin,
+            &FileSpec::named(format!("{id}-{experiment}-{i:04}.dat"))
+                .attr("experiment", experiment)
+                .attr("year", 2003i64 - (i % 3) as i64),
+        )
+        .unwrap();
+    }
+    FederatedSite { id: id.to_owned(), catalog: Arc::new(m) }
+}
+
+fn main() -> mcs::Result<()> {
+    // Four virtual-organization sites, two communities.
+    let sites = vec![
+        site("isi", "ligo", 40),
+        site("caltech", "ligo", 25),
+        site("ncar", "esg", 30),
+        site("llnl", "esg", 35),
+    ];
+    let index = FederationIndex::new(300);
+
+    // Soft-state push: each site periodically digests its catalog.
+    for s in &sites {
+        index.update(digest_catalog(&s.id, &s.catalog, 0), 0);
+    }
+    println!("index holds digests from {} sites", index.site_count());
+
+    // A LIGO query: the index prunes the ESG sites before any sub-query.
+    let cred = Credential::new("/O=Grid/CN=roaming-scientist");
+    let preds =
+        [AttrPredicate::eq("experiment", "ligo"), AttrPredicate::eq("year", 2003i64)];
+    let result = federated_query(&index, &sites, &cred, &preds, 1)?;
+    println!(
+        "federated LIGO query: {} hits from {} sites ({} pruned by the index)",
+        result.hits.len(),
+        result.queried_sites,
+        result.pruned_sites
+    );
+    assert_eq!(result.pruned_sites, 2, "ESG sites must be pruned");
+    assert!(result.hits.iter().all(|(s, _, _)| s == "isi" || s == "caltech"));
+
+    // Soft state ages out: a site that stops pushing disappears from
+    // results without any explicit deregistration.
+    let result_later = federated_query(&index, &sites, &cred, &preds, 10_000)?;
+    println!(
+        "same query 10000s later with no digest refresh: {} hits (all digests stale)",
+        result_later.hits.len()
+    );
+    assert!(result_later.hits.is_empty());
+
+    // One site refreshes; only it comes back.
+    index.update(digest_catalog("isi", &sites[0].catalog, 10_000), 10_000);
+    let result_refreshed = federated_query(&index, &sites, &cred, &preds, 10_001)?;
+    assert!(result_refreshed.hits.iter().all(|(s, _, _)| s == "isi"));
+    println!("after isi refreshes its digest: {} hits, all from isi", result_refreshed.hits.len());
+    Ok(())
+}

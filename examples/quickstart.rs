@@ -1,0 +1,79 @@
+//! Quickstart: the full publication → discovery → annotation cycle from
+//! paper §2, in one binary against an in-process catalog.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use mcs::{
+    AttrPredicate, AttrType, Credential, FileSpec, Mcs, ObjectRef, Permission, ANYONE,
+};
+
+fn main() -> mcs::Result<()> {
+    // --- bootstrap: a catalog with one administrator ---
+    let admin = Credential::new("/O=Grid/OU=ISI/CN=admin");
+    let catalog = Mcs::new(&admin)?;
+
+    // The community agrees on an attribute ontology (paper §5:
+    // user-defined attributes encode domain-specific schemas).
+    catalog.define_attribute(&admin, "instrument", AttrType::Str, "detector site")?;
+    catalog.define_attribute(&admin, "gps_start", AttrType::Int, "GPS start second")?;
+    catalog.define_attribute(&admin, "duration_s", AttrType::Int, "segment length")?;
+
+    // --- publication (paper §2) ---
+    catalog.create_collection(&admin, "s1-run", None, "science run 1, calibrated")?;
+    for (i, instrument) in ["H1", "H2", "L1"].iter().cycle().take(12).enumerate() {
+        let name = format!("S1-{instrument}-{:04}.gwf", i);
+        catalog.create_file(
+            &admin,
+            &FileSpec::named(&name)
+                .in_collection("s1-run")
+                .attr("instrument", *instrument)
+                .attr("gps_start", 714_000_000 + i as i64 * 16)
+                .attr("duration_s", 16i64),
+        )?;
+    }
+    println!("published {} logical files into `s1-run`", catalog.file_count()?);
+
+    // Publish = make visible: the community gets read access on the
+    // collection, so every file inherits it (union up the hierarchy),
+    // plus service-level read so attribute queries are allowed at all.
+    catalog.grant(&admin, &ObjectRef::Collection("s1-run".into()), ANYONE, Permission::Read)?;
+    catalog.grant(&admin, &ObjectRef::Service, ANYONE, Permission::Read)?;
+
+    // --- discovery (paper §2): attribute-based query ---
+    let scientist = Credential::new("/O=Grid/OU=LIGO/CN=alice");
+    let hits = catalog.query_by_attributes(
+        &scientist,
+        &[
+            AttrPredicate::eq("instrument", "H1"),
+            AttrPredicate {
+                name: "gps_start".into(),
+                op: mcs::AttrOp::Ge,
+                value: 714_000_060i64.into(),
+            },
+        ],
+    )?;
+    println!("H1 segments at/after GPS 714000060:");
+    for (name, version) in &hits {
+        println!("  {name} (v{version})");
+    }
+    assert!(!hits.is_empty());
+
+    // --- annotation and views (paper §2/§5) ---
+    let (first, _) = hits[0].clone();
+    catalog.annotate(&scientist, &ObjectRef::File(first.clone()), "clean stretch, low seismic")?;
+    catalog.create_view(&admin, "alice-picks", "segments Alice flagged")?;
+    catalog.add_to_view(&admin, "alice-picks", &ObjectRef::File(first.clone()))?;
+    let view = catalog.list_view(&admin, "alice-picks")?;
+    println!("view `alice-picks` now holds {:?}", view.files);
+
+    // --- provenance & audit ---
+    catalog.add_history(&admin, &first, "calibrated with h(t) pipeline v2")?;
+    let history = catalog.get_history(&admin, &first)?;
+    println!("history of {first}: {}", history[0].description);
+
+    let annotations = catalog.get_annotations(&scientist, &ObjectRef::File(first))?;
+    println!("annotations: {}", annotations[0].text);
+
+    println!("quickstart complete");
+    Ok(())
+}

@@ -1,0 +1,205 @@
+//! Federated metadata catalogs — the paper's §9 future-work sketch,
+//! built from the pieces the paper says to reuse:
+//!
+//! > "consistent local catalogs use soft state update mechanisms to send
+//! > periodic summaries of metadata discovery information to aggregating
+//! > index nodes. Clients query these indexes to discover desirable data
+//! > sets across a collection of metadata services and then issue
+//! > subqueries to the underlying local catalogs."
+//!
+//! Each site runs its own self-consistent [`mcs::Mcs`]. A
+//! [`FederationIndex`] receives Bloom-filter digests of each catalog's
+//! *(attribute name, value)* pairs (the same soft-state machinery as the
+//! RLS's [`rls::ReplicaLocationIndex`]); a federated query first asks the
+//! index which sites may match, then sub-queries only those catalogs.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use mcs::{AttrOp, AttrPredicate, Credential, Mcs};
+use rls::softstate::{BloomFilter, Digest};
+
+/// One site's catalog registered in a federation.
+pub struct FederatedSite {
+    /// Site identifier.
+    pub id: String,
+    /// The site's local catalog.
+    pub catalog: Arc<Mcs>,
+}
+
+/// Digest an MCS catalog's attribute content for the federation index:
+/// every `(attribute name, value)` pair present on any valid logical file.
+///
+/// Only equality predicates can be pre-filtered through such a digest;
+/// range/LIKE predicates always fan out (documented limitation, same
+/// trade-off Giggle makes).
+pub fn digest_catalog(site_id: &str, catalog: &Mcs, produced_at: u64) -> Digest {
+    let db = catalog.database();
+    let table = db.table("user_attributes").expect("catalog schema");
+    let t = table.read();
+    let mut filter = BloomFilter::with_capacity(t.len().max(16), 0.001);
+    for (_, row) in t.scan() {
+        // columns: id, object_type, object_id, name, attr_type, str, int,
+        // float, date, time, datetime
+        if row[1] != relstore::Value::Int(0) {
+            continue; // only logical-file attributes are discoverable
+        }
+        let name = match &row[3] {
+            relstore::Value::Str(s) => s,
+            _ => continue,
+        };
+        for v in &row[5..11] {
+            if !v.is_null() {
+                filter.insert(&key(name, v));
+            }
+        }
+    }
+    Digest { lrc_id: site_id.to_owned(), filter, produced_at }
+}
+
+fn key(name: &str, value: &relstore::Value) -> String {
+    format!("{name}\u{1}{value}")
+}
+
+/// An aggregating index node over many site catalogs.
+pub struct FederationIndex {
+    sites: parking_lot::RwLock<BTreeMap<String, (Digest, u64)>>,
+    ttl: u64,
+}
+
+impl FederationIndex {
+    /// Index with the given digest TTL (seconds of logical time).
+    pub fn new(ttl: u64) -> FederationIndex {
+        FederationIndex { sites: parking_lot::RwLock::new(BTreeMap::new()), ttl }
+    }
+
+    /// Accept a digest push (replaces the site's previous digest).
+    pub fn update(&self, digest: Digest, now: u64) {
+        self.sites.write().insert(digest.lrc_id.clone(), (digest, now));
+    }
+
+    /// Sites that *may* match every equality predicate (Bloom, so false
+    /// positives possible; non-equality predicates do not prune).
+    pub fn candidate_sites(&self, preds: &[AttrPredicate], now: u64) -> Vec<String> {
+        let sites = self.sites.read();
+        sites
+            .values()
+            .filter(|(_, received)| now.saturating_sub(*received) <= self.ttl)
+            .filter(|(d, _)| {
+                preds
+                    .iter()
+                    .filter(|p| p.op == AttrOp::Eq)
+                    .all(|p| d.filter.contains(&key(&p.name, &p.value)))
+            })
+            .map(|(d, _)| d.lrc_id.clone())
+            .collect()
+    }
+
+    /// Number of live site digests.
+    pub fn site_count(&self) -> usize {
+        self.sites.read().len()
+    }
+}
+
+/// Result of a federated query: per-site hits.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FederatedHits {
+    /// (site id, logical name, version) triples, sorted.
+    pub hits: Vec<(String, String, i64)>,
+    /// Sites the index pruned away without sub-querying.
+    pub pruned_sites: usize,
+    /// Sites actually sub-queried.
+    pub queried_sites: usize,
+}
+
+/// Run a federated attribute query: index pre-filter, then sub-queries to
+/// candidate sites only (paper §9's two-step discovery).
+pub fn federated_query(
+    index: &FederationIndex,
+    sites: &[FederatedSite],
+    cred: &Credential,
+    preds: &[AttrPredicate],
+    now: u64,
+) -> mcs::Result<FederatedHits> {
+    let candidates = index.candidate_sites(preds, now);
+    let mut out = FederatedHits {
+        pruned_sites: sites.len().saturating_sub(candidates.len()),
+        ..Default::default()
+    };
+    for site in sites {
+        if !candidates.contains(&site.id) {
+            continue;
+        }
+        out.queried_sites += 1;
+        for (name, version) in site.catalog.query_by_attributes(cred, preds)? {
+            out.hits.push((site.id.clone(), name, version));
+        }
+    }
+    out.hits.sort();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs::{AttrType, FileSpec};
+
+    fn site(id: &str, channel: &str, n: usize) -> FederatedSite {
+        let admin = Credential::new("/CN=admin");
+        let m = Mcs::new(&admin).unwrap();
+        m.allow_anyone(&admin).unwrap();
+        m.define_attribute(&admin, "channel", AttrType::Str, "").unwrap();
+        for i in 0..n {
+            m.create_file(&admin, &FileSpec::named(format!("{id}-f{i}")).attr("channel", channel))
+                .unwrap();
+        }
+        FederatedSite { id: id.to_owned(), catalog: Arc::new(m) }
+    }
+
+    #[test]
+    fn index_prunes_non_matching_sites() {
+        let sites = vec![site("isi", "H1", 3), site("cern", "L1", 3), site("ncsa", "H1", 2)];
+        let index = FederationIndex::new(300);
+        for s in &sites {
+            index.update(digest_catalog(&s.id, &s.catalog, 0), 0);
+        }
+        let cred = Credential::new("/CN=u");
+        let preds = [AttrPredicate::eq("channel", "H1")];
+        let r = federated_query(&index, &sites, &cred, &preds, 10).unwrap();
+        assert_eq!(r.hits.len(), 5);
+        assert!(r.hits.iter().all(|(s, _, _)| s == "isi" || s == "ncsa"));
+        // "cern" pruned without a sub-query (false positives possible but
+        // vanishingly unlikely at fp=0.001 with this tiny content)
+        assert_eq!(r.pruned_sites, 1);
+        assert_eq!(r.queried_sites, 2);
+    }
+
+    #[test]
+    fn stale_digests_drop_out() {
+        let sites = vec![site("isi", "H1", 1)];
+        let index = FederationIndex::new(60);
+        index.update(digest_catalog("isi", &sites[0].catalog, 0), 0);
+        let cred = Credential::new("/CN=u");
+        let preds = [AttrPredicate::eq("channel", "H1")];
+        assert_eq!(federated_query(&index, &sites, &cred, &preds, 59).unwrap().hits.len(), 1);
+        assert!(federated_query(&index, &sites, &cred, &preds, 61).unwrap().hits.is_empty());
+    }
+
+    #[test]
+    fn non_equality_predicates_do_not_prune() {
+        let sites = vec![site("isi", "H1", 1), site("cern", "L1", 1)];
+        let index = FederationIndex::new(300);
+        for s in &sites {
+            index.update(digest_catalog(&s.id, &s.catalog, 0), 0);
+        }
+        let cred = Credential::new("/CN=u");
+        let preds = [AttrPredicate {
+            name: "channel".into(),
+            op: AttrOp::Like,
+            value: "H%".into(),
+        }];
+        let r = federated_query(&index, &sites, &cred, &preds, 0).unwrap();
+        assert_eq!(r.queried_sites, 2); // both consulted
+        assert_eq!(r.hits.len(), 1); // only isi matches
+    }
+}

@@ -1,0 +1,32 @@
+//! # mcs-repro — reproduction of *"A Metadata Catalog Service for Data
+//! Intensive Applications"* (Singh et al., SC'03)
+//!
+//! This facade crate re-exports the workspace's components and hosts the
+//! cross-crate [`federation`] prototype (paper §9) plus the runnable
+//! examples under `examples/`:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`mcs`] | the Metadata Catalog Service itself |
+//! | [`mcs_net`] | its SOAP web service and client |
+//! | [`relstore`] | the embedded relational backend (MySQL stand-in) |
+//! | [`soapstack`] | XML + HTTP + SOAP substrate (Tomcat/Axis stand-in) |
+//! | [`rls`] | the Replica Location Service it federates with |
+//! | [`gridftp`] | the transport simulator for end-to-end scenarios |
+//! | [`workload`] | the §7 evaluation workload and client driver |
+//!
+//! Start with `examples/quickstart.rs`; the evaluation harness lives in
+//! `crates/mcs-bench`.
+
+#![warn(missing_docs)]
+
+pub use gridftp;
+pub use mcs;
+pub use mcs_net;
+pub use relstore;
+pub use rls;
+pub use soapstack;
+pub use workload;
+pub use xmlkit;
+
+pub mod federation;

@@ -1,0 +1,258 @@
+//! Cross-crate integration tests: the complete Grid stack wired together
+//! the way the paper deploys it.
+
+use std::sync::Arc;
+
+use gridftp::{transfer, Endpoint, GridFtpServer, TransferOptions};
+use mcs::{
+    AttrPredicate, AttrType, Credential, FileSpec, IndexProfile, ManualClock, Mcs, ObjectRef,
+};
+use mcs_net::{McsClient, McsServer};
+use rls::{Digest, LocalReplicaCatalog, ReplicaLocationIndex};
+
+fn admin() -> Credential {
+    Credential::new("/O=Grid/CN=admin")
+}
+
+fn fresh_catalog() -> Arc<Mcs> {
+    Arc::new(
+        Mcs::with_options(&admin(), IndexProfile::Paper2003, Arc::new(ManualClock::default()))
+            .unwrap(),
+    )
+}
+
+/// The Figure-2 pipeline: MCS (over SOAP) → RLS → GridFTP, asserting the
+/// data actually lands.
+#[test]
+fn figure2_discovery_and_access() {
+    let catalog = fresh_catalog();
+    let server = McsServer::start(Arc::clone(&catalog), "127.0.0.1:0", 2).unwrap();
+    let mut client = McsClient::connect(server.addr().to_string(), admin());
+
+    client.define_attribute("experiment", AttrType::Str, "").unwrap();
+    let lrc = LocalReplicaCatalog::new("site-a");
+    let rli = ReplicaLocationIndex::new(300);
+    let storage = GridFtpServer::new("site-a", Endpoint::lan());
+    let desktop = GridFtpServer::new("desktop", Endpoint::lan());
+
+    for i in 0..5 {
+        let lfn = format!("evt-{i:03}.dat");
+        client.create_file(&FileSpec::named(&lfn).attr("experiment", "cms")).unwrap();
+        storage.put(&format!("/data/{lfn}"), 1 << 20).unwrap();
+        lrc.add(&lfn, &storage.url(&format!("/data/{lfn}"))).unwrap();
+    }
+    rli.update(Digest::build(lrc.id(), &lrc.lfns(), 0, 0.001), 0);
+
+    let hits = client.query_by_attributes(&[AttrPredicate::eq("experiment", "cms")]).unwrap();
+    assert_eq!(hits.len(), 5);
+    for (lfn, _) in hits {
+        assert_eq!(rli.query(&lfn, 1), vec!["site-a"]);
+        let pfns = lrc.lookup(&lfn);
+        assert_eq!(pfns.len(), 1);
+        let report = transfer(
+            &storage,
+            &format!("/data/{lfn}"),
+            &desktop,
+            &format!("/scratch/{lfn}"),
+            TransferOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(report.bytes, 1 << 20);
+    }
+    assert_eq!(desktop.file_count(), 5);
+}
+
+/// Deleting metadata in the MCS and replicas in the RLS keeps the two
+/// catalogs consistent for the discovery pipeline.
+#[test]
+fn metadata_and_replica_lifecycle_stay_consistent() {
+    let catalog = fresh_catalog();
+    let a = admin();
+    catalog.define_attribute(&a, "kind", AttrType::Str, "").unwrap();
+    let lrc = LocalReplicaCatalog::new("site");
+    catalog.create_file(&a, &FileSpec::named("f").attr("kind", "raw")).unwrap();
+    lrc.add("f", "gsiftp://site/f").unwrap();
+
+    // retire the data: metadata first, then replicas (the paper's layered
+    // factoring means neither service knows about the other's rows)
+    catalog.delete_file(&a, "f").unwrap();
+    lrc.remove("f", "gsiftp://site/f").unwrap();
+    assert!(catalog.query_by_attributes(&a, &[AttrPredicate::eq("kind", "raw")]).unwrap().is_empty());
+    assert!(lrc.lookup("f").is_empty());
+}
+
+/// The bulk loader must be observationally equivalent to the public API
+/// (documented contract of `workload::populate`).
+#[test]
+fn bulk_loader_equivalent_to_api_loading() {
+    use workload::spec;
+    let n = 300u64;
+    // catalog A: bulk loaded
+    let bulk = workload::build_catalog(n, IndexProfile::Paper2003);
+    // catalog B: loaded through the public API with identical content
+    let a = admin();
+    let api = Mcs::with_options(&a, IndexProfile::Paper2003, Arc::new(ManualClock::default()))
+        .unwrap();
+    api.allow_anyone(&a).unwrap();
+    for (i, name) in spec::ATTR_NAMES.iter().enumerate() {
+        api.define_attribute(&a, name, spec::ATTR_TYPES[i], "").unwrap();
+    }
+    api.create_collection(&a, &spec::collection_name(0), None, "").unwrap();
+    for i in 0..n {
+        let mut s = FileSpec::named(spec::file_name(i)).in_collection(&spec::collection_name(0));
+        s.attributes = spec::attributes_of(i);
+        api.create_file(&a, &s).unwrap();
+    }
+
+    let user = Credential::new("/CN=user");
+    for i in [0u64, 17, 299] {
+        // same simple-query results
+        let fa = bulk.mcs.get_file(&user, &spec::file_name(i)).unwrap();
+        let fb = api.get_file(&user, &spec::file_name(i)).unwrap();
+        assert_eq!(fa.name, fb.name);
+        assert_eq!(fa.version, fb.version);
+        assert_eq!(fa.valid, fb.valid);
+        // same attributes
+        let aa = bulk.mcs.get_attributes(&user, &ObjectRef::File(fa.name.clone())).unwrap();
+        let ab = api.get_attributes(&user, &ObjectRef::File(fb.name.clone())).unwrap();
+        assert_eq!(aa, ab);
+        // same complex-query results
+        let qa = bulk.mcs.query_by_attributes(&user, &spec::complex_query(i, 10)).unwrap();
+        let qb = api.query_by_attributes(&user, &spec::complex_query(i, 10)).unwrap();
+        assert_eq!(qa, qb);
+    }
+}
+
+/// Both index profiles, exercised through the SOAP stack, agree on query
+/// results.
+#[test]
+fn profiles_agree_over_the_wire() {
+    use workload::spec;
+    let n = 400u64;
+    let p1 = workload::build_catalog(n, IndexProfile::Paper2003);
+    let p2 = workload::build_catalog(n, IndexProfile::ValueIndexed);
+    let s1 = McsServer::start(Arc::clone(&p1.mcs), "127.0.0.1:0", 2).unwrap();
+    let s2 = McsServer::start(Arc::clone(&p2.mcs), "127.0.0.1:0", 2).unwrap();
+    let mut c1 = McsClient::connect(s1.addr().to_string(), admin());
+    let mut c2 = McsClient::connect(s2.addr().to_string(), admin());
+    for i in [3u64, 111, 399] {
+        for k in [1usize, 3, 10] {
+            let q = spec::complex_query(i, k);
+            assert_eq!(
+                c1.query_by_attributes(&q).unwrap(),
+                c2.query_by_attributes(&q).unwrap(),
+                "disagreement at file {i}, {k} attrs"
+            );
+        }
+    }
+}
+
+/// Add/delete churn under concurrency leaves the catalog exactly as
+/// populated (the paper's size-preserving add workload).
+#[test]
+fn concurrent_add_delete_churn_preserves_size() {
+    let built = workload::build_catalog(500, IndexProfile::Paper2003);
+    let threads: Vec<_> = (0..4)
+        .map(|t| {
+            let mcs = Arc::clone(&built.mcs);
+            std::thread::spawn(move || {
+                let cred = workload::driver_credential(0, t);
+                for c in 0..30u64 {
+                    let mut s = FileSpec::named(format!("churn.t{t}.{c}"));
+                    s.attributes = workload::spec::attributes_of(500 + c);
+                    mcs.create_file(&cred, &s).unwrap();
+                    mcs.delete_file(&cred, &s.name).unwrap();
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert_eq!(built.mcs.file_count().unwrap(), 500);
+    // attribute table back to its loaded size: 500 files × 10 + 1 coll × 10
+    let db = built.mcs.database();
+    assert_eq!(db.table("user_attributes").unwrap().read().len(), 5_010);
+}
+
+/// Readers run concurrently with add/delete writers without errors
+/// (table-level reader-writer locking, the MyISAM model).
+#[test]
+fn readers_and_writers_coexist() {
+    let built = workload::build_catalog(400, IndexProfile::Paper2003);
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let writer = {
+        let mcs = Arc::clone(&built.mcs);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let cred = workload::driver_credential(9, 9);
+            let mut c = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                c += 1;
+                let mut s = FileSpec::named(format!("w.{c}"));
+                s.attributes = workload::spec::attributes_of(c);
+                mcs.create_file(&cred, &s).unwrap();
+                mcs.delete_file(&cred, &s.name).unwrap();
+            }
+        })
+    };
+    let cred = Credential::new("/CN=reader");
+    for i in 0..200u64 {
+        let f = built.mcs.get_file(&cred, &workload::spec::file_name(i % 400)).unwrap();
+        assert!(f.valid);
+        if i % 20 == 0 {
+            let hits = built
+                .mcs
+                .query_by_attributes(&cred, &workload::spec::complex_query(i % 400, 10))
+                .unwrap();
+            assert!(hits.iter().any(|(n, _)| *n == workload::spec::file_name(i % 400)));
+        }
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    writer.join().unwrap();
+}
+
+/// MCS container attributes point at a real container service (paper
+/// §3/§5): small data objects are grouped for efficient storage, the
+/// catalog records only (container_id, container_service), and access
+/// goes catalog → container service → storage.
+#[test]
+fn container_service_integration() {
+    use gridftp::ContainerService;
+
+    let catalog = fresh_catalog();
+    let a = admin();
+    let storage = Arc::new(GridFtpServer::new("hpss", Endpoint::lan()));
+    let containers = ContainerService::new("http://containers.hpss", Arc::clone(&storage));
+
+    // publication: pack 20 small files into one container, register each
+    // in the MCS with its container pointer
+    let cid = containers.create_container();
+    for i in 0..20 {
+        let lfn = format!("smallfile-{i:02}.dat");
+        containers.add_item(&cid, &lfn, 4096).unwrap();
+        catalog
+            .create_file(
+                &a,
+                &FileSpec {
+                    container_id: Some(cid.clone()),
+                    container_service: Some(containers.locator.clone()),
+                    ..FileSpec::named(&lfn)
+                },
+            )
+            .unwrap();
+    }
+    containers.seal(&cid).unwrap();
+
+    // access: resolve the container pointer from the catalog, extract
+    let f = catalog.get_file(&a, "smallfile-07.dat").unwrap();
+    assert_eq!(f.container_service.as_deref(), Some("http://containers.hpss"));
+    let cid_from_catalog = f.container_id.unwrap();
+    let size = containers
+        .extract(&cid_from_catalog, &f.name, &format!("/scratch/{}", f.name))
+        .unwrap();
+    assert_eq!(size, 4096);
+    assert_eq!(storage.size_of("/scratch/smallfile-07.dat"), Some(4096));
+    // the container itself is one aggregate object on storage
+    assert_eq!(storage.size_of(&format!("/containers/{cid_from_catalog}.tar")), Some(20 * 4096));
+}
