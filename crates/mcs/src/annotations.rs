@@ -18,15 +18,27 @@ impl Mcs {
             return Err(McsError::Internal("cannot annotate the service".into()));
         }
         self.require_ref_perm(cred, object, Permission::Read)?;
-        self.db.execute(
-            "INSERT INTO annotations (object_type, object_id, annotation, creator, created) \
-             VALUES (?, ?, ?, ?, ?)",
-            &[ot.code().into(), id.into(), text.into(), cred.dn.as_str().into(), self.now()],
-        )?;
-        if audit {
-            self.audit_action(ot, id, "annotate", cred, &name)?;
-        }
-        Ok(())
+        self.db.transaction(
+            &[("annotations", relstore::Access::Write), ("audit_log", relstore::Access::Write)],
+            |s| {
+                s.execute(
+                    "INSERT INTO annotations \
+                     (object_type, object_id, annotation, creator, created) \
+                     VALUES (?, ?, ?, ?, ?)",
+                    &[
+                        ot.code().into(),
+                        id.into(),
+                        text.into(),
+                        cred.dn.as_str().into(),
+                        self.now(),
+                    ],
+                )?;
+                if audit {
+                    self.audit_action_in(s, ot, id, "annotate", cred, &name)?;
+                }
+                Ok(())
+            },
+        )
     }
 
     /// Fetch an object's annotations, oldest first. Requires Read.

@@ -191,19 +191,33 @@ impl Mcs {
         }
         self.require_ref_perm(cred, object, Permission::Write)?;
         let vals = self.attr_row_values(ot, attr)?;
-        self.db.execute_prepared(
-            &self.stmts.del_attr_named,
-            &[ot.code().into(), id.into(), attr.name.as_str().into()],
-        )?;
-        let mut params: Vec<Value> = Vec::with_capacity(10);
-        params.push(ot.code().into());
-        params.push(id.into());
-        params.extend(vals[2..].iter().cloned());
-        self.db.execute_prepared(&self.stmts.ins_attr, &params)?;
-        if audit {
-            self.audit_action(ot, id, "set_attribute", cred, &format!("{name}:{}", attr.name))?;
-        }
-        Ok(())
+        // Upsert = delete + insert: atomic, so a crash can't lose the old
+        // value without having written the new one.
+        self.db.transaction(
+            &[("audit_log", relstore::Access::Write), ("user_attributes", relstore::Access::Write)],
+            |s| {
+                s.execute_prepared(
+                    &self.stmts.del_attr_named,
+                    &[ot.code().into(), id.into(), attr.name.as_str().into()],
+                )?;
+                let mut params: Vec<Value> = Vec::with_capacity(10);
+                params.push(ot.code().into());
+                params.push(id.into());
+                params.extend(vals[2..].iter().cloned());
+                s.execute_prepared(&self.stmts.ins_attr, &params)?;
+                if audit {
+                    self.audit_action_in(
+                        s,
+                        ot,
+                        id,
+                        "set_attribute",
+                        cred,
+                        &format!("{name}:{}", attr.name),
+                    )?;
+                }
+                Ok(())
+            },
+        )
     }
 
     /// Remove a user-defined attribute from an object. Requires Write.
@@ -216,14 +230,26 @@ impl Mcs {
     ) -> Result<bool> {
         let (ot, id, audit, name) = self.resolve_ref(object)?;
         self.require_ref_perm(cred, object, Permission::Write)?;
-        let res = self.db.execute_prepared(
-            &self.stmts.del_attr_named,
-            &[ot.code().into(), id.into(), attr_name.into()],
-        )?;
-        if audit && res.rows_affected > 0 {
-            self.audit_action(ot, id, "remove_attribute", cred, &format!("{name}:{attr_name}"))?;
-        }
-        Ok(res.rows_affected > 0)
+        self.db.transaction(
+            &[("audit_log", relstore::Access::Write), ("user_attributes", relstore::Access::Write)],
+            |s| {
+                let res = s.execute_prepared(
+                    &self.stmts.del_attr_named,
+                    &[ot.code().into(), id.into(), attr_name.into()],
+                )?;
+                if audit && res.rows_affected > 0 {
+                    self.audit_action_in(
+                        s,
+                        ot,
+                        id,
+                        "remove_attribute",
+                        cred,
+                        &format!("{name}:{attr_name}"),
+                    )?;
+                }
+                Ok(res.rows_affected > 0)
+            },
+        )
     }
 
     /// Fetch all user-defined attributes of an object, sorted by name

@@ -9,7 +9,9 @@ use crate::model::*;
 
 impl Mcs {
     /// Append an audit record. Called internally whenever an audited
-    /// object is touched.
+    /// object is touched by a single-statement (read) path; write paths
+    /// use [`Mcs::audit_action_in`] so the audit row commits atomically
+    /// with the operation it records.
     pub(crate) fn audit_action(
         &self,
         ot: ObjectType,
@@ -18,18 +20,41 @@ impl Mcs {
         cred: &Credential,
         details: &str,
     ) -> Result<()> {
-        self.db.execute_prepared(
-            &self.stmts.ins_audit,
-            &[
-                ot.code().into(),
-                id.into(),
-                action.into(),
-                cred.dn.as_str().into(),
-                self.now(),
-                details.into(),
-            ],
-        )?;
+        self.db.execute_prepared(&self.stmts.ins_audit, &self.audit_params(ot, id, action, cred, details))?;
         Ok(())
+    }
+
+    /// Append an audit record inside an open catalog transaction (the
+    /// `audit_log` table must be claimed for write).
+    pub(crate) fn audit_action_in(
+        &self,
+        s: &mut relstore::Session,
+        ot: ObjectType,
+        id: i64,
+        action: &str,
+        cred: &Credential,
+        details: &str,
+    ) -> Result<()> {
+        s.execute_prepared(&self.stmts.ins_audit, &self.audit_params(ot, id, action, cred, details))?;
+        Ok(())
+    }
+
+    fn audit_params(
+        &self,
+        ot: ObjectType,
+        id: i64,
+        action: &str,
+        cred: &Credential,
+        details: &str,
+    ) -> [Value; 6] {
+        [
+            ot.code().into(),
+            id.into(),
+            action.into(),
+            cred.dn.as_str().into(),
+            self.now(),
+            details.into(),
+        ]
     }
 
     /// Fetch the audit trail of an object, oldest first. Requires Read.

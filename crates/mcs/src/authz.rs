@@ -14,6 +14,9 @@ use crate::error::{McsError, Result};
 use crate::model::*;
 
 impl Mcs {
+    const INS_ACE_SQL: &'static str = "INSERT INTO acl_entries \
+         (object_type, object_id, principal, permission) VALUES (?, ?, ?, ?)";
+
     pub(crate) fn insert_ace(
         &self,
         ot: ObjectType,
@@ -22,12 +25,31 @@ impl Mcs {
         perm: Permission,
     ) -> Result<()> {
         match self.db.execute(
-            "INSERT INTO acl_entries (object_type, object_id, principal, permission) \
-             VALUES (?, ?, ?, ?)",
+            Self::INS_ACE_SQL,
             &[ot.code().into(), id.into(), principal.into(), perm.code().into()],
         ) {
             Ok(_) => Ok(()),
             // granting twice is idempotent
+            Err(relstore::Error::UniqueViolation { .. }) => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Like [`Mcs::insert_ace`], but inside an open catalog transaction
+    /// (the `acl_entries` table must be claimed for write).
+    pub(crate) fn insert_ace_in(
+        &self,
+        s: &mut relstore::Session,
+        ot: ObjectType,
+        id: i64,
+        principal: &str,
+        perm: Permission,
+    ) -> Result<()> {
+        match s.execute(
+            Self::INS_ACE_SQL,
+            &[ot.code().into(), id.into(), principal.into(), perm.code().into()],
+        ) {
+            Ok(_) => Ok(()),
             Err(relstore::Error::UniqueViolation { .. }) => Ok(()),
             Err(e) => Err(e.into()),
         }
@@ -255,9 +277,11 @@ impl Mcs {
     /// (read + write + delete). Requires service Admin.
     pub fn allow_anyone(&self, cred: &Credential) -> Result<()> {
         self.require_service_perm(cred, Permission::Admin)?;
-        for p in [Permission::Read, Permission::Write, Permission::Delete] {
-            self.insert_ace(ObjectType::Service, 0, ANYONE, p)?;
-        }
-        Ok(())
+        self.db.transaction(&[("acl_entries", relstore::Access::Write)], |s| {
+            for p in [Permission::Read, Permission::Write, Permission::Delete] {
+                self.insert_ace_in(s, ObjectType::Service, 0, ANYONE, p)?;
+            }
+            Ok(())
+        })
     }
 }

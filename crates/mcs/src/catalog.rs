@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use relstore::{Database, Prepared, Value};
+use relstore::{Access, Database, Prepared, Value};
 
 use crate::clock::{Clock, SystemClock};
 use crate::error::{McsError, Result};
@@ -138,10 +138,14 @@ impl Mcs {
         };
         if fresh {
             // Bootstrap ACL: the admin can do everything on the service.
-            for p in [Permission::Read, Permission::Write, Permission::Delete, Permission::Admin]
-            {
-                mcs.insert_ace(ObjectType::Service, 0, &admin.dn, p)?;
-            }
+            mcs.db.transaction(&[("acl_entries", Access::Write)], |s| {
+                for p in
+                    [Permission::Read, Permission::Write, Permission::Delete, Permission::Admin]
+                {
+                    mcs.insert_ace_in(s, ObjectType::Service, 0, &admin.dn, p)?;
+                }
+                Ok::<_, McsError>(())
+            })?;
         }
         Ok(mcs)
     }
@@ -314,55 +318,66 @@ impl Mcs {
             .collect::<Result<_>>()?;
 
         let now = self.now();
-        let res = self.db.execute_prepared(
-            &self.stmts.ins_file,
+        // One transaction: the file row, its attribute rows, and the audit
+        // record commit together or not at all — a failure at any point
+        // (and a crash at any statement boundary) leaves no trace.
+        let id = self.db.transaction(
             &[
-                spec.name.as_str().into(),
-                version.into(),
-                opt_str(&spec.data_type),
-                true.into(),
-                collection.as_ref().map_or(Value::Null, |c| c.id.into()),
-                opt_str(&spec.container_id),
-                opt_str(&spec.container_service),
-                cred.dn.as_str().into(),
-                now.clone(),
-                opt_str(&spec.master_copy),
-                spec.audit.into(),
+                ("audit_log", Access::Write),
+                ("logical_files", Access::Write),
+                ("user_attributes", Access::Write),
             ],
-        );
-        let res = match res {
-            Err(relstore::Error::UniqueViolation { .. }) => {
-                return Err(McsError::AlreadyExists(format!("{}.v{}", spec.name, version)))
-            }
-            other => other?,
-        };
-        let id = res.last_insert_id.ok_or_else(|| McsError::Internal("no insert id".into()))?;
-        // Attribute rows; undo the file row if any attribute insert fails.
-        for (i, vals) in attr_rows.iter().enumerate() {
-            let mut params: Vec<Value> = Vec::with_capacity(10);
-            params.push(ObjectType::File.code().into());
-            params.push(id.into());
-            params.extend(vals[2..].iter().cloned());
-            // vals[0..2] are placeholders replaced by the two pushes above
-            if let Err(e) = self.db.execute_prepared(&self.stmts.ins_attr, &params) {
-                let _ = self.db.execute_prepared(&self.stmts.del_file_by_id, &[id.into()]);
-                let _ = self.db.execute_prepared(
-                    &self.stmts.del_attrs_obj,
-                    &[ObjectType::File.code().into(), id.into()],
+            |s| {
+                let res = s.execute_prepared(
+                    &self.stmts.ins_file,
+                    &[
+                        spec.name.as_str().into(),
+                        version.into(),
+                        opt_str(&spec.data_type),
+                        true.into(),
+                        collection.as_ref().map_or(Value::Null, |c| c.id.into()),
+                        opt_str(&spec.container_id),
+                        opt_str(&spec.container_service),
+                        cred.dn.as_str().into(),
+                        now.clone(),
+                        opt_str(&spec.master_copy),
+                        spec.audit.into(),
+                    ],
                 );
-                return Err(if matches!(e, relstore::Error::UniqueViolation { .. }) {
-                    McsError::BadAttribute(format!(
-                        "duplicate attribute `{}`",
-                        spec.attributes[i].name
-                    ))
-                } else {
-                    e.into()
-                });
-            }
-        }
-        if spec.audit {
-            self.audit_action(ObjectType::File, id, "create", cred, &spec.name)?;
-        }
+                let res = match res {
+                    Err(relstore::Error::UniqueViolation { .. }) => {
+                        return Err(McsError::AlreadyExists(format!(
+                            "{}.v{}",
+                            spec.name, version
+                        )))
+                    }
+                    other => other?,
+                };
+                let id =
+                    res.last_insert_id.ok_or_else(|| McsError::Internal("no insert id".into()))?;
+                for (i, vals) in attr_rows.iter().enumerate() {
+                    let mut params: Vec<Value> = Vec::with_capacity(10);
+                    params.push(ObjectType::File.code().into());
+                    params.push(id.into());
+                    params.extend(vals[2..].iter().cloned());
+                    // vals[0..2] are placeholders replaced by the two pushes above
+                    if let Err(e) = s.execute_prepared(&self.stmts.ins_attr, &params) {
+                        return Err(if matches!(e, relstore::Error::UniqueViolation { .. }) {
+                            McsError::BadAttribute(format!(
+                                "duplicate attribute `{}`",
+                                spec.attributes[i].name
+                            ))
+                        } else {
+                            e.into()
+                        });
+                    }
+                }
+                if spec.audit {
+                    self.audit_action_in(s, ObjectType::File, id, "create", cred, &spec.name)?;
+                }
+                Ok(id)
+            },
+        )?;
         self.resolve_file_by_id(id)
     }
 
@@ -382,31 +397,48 @@ impl Mcs {
 
     fn delete_file_record(&self, cred: &Credential, f: &LogicalFile) -> Result<()> {
         self.require_file_perm(cred, f, Permission::Delete)?;
-        if f.audit_enabled {
-            self.audit_action(ObjectType::File, f.id, "delete", cred, &f.name)?;
-        }
-        self.db.execute_prepared(&self.stmts.del_file_by_id, &[f.id.into()])?;
-        self.db.execute_prepared(
-            &self.stmts.del_attrs_obj,
-            &[ObjectType::File.code().into(), f.id.into()],
-        )?;
-        self.db.execute(
-            "DELETE FROM annotations WHERE object_type = ? AND object_id = ?",
-            &[ObjectType::File.code().into(), f.id.into()],
-        )?;
-        self.db.execute(
-            "DELETE FROM transformation_history WHERE file_id = ?",
-            &[f.id.into()],
-        )?;
-        self.db.execute(
-            "DELETE FROM acl_entries WHERE object_type = ? AND object_id = ?",
-            &[ObjectType::File.code().into(), f.id.into()],
-        )?;
-        self.db.execute(
-            "DELETE FROM view_members WHERE member_type = ? AND member_id = ?",
-            &[ObjectType::File.code().into(), f.id.into()],
-        )?;
-        Ok(())
+        // The file row and every dependent row (attributes, annotations,
+        // history, ACEs, view memberships) go in one transaction: a crash
+        // at any statement boundary leaves either the whole file or none
+        // of it — never orphaned dependents.
+        self.db.transaction(
+            &[
+                ("acl_entries", Access::Write),
+                ("annotations", Access::Write),
+                ("audit_log", Access::Write),
+                ("logical_files", Access::Write),
+                ("transformation_history", Access::Write),
+                ("user_attributes", Access::Write),
+                ("view_members", Access::Write),
+            ],
+            |s| {
+                if f.audit_enabled {
+                    self.audit_action_in(s, ObjectType::File, f.id, "delete", cred, &f.name)?;
+                }
+                s.execute_prepared(&self.stmts.del_file_by_id, &[f.id.into()])?;
+                s.execute_prepared(
+                    &self.stmts.del_attrs_obj,
+                    &[ObjectType::File.code().into(), f.id.into()],
+                )?;
+                s.execute(
+                    "DELETE FROM annotations WHERE object_type = ? AND object_id = ?",
+                    &[ObjectType::File.code().into(), f.id.into()],
+                )?;
+                s.execute(
+                    "DELETE FROM transformation_history WHERE file_id = ?",
+                    &[f.id.into()],
+                )?;
+                s.execute(
+                    "DELETE FROM acl_entries WHERE object_type = ? AND object_id = ?",
+                    &[ObjectType::File.code().into(), f.id.into()],
+                )?;
+                s.execute(
+                    "DELETE FROM view_members WHERE member_type = ? AND member_id = ?",
+                    &[ObjectType::File.code().into(), f.id.into()],
+                )?;
+                Ok(())
+            },
+        )
     }
 
     /// Fetch a file's predefined ("static") metadata by logical name
@@ -492,10 +524,16 @@ impl Mcs {
         params.push(self.now());
         params.push(f.id.into());
         let sql = format!("UPDATE logical_files SET {} WHERE id = ?", sets.join(", "));
-        self.db.execute(&sql, &params)?;
-        if f.audit_enabled {
-            self.audit_action(ObjectType::File, f.id, "modify", cred, &f.name)?;
-        }
+        self.db.transaction(
+            &[("audit_log", Access::Write), ("logical_files", Access::Write)],
+            |s| {
+                s.execute(&sql, &params)?;
+                if f.audit_enabled {
+                    self.audit_action_in(s, ObjectType::File, f.id, "modify", cred, &f.name)?;
+                }
+                Ok::<_, McsError>(())
+            },
+        )?;
         self.resolve_file_by_id(f.id)
     }
 
@@ -530,24 +568,26 @@ impl Mcs {
                 None
             }
         };
-        let res = self.db.execute(
-            "INSERT INTO logical_collections (name, description, parent_id, creator, created) \
-             VALUES (?, ?, ?, ?, ?)",
-            &[
-                name.into(),
-                description.into(),
-                parent_id.map_or(Value::Null, Value::Int),
-                cred.dn.as_str().into(),
-                self.now(),
-            ],
-        );
-        let res = match res {
-            Err(relstore::Error::UniqueViolation { .. }) => {
-                return Err(McsError::AlreadyExists(name.to_owned()))
-            }
-            other => other?,
-        };
-        let id = res.last_insert_id.ok_or_else(|| McsError::Internal("no insert id".into()))?;
+        let id = self.db.transaction(&[("logical_collections", Access::Write)], |s| {
+            let res = s.execute(
+                "INSERT INTO logical_collections \
+                 (name, description, parent_id, creator, created) VALUES (?, ?, ?, ?, ?)",
+                &[
+                    name.into(),
+                    description.into(),
+                    parent_id.map_or(Value::Null, Value::Int),
+                    cred.dn.as_str().into(),
+                    self.now(),
+                ],
+            );
+            let res = match res {
+                Err(relstore::Error::UniqueViolation { .. }) => {
+                    return Err(McsError::AlreadyExists(name.to_owned()))
+                }
+                other => other?,
+            };
+            res.last_insert_id.ok_or_else(|| McsError::Internal("no insert id".into()))
+        })?;
         self.resolve_collection_by_id(id)
     }
 
@@ -556,33 +596,54 @@ impl Mcs {
     pub fn delete_collection(&self, cred: &Credential, name: &str) -> Result<()> {
         let c = self.resolve_collection(name)?;
         self.require_collection_perm(cred, &c, Permission::Delete)?;
-        let files =
-            self.db.execute_prepared(&self.stmts.files_in_coll, &[c.id.into()])?.rows.unwrap();
-        if !files.rows.is_empty() {
-            return Err(McsError::CollectionNotEmpty(name.to_owned()));
-        }
-        let kids = self.db.execute(
-            "SELECT COUNT(*) AS n FROM logical_collections WHERE parent_id = ?",
-            &[c.id.into()],
-        )?;
-        if kids.rows.unwrap().rows[0][0] != Value::Int(0) {
-            return Err(McsError::CollectionNotEmpty(name.to_owned()));
-        }
-        if c.audit_enabled {
-            self.audit_action(ObjectType::Collection, c.id, "delete", cred, &c.name)?;
-        }
-        self.db.execute("DELETE FROM logical_collections WHERE id = ?", &[c.id.into()])?;
-        for table in ["user_attributes", "annotations", "acl_entries"] {
-            self.db.execute(
-                &format!("DELETE FROM {table} WHERE object_type = ? AND object_id = ?"),
-                &[ObjectType::Collection.code().into(), c.id.into()],
-            )?;
-        }
-        self.db.execute(
-            "DELETE FROM view_members WHERE member_type = ? AND member_id = ?",
-            &[ObjectType::Collection.code().into(), c.id.into()],
-        )?;
-        Ok(())
+        // The emptiness checks run inside the transaction — `logical_files`
+        // is claimed for read — so a concurrent create_file into this
+        // collection cannot slip between check and delete.
+        self.db.transaction(
+            &[
+                ("acl_entries", Access::Write),
+                ("annotations", Access::Write),
+                ("audit_log", Access::Write),
+                ("logical_collections", Access::Write),
+                ("logical_files", Access::Read),
+                ("user_attributes", Access::Write),
+                ("view_members", Access::Write),
+            ],
+            |s| {
+                let files = s
+                    .execute_prepared(&self.stmts.files_in_coll, &[c.id.into()])?
+                    .rows
+                    .ok_or_else(|| McsError::Internal("file query returned no rows".into()))?;
+                if !files.rows.is_empty() {
+                    return Err(McsError::CollectionNotEmpty(name.to_owned()));
+                }
+                let kids = s
+                    .execute(
+                        "SELECT COUNT(*) AS n FROM logical_collections WHERE parent_id = ?",
+                        &[c.id.into()],
+                    )?
+                    .rows
+                    .ok_or_else(|| McsError::Internal("child query returned no rows".into()))?;
+                if kids.rows[0][0] != Value::Int(0) {
+                    return Err(McsError::CollectionNotEmpty(name.to_owned()));
+                }
+                if c.audit_enabled {
+                    self.audit_action_in(s, ObjectType::Collection, c.id, "delete", cred, &c.name)?;
+                }
+                s.execute("DELETE FROM logical_collections WHERE id = ?", &[c.id.into()])?;
+                for table in ["user_attributes", "annotations", "acl_entries"] {
+                    s.execute(
+                        &format!("DELETE FROM {table} WHERE object_type = ? AND object_id = ?"),
+                        &[ObjectType::Collection.code().into(), c.id.into()],
+                    )?;
+                }
+                s.execute(
+                    "DELETE FROM view_members WHERE member_type = ? AND member_id = ?",
+                    &[ObjectType::Collection.code().into(), c.id.into()],
+                )?;
+                Ok(())
+            },
+        )
     }
 
     /// Fetch a collection's record.

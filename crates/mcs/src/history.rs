@@ -13,15 +13,23 @@ impl Mcs {
     pub fn add_history(&self, cred: &Credential, file: &str, description: &str) -> Result<()> {
         let f = self.resolve_file(file)?;
         self.require_file_perm(cred, &f, Permission::Write)?;
-        self.db.execute(
-            "INSERT INTO transformation_history (file_id, description, actor, at) \
-             VALUES (?, ?, ?, ?)",
-            &[f.id.into(), description.into(), cred.dn.as_str().into(), self.now()],
-        )?;
-        if f.audit_enabled {
-            self.audit_action(ObjectType::File, f.id, "add_history", cred, &f.name)?;
-        }
-        Ok(())
+        self.db.transaction(
+            &[
+                ("audit_log", relstore::Access::Write),
+                ("transformation_history", relstore::Access::Write),
+            ],
+            |s| {
+                s.execute(
+                    "INSERT INTO transformation_history (file_id, description, actor, at) \
+                     VALUES (?, ?, ?, ?)",
+                    &[f.id.into(), description.into(), cred.dn.as_str().into(), self.now()],
+                )?;
+                if f.audit_enabled {
+                    self.audit_action_in(s, ObjectType::File, f.id, "add_history", cred, &f.name)?;
+                }
+                Ok(())
+            },
+        )
     }
 
     /// Fetch a file's transformation history, oldest first. Requires Read.

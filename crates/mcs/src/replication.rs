@@ -6,12 +6,21 @@
 //!
 //! [`ReplicatedMcs`] keeps one primary catalog and N replicas strictly
 //! consistent by synchronous logical write shipping: every write is a
-//! [`WriteOp`] applied to the primary first, then re-executed on each
-//! replica before the call returns (writes are deterministic given a
-//! shared clock, so replicas converge to identical state). Reads spread
-//! round-robin across all copies — the performance half of the claim —
-//! and a replica that fails to apply a write is evicted from the read
-//! set rather than allowed to serve stale data — the reliability half.
+//! [`WriteOp`] applied — and committed — on the primary first, then
+//! re-executed on each replica before the call returns (writes are
+//! deterministic given a shared clock, so replicas converge to identical
+//! state). Reads spread round-robin across all copies — the performance
+//! half of the claim — and a replica that fails to apply a write is
+//! removed from the read set rather than allowed to serve stale data —
+//! the reliability half.
+//!
+//! Because every catalog write path runs as one atomic transaction, a
+//! replica that fails *mid-apply* is rolled back to the state it had
+//! before the op — exactly the committed-op-log prefix it had applied.
+//! Failed replicas are therefore parked in a *lagged* pool (not
+//! discarded) together with that prefix length, and [`ReplicatedMcs::
+//! rejoin`] can later replay the ops they missed from the shipped-op log
+//! and return them to the read set.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -121,10 +130,23 @@ impl WriteOp {
     }
 }
 
+/// A replica parked after failing to apply a write. Its transactional
+/// rollback guarantees its state is exactly the first `applied` entries
+/// of the shipped-op log, so replay from that point can catch it up.
+struct LaggedReplica {
+    mcs: Arc<Mcs>,
+    applied: usize,
+}
+
 /// A strictly consistent primary + replica deployment.
 pub struct ReplicatedMcs {
     primary: Arc<Mcs>,
     replicas: RwLock<Vec<Arc<Mcs>>>,
+    /// Every op committed on the primary, in commit order. `write` holds
+    /// the write lock across the whole shipping step, so log order is
+    /// identical to apply order on every replica.
+    op_log: RwLock<Vec<(Credential, WriteOp)>>,
+    lagged: RwLock<Vec<LaggedReplica>>,
     evicted: AtomicUsize,
     next_read: AtomicUsize,
 }
@@ -147,6 +169,8 @@ impl ReplicatedMcs {
         Ok(ReplicatedMcs {
             primary,
             replicas: RwLock::new(replicas),
+            op_log: RwLock::new(Vec::new()),
+            lagged: RwLock::new(Vec::new()),
             evicted: AtomicUsize::new(0),
             next_read: AtomicUsize::new(0),
         })
@@ -162,22 +186,82 @@ impl ReplicatedMcs {
         self.replicas.read().len()
     }
 
-    /// Replicas evicted after failing to apply a write.
+    /// Replicas evicted from the read set after failing to apply a write.
+    /// (They are parked in the lagged pool, and [`ReplicatedMcs::rejoin`]
+    /// may later return them to service.)
     pub fn evicted_replicas(&self) -> usize {
         self.evicted.load(Ordering::Relaxed)
     }
 
-    /// Apply a write with strict consistency: primary first; on success,
-    /// synchronously on every replica. A replica that diverges (fails an
-    /// operation the primary accepted) is evicted so it can never serve
-    /// stale reads.
+    /// Replicas currently parked in the lagged pool awaiting rejoin.
+    pub fn lagged_replicas(&self) -> usize {
+        self.lagged.read().len()
+    }
+
+    /// Apply a write with strict consistency: the op is applied — and
+    /// committed — on the primary first, and only then shipped
+    /// synchronously to every replica. A replica that fails to apply it
+    /// is removed from the read set so it can never serve stale data; its
+    /// own transactional rollback leaves it at the pre-op state, so it is
+    /// parked (with the count of log entries it has applied) rather than
+    /// destroyed, and can rejoin later.
     pub fn write(&self, cred: &Credential, op: &WriteOp) -> Result<()> {
+        // Held across primary-apply and shipping: serializes writes with
+        // each other and with `rejoin`, so log order == commit order ==
+        // the order every replica applies ops in.
+        let mut log = self.op_log.write();
         op.apply(&self.primary, cred)?;
+        log.push((cred.clone(), op.clone()));
         let mut replicas = self.replicas.write();
+        let mut lagged = self.lagged.write();
         let before = replicas.len();
-        replicas.retain(|r| op.apply(r, cred).is_ok());
+        let mut kept = Vec::with_capacity(before);
+        for r in replicas.drain(..) {
+            if op.apply(&r, cred).is_ok() {
+                kept.push(r);
+            } else {
+                // The failed op rolled back on the replica, so its state
+                // is exactly the log minus this newest entry.
+                lagged.push(LaggedReplica { mcs: r, applied: log.len() - 1 });
+            }
+        }
+        *replicas = kept;
         self.evicted.fetch_add(before - replicas.len(), Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Try to return lagged replicas to the read set by replaying the ops
+    /// they missed from the shipped-op log. Returns how many rejoined.
+    /// A replica that still fails (e.g. it truly diverged out-of-band)
+    /// stays parked with its progress updated to the entries it did
+    /// apply.
+    pub fn rejoin(&self) -> usize {
+        // Same order as `write`: op_log first, blocking concurrent writes
+        // so the log cannot grow mid-replay.
+        let log = self.op_log.write();
+        let mut lagged = self.lagged.write();
+        let mut still_lagged = Vec::new();
+        let mut rejoined = Vec::new();
+        for mut lr in lagged.drain(..) {
+            let mut ok = true;
+            while lr.applied < log.len() {
+                let (cred, op) = &log[lr.applied];
+                if op.apply(&lr.mcs, cred).is_err() {
+                    ok = false;
+                    break;
+                }
+                lr.applied += 1;
+            }
+            if ok {
+                rejoined.push(lr.mcs);
+            } else {
+                still_lagged.push(lr);
+            }
+        }
+        *lagged = still_lagged;
+        let n = rejoined.len();
+        self.replicas.write().extend(rejoined);
+        n
     }
 
     /// Pick a copy for a read (round-robin over primary + live replicas).
@@ -322,6 +406,36 @@ mod tests {
         assert!(r.check_consistency(&a, &[AttrPredicate::eq("ch", "H1")]).unwrap());
         assert!(r.require_redundancy(1).is_ok());
         assert!(r.require_redundancy(2).is_err());
+    }
+
+    #[test]
+    fn lagged_replica_rejoins_after_repair() {
+        let (r, a) = setup(2);
+        r.write(&a, &WriteOp::CreateFile(FileSpec::named("f"))).unwrap();
+        let replica = r.replicas.read()[0].clone();
+        // sabotage: delete the file directly on one replica
+        replica.delete_file(&a, "f").unwrap();
+        // the next write fails mid-apply on the saboteur; its transaction
+        // rolls back, and it is parked rather than destroyed
+        r.write(
+            &a,
+            &WriteOp::SetAttribute {
+                object: ObjectRef::File("f".into()),
+                attr: Attribute { name: "ch".into(), value: "H1".into() },
+            },
+        )
+        .unwrap();
+        assert_eq!(r.live_replicas(), 1);
+        assert_eq!(r.lagged_replicas(), 1);
+        // still diverged: replay of the missed op keeps failing
+        assert_eq!(r.rejoin(), 0);
+        assert_eq!(r.lagged_replicas(), 1);
+        // repair the divergence out-of-band, then replay succeeds
+        replica.create_file(&a, &FileSpec::named("f")).unwrap();
+        assert_eq!(r.rejoin(), 1);
+        assert_eq!(r.live_replicas(), 2);
+        assert_eq!(r.lagged_replicas(), 0);
+        assert!(r.check_consistency(&a, &[AttrPredicate::eq("ch", "H1")]).unwrap());
     }
 
     #[test]

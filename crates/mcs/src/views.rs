@@ -72,21 +72,32 @@ impl Mcs {
     pub fn create_view(&self, cred: &Credential, name: &str, description: &str) -> Result<View> {
         validate_name(name)?;
         self.require_service_perm(cred, Permission::Write)?;
-        let res = self.db.execute(
-            "INSERT INTO logical_views (name, description, creator, created) \
-             VALUES (?, ?, ?, ?)",
-            &[name.into(), description.into(), cred.dn.as_str().into(), self.now()],
-        );
-        let res = match res {
-            Err(relstore::Error::UniqueViolation { .. }) => {
-                return Err(McsError::AlreadyExists(name.to_owned()))
-            }
-            other => other?,
-        };
-        let id = res.last_insert_id.ok_or_else(|| McsError::Internal("no insert id".into()))?;
-        for p in [Permission::Read, Permission::Write, Permission::Delete, Permission::Admin] {
-            self.insert_ace(ObjectType::View, id, &cred.dn, p)?;
-        }
+        // The view row and the creator's ACEs commit together: a crash
+        // cannot leave a view nobody can administer.
+        let id = self.db.transaction(
+            &[("acl_entries", relstore::Access::Write), ("logical_views", relstore::Access::Write)],
+            |s| {
+                let res = s.execute(
+                    "INSERT INTO logical_views (name, description, creator, created) \
+                     VALUES (?, ?, ?, ?)",
+                    &[name.into(), description.into(), cred.dn.as_str().into(), self.now()],
+                );
+                let res = match res {
+                    Err(relstore::Error::UniqueViolation { .. }) => {
+                        return Err(McsError::AlreadyExists(name.to_owned()))
+                    }
+                    other => other?,
+                };
+                let id =
+                    res.last_insert_id.ok_or_else(|| McsError::Internal("no insert id".into()))?;
+                for p in
+                    [Permission::Read, Permission::Write, Permission::Delete, Permission::Admin]
+                {
+                    self.insert_ace_in(s, ObjectType::View, id, &cred.dn, p)?;
+                }
+                Ok(id)
+            },
+        )?;
         self.resolve_view_by_id(id)
     }
 
@@ -94,23 +105,35 @@ impl Mcs {
     pub fn delete_view(&self, cred: &Credential, name: &str) -> Result<()> {
         let v = self.resolve_view(name)?;
         self.require_view_perm(cred, &v, Permission::Delete)?;
-        if v.audit_enabled {
-            self.audit_action(ObjectType::View, v.id, "delete", cred, &v.name)?;
-        }
-        self.db.execute("DELETE FROM logical_views WHERE id = ?", &[v.id.into()])?;
-        self.db.execute("DELETE FROM view_members WHERE view_id = ?", &[v.id.into()])?;
-        // memberships of this view in other views
-        self.db.execute(
-            "DELETE FROM view_members WHERE member_type = ? AND member_id = ?",
-            &[ObjectType::View.code().into(), v.id.into()],
-        )?;
-        for table in ["user_attributes", "annotations", "acl_entries"] {
-            self.db.execute(
-                &format!("DELETE FROM {table} WHERE object_type = ? AND object_id = ?"),
-                &[ObjectType::View.code().into(), v.id.into()],
-            )?;
-        }
-        Ok(())
+        self.db.transaction(
+            &[
+                ("acl_entries", relstore::Access::Write),
+                ("annotations", relstore::Access::Write),
+                ("audit_log", relstore::Access::Write),
+                ("logical_views", relstore::Access::Write),
+                ("user_attributes", relstore::Access::Write),
+                ("view_members", relstore::Access::Write),
+            ],
+            |s| {
+                if v.audit_enabled {
+                    self.audit_action_in(s, ObjectType::View, v.id, "delete", cred, &v.name)?;
+                }
+                s.execute("DELETE FROM logical_views WHERE id = ?", &[v.id.into()])?;
+                s.execute("DELETE FROM view_members WHERE view_id = ?", &[v.id.into()])?;
+                // memberships of this view in other views
+                s.execute(
+                    "DELETE FROM view_members WHERE member_type = ? AND member_id = ?",
+                    &[ObjectType::View.code().into(), v.id.into()],
+                )?;
+                for table in ["user_attributes", "annotations", "acl_entries"] {
+                    s.execute(
+                        &format!("DELETE FROM {table} WHERE object_type = ? AND object_id = ?"),
+                        &[ObjectType::View.code().into(), v.id.into()],
+                    )?;
+                }
+                Ok(())
+            },
+        )
     }
 
     /// Fetch a view's record.
@@ -132,29 +155,38 @@ impl Mcs {
         if mt == ObjectType::Service {
             return Err(McsError::Internal("the service cannot be a view member".into()));
         }
-        if mt == ObjectType::View {
-            // would `v` become reachable from `member`? (DFS over view
-            // containment)
-            if mid == v.id || self.view_reaches(mid, v.id)? {
-                return Err(McsError::CycleDetected(format!(
-                    "adding view `{mname}` to `{view}` would create a cycle"
-                )));
-            }
-        }
-        match self.db.execute(
-            "INSERT INTO view_members (view_id, member_type, member_id) VALUES (?, ?, ?)",
-            &[v.id.into(), mt.code().into(), mid.into()],
-        ) {
-            Ok(_) => {}
-            Err(relstore::Error::UniqueViolation { .. }) => {
-                return Err(McsError::AlreadyExists(format!("{mname} in view {view}")))
-            }
-            Err(e) => return Err(e.into()),
-        }
-        if v.audit_enabled {
-            self.audit_action(ObjectType::View, v.id, "add_member", cred, &mname)?;
-        }
-        Ok(())
+        // The cycle check runs inside the transaction (view_members is
+        // claimed for write, and reads on claimed tables are re-entrant),
+        // so a concurrent membership edit cannot race it into a cycle.
+        self.db.transaction(
+            &[("audit_log", relstore::Access::Write), ("view_members", relstore::Access::Write)],
+            |s| {
+                if mt == ObjectType::View {
+                    // would `v` become reachable from `member`? (DFS over
+                    // view containment)
+                    if mid == v.id || self.view_reaches(mid, v.id)? {
+                        return Err(McsError::CycleDetected(format!(
+                            "adding view `{mname}` to `{view}` would create a cycle"
+                        )));
+                    }
+                }
+                match s.execute(
+                    "INSERT INTO view_members (view_id, member_type, member_id) \
+                     VALUES (?, ?, ?)",
+                    &[v.id.into(), mt.code().into(), mid.into()],
+                ) {
+                    Ok(_) => {}
+                    Err(relstore::Error::UniqueViolation { .. }) => {
+                        return Err(McsError::AlreadyExists(format!("{mname} in view {view}")))
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+                if v.audit_enabled {
+                    self.audit_action_in(s, ObjectType::View, v.id, "add_member", cred, &mname)?;
+                }
+                Ok(())
+            },
+        )
     }
 
     /// Remove a member from a view. Returns true if it was a member.

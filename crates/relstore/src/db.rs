@@ -3,13 +3,14 @@
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
 use crate::error::{Error, Result};
 use crate::executor::{exec_statement, ExecResult, ResultSet};
+use crate::lock::{Access, BarrierMap};
 use crate::sql::ast::Statement;
 use crate::sql::parser::parse;
 use crate::table::Table;
@@ -58,6 +59,13 @@ pub struct Database {
     /// order matches the execution order (replay correctness).
     wal: Mutex<Option<crate::wal::WalWriter>>,
     durable_dir: RwLock<Option<PathBuf>>,
+    /// Transaction-scope barriers layered above the per-table `RwLock`s;
+    /// see [`crate::lock`].
+    barriers: BarrierMap,
+    /// Transaction id allocator (journalled in Begin/Commit WAL frames).
+    next_txn_id: AtomicU64,
+    /// Cached "is a WAL attached" flag so hot paths skip the WAL mutex.
+    durable: AtomicBool,
 }
 
 impl Database {
@@ -103,10 +111,20 @@ impl Database {
     pub(crate) fn attach_wal(&self, writer: crate::wal::WalWriter, dir: PathBuf) {
         *self.wal.lock() = Some(writer);
         *self.durable_dir.write() = Some(dir);
+        self.durable.store(true, Ordering::Release);
     }
 
     pub(crate) fn durable_dir(&self) -> Option<PathBuf> {
         self.durable_dir.read().clone()
+    }
+
+    /// True once a write-ahead log is attached.
+    pub fn is_durable(&self) -> bool {
+        self.durable.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn barriers(&self) -> &BarrierMap {
+        &self.barriers
     }
 
     pub(crate) fn wal_lock(
@@ -122,15 +140,46 @@ impl Database {
         )
     }
 
-    /// Execute a statement, logging writes ahead when durable.
+    /// The tables a statement references, lowercased, sorted, deduped —
+    /// the barrier set acquired before executing it.
+    pub(crate) fn stmt_tables(stmt: &Statement) -> Vec<String> {
+        let mut out: Vec<String> = match stmt {
+            Statement::Select(s) => {
+                let mut v = vec![s.from.table.to_ascii_lowercase()];
+                v.extend(s.joins.iter().map(|j| j.table.table.to_ascii_lowercase()));
+                v
+            }
+            Statement::Insert { table, .. }
+            | Statement::Update { table, .. }
+            | Statement::Delete { table, .. }
+            | Statement::CreateIndex { table, .. }
+            | Statement::DropIndex { table, .. } => vec![table.to_ascii_lowercase()],
+            Statement::CreateTable { name, .. } | Statement::DropTable { name, .. } => {
+                vec![name.to_ascii_lowercase()]
+            }
+            Statement::Begin | Statement::Commit | Statement::Rollback => Vec::new(),
+        };
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Execute a statement, logging writes ahead when durable. Takes the
+    /// shared barrier of every referenced table (`tables`: the statement's
+    /// table set, lowercased/sorted — precomputed so prepared statements
+    /// don't re-derive it per call) for the statement's duration, so
+    /// in-flight transactions' intermediate states are invisible
+    /// (re-entrant for the transaction's own thread).
     fn run_logged(
         &self,
         stmt: &Statement,
+        tables: &[String],
         sql: &str,
         params: &[Value],
         undo: Option<&mut crate::txn::UndoLog>,
     ) -> Result<ExecResult> {
         self.stats.bump(stmt);
+        let _stmt_barriers = self.barriers.statement_guard(tables);
         if Self::is_write(stmt) {
             let mut wal = self.wal.lock();
             if let Some(w) = wal.as_mut() {
@@ -145,7 +194,8 @@ impl Database {
     /// Parse and execute one statement outside any transaction.
     pub fn execute(&self, sql: &str, params: &[Value]) -> Result<ExecResult> {
         let stmt = parse(sql)?;
-        self.run_logged(&stmt, sql, params, None)
+        let tables = Self::stmt_tables(&stmt);
+        self.run_logged(&stmt, &tables, sql, params, None)
     }
 
     /// Shorthand for `execute` returning the result set of a SELECT.
@@ -168,24 +218,107 @@ impl Database {
     /// the hot path the MCS server uses, mirroring JDBC prepared
     /// statements in the original implementation.
     pub fn prepare(&self, sql: &str) -> Result<Prepared> {
-        Ok(Prepared { stmt: parse(sql)?, text: sql.to_owned() })
+        let stmt = parse(sql)?;
+        let tables = Self::stmt_tables(&stmt);
+        Ok(Prepared { stmt, tables, text: sql.to_owned() })
     }
 
     /// Execute a prepared statement.
     pub fn execute_prepared(&self, p: &Prepared, params: &[Value]) -> Result<ExecResult> {
-        self.run_logged(&p.stmt, &p.text, params, None)
+        self.run_logged(&p.stmt, &p.tables, &p.text, params, None)
     }
 
     /// Open a session (connection) with transaction support.
     pub fn session(self: &Arc<Self>) -> Session {
-        Session { db: Arc::clone(self), txn: None, pending_log: Vec::new() }
+        Session {
+            db: Arc::clone(self),
+            txn: None,
+            pending_log: Vec::new(),
+            allowed: None,
+            txn_id: 0,
+        }
+    }
+
+    /// Run `f` as one atomic transaction over the tables named in
+    /// `claims`.
+    ///
+    /// The claimed tables' barriers are acquired up front in a fixed
+    /// global order (sorted by name) — exclusive for [`Access::Write`],
+    /// shared for [`Access::Read`] — and held until the transaction ends,
+    /// so the closure's intermediate states are invisible to every other
+    /// statement and its reads are stable. Because all acquisition
+    /// sequences follow the same order, transactions cannot deadlock.
+    ///
+    /// On `Ok` the transaction commits: its writes become visible and are
+    /// journalled to the WAL as a single atomic group (crash recovery
+    /// replays all of them or none). On `Err` every write is rolled back.
+    ///
+    /// Rules inside the closure:
+    ///
+    /// * All **writes** must go through the provided [`Session`]; a write
+    ///   through a plain [`Database`] handle would bypass undo and commit
+    ///   journalling.
+    /// * Statements may only touch claimed tables ([`Error::TxnState`]
+    ///   otherwise); reads of claimed tables may use either the session or
+    ///   the `Database` handle (barrier acquisition is re-entrant).
+    /// * Nesting a transaction that shares a table with an open one on the
+    ///   same thread is rejected; nesting over disjoint tables is
+    ///   unsupported (not detected).
+    ///
+    /// If the closure panics, barriers are released during unwind but
+    /// in-memory state may retain the partial writes (they are never
+    /// journalled); treat a panic mid-transaction as fatal for the
+    /// process, not a recoverable error.
+    pub fn transaction<T, E>(
+        self: &Arc<Self>,
+        claims: &[(&str, Access)],
+        f: impl FnOnce(&mut Session) -> std::result::Result<T, E>,
+    ) -> std::result::Result<T, E>
+    where
+        E: From<Error>,
+    {
+        // Normalize: lowercase, sort, dedup with Write winning over Read.
+        let mut norm: Vec<(String, Access)> =
+            claims.iter().map(|(n, a)| (n.to_ascii_lowercase(), *a)).collect();
+        norm.sort_by(|a, b| a.0.cmp(&b.0));
+        norm.dedup_by(|next, kept| {
+            if next.0 == kept.0 {
+                if next.1 == Access::Write {
+                    kept.1 = Access::Write;
+                }
+                true
+            } else {
+                false
+            }
+        });
+        let barriers = self.barriers.transaction_guard(&norm).map_err(E::from)?;
+        let mut session = self.session();
+        session.begin().map_err(E::from)?;
+        session.allowed = Some(norm.into_iter().map(|(n, _)| n).collect());
+        let result = f(&mut session);
+        let outcome = match result {
+            Ok(v) => {
+                session.commit().map_err(E::from)?;
+                Ok(v)
+            }
+            Err(e) => {
+                // Preserve the original error even if rollback also fails.
+                let _ = session.rollback();
+                Err(e)
+            }
+        };
+        drop(barriers); // release only after commit/rollback finished
+        outcome
     }
 }
 
-/// A parsed, reusable statement.
+/// A parsed, reusable statement. Carries its table set (lowercased,
+/// sorted) so barrier acquisition and transaction-claim checks don't
+/// re-derive it on every execution.
 #[derive(Debug, Clone)]
 pub struct Prepared {
     stmt: Statement,
+    tables: Vec<String>,
     text: String,
 }
 
@@ -235,6 +368,13 @@ pub struct Session {
     /// Writes made inside the open transaction, logged to the WAL only at
     /// COMMIT so a rolled-back transaction never replays.
     pending_log: Vec<(String, Vec<Value>)>,
+    /// When the transaction was opened via [`Database::transaction`], the
+    /// claimed table set (lowercased, sorted); every statement is checked
+    /// against it. `None` for plain `BEGIN` sessions (legacy mode, no
+    /// barrier isolation).
+    allowed: Option<Vec<String>>,
+    /// Id journalled in the transaction's Begin/Commit WAL frames.
+    txn_id: u64,
 }
 
 impl Session {
@@ -254,18 +394,21 @@ impl Session {
             return Err(Error::TxnState("transaction already open".into()));
         }
         self.txn = Some(UndoLog::default());
+        self.txn_id = self.db.next_txn_id.fetch_add(1, Ordering::Relaxed) + 1;
         Ok(())
     }
 
-    /// Commit: discard the undo log and flush the transaction's writes to
-    /// the write-ahead log.
+    /// Commit: discard the undo log and journal the transaction's writes
+    /// to the write-ahead log as one `Begin, Stmt…, Commit` group — a
+    /// single buffered write and sync, and crash recovery replays the
+    /// group all-or-nothing.
     pub fn commit(&mut self) -> Result<()> {
         self.txn.take().ok_or_else(|| Error::TxnState("no open transaction".into()))?;
+        self.allowed = None;
         let mut wal = self.db.wal_lock();
         if let Some(w) = wal.as_mut() {
-            for (sql, params) in self.pending_log.drain(..) {
-                w.append(&sql, &params)?;
-            }
+            let records = std::mem::take(&mut self.pending_log);
+            w.append_transaction(self.txn_id, &records)?;
         } else {
             self.pending_log.clear();
         }
@@ -277,6 +420,7 @@ impl Session {
     pub fn rollback(&mut self) -> Result<()> {
         let log =
             self.txn.take().ok_or_else(|| Error::TxnState("no open transaction".into()))?;
+        self.allowed = None;
         self.pending_log.clear();
         log.rollback()
     }
@@ -299,26 +443,56 @@ impl Session {
                 self.rollback()?;
                 Ok(ExecResult::default())
             }
-            other => self.run(&other, sql, params),
+            other => {
+                let tables = Database::stmt_tables(&other);
+                self.run(&other, &tables, sql, params)
+            }
         }
     }
 
     /// Execute a prepared statement in this session.
     pub fn execute_prepared(&mut self, p: &Prepared, params: &[Value]) -> Result<ExecResult> {
-        let stmt = p.stmt.clone();
-        self.run(&stmt, &p.text, params)
+        self.run(&p.stmt, &p.tables, &p.text, params)
     }
 
-    fn run(&mut self, stmt: &Statement, sql: &str, params: &[Value]) -> Result<ExecResult> {
+    fn run(
+        &mut self,
+        stmt: &Statement,
+        tables: &[String],
+        sql: &str,
+        params: &[Value],
+    ) -> Result<ExecResult> {
+        let claimed = self.txn.is_some() && self.allowed.is_some();
+        if claimed {
+            // a claimed transaction may only touch its declared tables —
+            // touching any other would bypass the barriers acquired at
+            // begin and could deadlock or see/expose unstable state
+            let allowed = self.allowed.as_ref().unwrap();
+            for t in tables {
+                if !allowed.contains(t) {
+                    return Err(Error::TxnState(format!(
+                        "table '{t}' not declared by this transaction"
+                    )));
+                }
+            }
+        }
         if self.txn.is_some() && Database::is_write(stmt) {
             // inside a transaction: execute with undo, buffer the log
-            // record for commit time
+            // record for commit time (only when a WAL will consume it)
             self.db.stats.bump(stmt);
             let r = exec_statement(&self.db, stmt, params, self.txn.as_mut())?;
-            self.pending_log.push((sql.to_owned(), params.to_vec()));
+            if self.db.is_durable() {
+                self.pending_log.push((sql.to_owned(), params.to_vec()));
+            }
             Ok(r)
+        } else if claimed {
+            // a claimed transaction's reads: its barriers already cover
+            // every table checked above, so the statement-scope acquire
+            // would be a pure re-entrant no-op — skip it
+            self.db.stats.bump(stmt);
+            exec_statement(&self.db, stmt, params, self.txn.as_mut())
         } else {
-            self.db.run_logged(stmt, sql, params, self.txn.as_mut())
+            self.db.run_logged(stmt, tables, sql, params, self.txn.as_mut())
         }
     }
 
@@ -540,6 +714,114 @@ mod tests {
         assert!(s.rollback().is_err());
         s.begin().unwrap();
         assert!(s.begin().is_err());
+    }
+
+    #[test]
+    fn transaction_commits_on_ok() {
+        let db = db();
+        let id = db
+            .transaction(&[("files", Access::Write), ("attrs", Access::Write)], |s| {
+                let r = s.execute("INSERT INTO files (name) VALUES ('f')", &[])?;
+                let id = r.last_insert_id.unwrap();
+                s.execute(
+                    "INSERT INTO attrs (file_id, name) VALUES (?, 'a')",
+                    &[Value::Int(id)],
+                )?;
+                Ok::<_, Error>(id)
+            })
+            .unwrap();
+        assert_eq!(
+            db.query("SELECT COUNT(*) FROM attrs WHERE file_id = ?", &[Value::Int(id)])
+                .unwrap()
+                .rows[0][0],
+            Value::Int(1)
+        );
+    }
+
+    #[test]
+    fn transaction_rolls_back_all_statements_on_err() {
+        let db = db();
+        let r: std::result::Result<(), Error> =
+            db.transaction(&[("files", Access::Write), ("attrs", Access::Write)], |s| {
+                s.execute("INSERT INTO files (name) VALUES ('f')", &[])?;
+                s.execute("INSERT INTO attrs (file_id, name) VALUES (1, 'a')", &[])?;
+                Err(Error::ExecError("abort".into()))
+            });
+        assert!(r.is_err());
+        assert_eq!(db.query("SELECT COUNT(*) FROM files", &[]).unwrap().rows[0][0], Value::Int(0));
+        assert_eq!(db.query("SELECT COUNT(*) FROM attrs", &[]).unwrap().rows[0][0], Value::Int(0));
+    }
+
+    #[test]
+    fn transaction_rejects_undeclared_table() {
+        let db = db();
+        let r: std::result::Result<(), Error> =
+            db.transaction(&[("files", Access::Write)], |s| {
+                s.execute("INSERT INTO attrs (file_id, name) VALUES (1, 'a')", &[])?;
+                Ok(())
+            });
+        assert!(matches!(r, Err(Error::TxnState(_))));
+        // and the check applies to reads too
+        let r: std::result::Result<(), Error> =
+            db.transaction(&[("files", Access::Write)], |s| {
+                s.execute("SELECT * FROM attrs", &[])?;
+                Ok(())
+            });
+        assert!(matches!(r, Err(Error::TxnState(_))));
+    }
+
+    #[test]
+    fn transaction_reads_claimed_tables_through_db_handle() {
+        let db = db();
+        db.execute("INSERT INTO files (name, size) VALUES ('f', 1)", &[]).unwrap();
+        // re-entrancy: mid-transaction reads via the plain handle work
+        db.transaction(&[("files", Access::Write)], |s| {
+            let n = s.database().query("SELECT COUNT(*) FROM files", &[])?.rows[0][0].clone();
+            assert_eq!(n, Value::Int(1));
+            s.execute("UPDATE files SET size = 2 WHERE name = 'f'", &[])?;
+            Ok::<_, Error>(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn in_flight_transaction_writes_are_invisible() {
+        use std::sync::mpsc;
+        let db = db();
+        let (in_txn_tx, in_txn_rx) = mpsc::channel();
+        let (observed_tx, observed_rx) = mpsc::channel::<i64>();
+        let db2 = Arc::clone(&db);
+        let reader = std::thread::spawn(move || {
+            in_txn_rx.recv().unwrap(); // wait until the txn has written row 1
+            // this query must block until the transaction commits, then
+            // see both rows — never the intermediate single-row state
+            let rs = db2.query("SELECT COUNT(*) FROM files", &[]).unwrap();
+            let Value::Int(n) = rs.rows[0][0] else { panic!("count") };
+            observed_tx.send(n).unwrap();
+        });
+        db.transaction(&[("files", Access::Write)], |s| {
+            s.execute("INSERT INTO files (name) VALUES ('one')", &[])?;
+            in_txn_tx.send(()).unwrap();
+            // give the reader a chance to (incorrectly) observe row 1 only
+            std::thread::sleep(std::time::Duration::from_millis(60));
+            s.execute("INSERT INTO files (name) VALUES ('two')", &[])?;
+            Ok::<_, Error>(())
+        })
+        .unwrap();
+        assert_eq!(observed_rx.recv().unwrap(), 2, "reader saw a partial transaction");
+        reader.join().unwrap();
+    }
+
+    #[test]
+    fn write_claims_dedup_over_read() {
+        let db = db();
+        // same table claimed twice with different access: Write must win
+        db.transaction(&[("files", Access::Read), ("FILES", Access::Write)], |s| {
+            s.execute("INSERT INTO files (name) VALUES ('f')", &[])?;
+            Ok::<_, Error>(())
+        })
+        .unwrap();
+        assert_eq!(db.query("SELECT COUNT(*) FROM files", &[]).unwrap().rows[0][0], Value::Int(1));
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod db;
 pub mod error;
 pub mod executor;
 pub mod index;
+pub mod lock;
 pub mod planner;
 pub mod predicate;
 pub mod row;
@@ -50,6 +51,7 @@ pub use db::{Database, Prepared, Session, Stats};
 pub use error::{Error, Result};
 pub use executor::{ExecResult, ResultSet};
 pub use index::{Index, IndexDef, IndexKey};
+pub use lock::Access;
 pub use predicate::{CmpOp, Expr};
 pub use row::{Row, RowId, StoredRow};
 pub use schema::{ColumnDef, TableSchema};

@@ -10,6 +10,28 @@
 //! state. Torn tails (a crash mid-append) are detected by the per-record
 //! checksum and cleanly ignored.
 //!
+//! # Log format v2 (`RSWAL002`)
+//!
+//! The log opens with the 8-byte magic `RSWAL002`, followed by framed
+//! records `[len: u32][fnv1a(payload): u64][payload]`. The payload's first
+//! byte is a tag:
+//!
+//! * `0x00` **Stmt** — `[sql: str][n: u32][n values]`: one write statement.
+//! * `0x01` **Begin** — `[txn_id: u64]`: opens a transaction group.
+//! * `0x02` **Commit** — `[txn_id: u64]`: closes the open group.
+//!
+//! A committed transaction is journalled as `Begin, Stmt…, Commit` in one
+//! buffered write with a single `fsync` after the Commit frame (group
+//! commit). Recovery applies bare Stmt records immediately but buffers a
+//! group's statements until its Commit frame: a torn or uncommitted tail —
+//! including a crash anywhere between Begin and Commit — is discarded **as
+//! a unit**, never statement-by-statement, so a multi-statement catalog
+//! operation is atomic across crashes.
+//!
+//! Logs written before v2 carry no magic; they are detected, replayed
+//! statement-wise (each record was an autocommitted statement), and
+//! migrated to v2 by an immediate checkpoint on open.
+//!
 //! ```
 //! use relstore::{Database, Value};
 //! use relstore::wal::SyncPolicy;
@@ -51,6 +73,13 @@ pub enum SyncPolicy {
 pub const WAL_FILE: &str = "wal.log";
 /// Snapshot file name inside the durability directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.db";
+/// Magic prefix identifying a v2 log file.
+pub const WAL_MAGIC: &[u8; 8] = b"RSWAL002";
+
+/// Record payload tags (first payload byte) in a v2 log.
+const TAG_STMT: u8 = 0x00;
+const TAG_BEGIN: u8 = 0x01;
+const TAG_COMMIT: u8 = 0x02;
 
 // ---------- binary value encoding ----------
 
@@ -216,23 +245,47 @@ impl WalWriter {
             .append(true)
             .open(path)
             .map_err(|e| Error::ExecError(format!("open wal: {e}")))?;
-        Ok(WalWriter { file: BufWriter::new(file), policy })
+        let len = file.metadata().map_err(|e| Error::ExecError(format!("wal stat: {e}")))?.len();
+        let mut writer = WalWriter { file: BufWriter::new(file), policy };
+        if len == 0 {
+            // a fresh (or just-truncated) log starts with the v2 magic
+            writer
+                .file
+                .write_all(WAL_MAGIC)
+                .and_then(|()| writer.file.flush())
+                .map_err(|e| Error::ExecError(format!("wal magic: {e}")))?;
+        }
+        Ok(writer)
     }
 
-    /// Append one (sql, params) record: `[len][checksum][payload]`.
-    pub(crate) fn append(&mut self, sql: &str, params: &[Value]) -> Result<()> {
-        let mut payload = Vec::with_capacity(sql.len() + 16);
+    /// Frame `payload` as `[len][checksum][payload]` into `out`.
+    fn frame(out: &mut Vec<u8>, payload: &[u8]) {
+        put_u32(out, payload.len() as u32);
+        put_u64(out, fnv1a(payload));
+        out.extend_from_slice(payload);
+    }
+
+    fn stmt_payload(sql: &str, params: &[Value]) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(sql.len() + 17);
+        payload.push(TAG_STMT);
         put_str(&mut payload, sql);
         put_u32(&mut payload, params.len() as u32);
         for p in params {
             encode_value(p, &mut payload);
         }
-        let mut rec = Vec::with_capacity(payload.len() + 12);
-        put_u32(&mut rec, payload.len() as u32);
-        put_u64(&mut rec, fnv1a(&payload));
-        rec.extend_from_slice(&payload);
+        payload
+    }
+
+    fn marker_payload(tag: u8, txn_id: u64) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(9);
+        payload.push(tag);
+        put_u64(&mut payload, txn_id);
+        payload
+    }
+
+    fn write_and_sync(&mut self, rec: &[u8]) -> Result<()> {
         self.file
-            .write_all(&rec)
+            .write_all(rec)
             .map_err(|e| Error::ExecError(format!("wal append: {e}")))?;
         self.file.flush().map_err(|e| Error::ExecError(format!("wal flush: {e}")))?;
         if self.policy == SyncPolicy::EveryWrite {
@@ -243,13 +296,65 @@ impl WalWriter {
         }
         Ok(())
     }
+
+    /// Append one autocommitted statement record.
+    pub(crate) fn append(&mut self, sql: &str, params: &[Value]) -> Result<()> {
+        let payload = Self::stmt_payload(sql, params);
+        let mut rec = Vec::with_capacity(payload.len() + 12);
+        Self::frame(&mut rec, &payload);
+        self.write_and_sync(&rec)
+    }
+
+    /// Append a whole committed transaction as `Begin, Stmt…, Commit` in a
+    /// single buffered write with one sync after the Commit frame (group
+    /// commit). A crash anywhere before the Commit frame reaches disk makes
+    /// recovery discard the entire group.
+    pub(crate) fn append_transaction(
+        &mut self,
+        txn_id: u64,
+        records: &[(String, Vec<Value>)],
+    ) -> Result<()> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        let mut rec = Vec::with_capacity(64 * (records.len() + 2));
+        Self::frame(&mut rec, &Self::marker_payload(TAG_BEGIN, txn_id));
+        for (sql, params) in records {
+            Self::frame(&mut rec, &Self::stmt_payload(sql, params));
+        }
+        Self::frame(&mut rec, &Self::marker_payload(TAG_COMMIT, txn_id));
+        self.write_and_sync(&rec)
+    }
+}
+
+/// One decoded log record.
+#[derive(Debug)]
+enum WalEntry {
+    Stmt(String, Vec<Value>),
+    Begin(u64),
+    Commit(u64),
 }
 
 /// Read all intact records from a log; a torn tail ends replay cleanly.
-fn read_wal(path: &Path) -> Result<Vec<(String, Vec<Value>)>> {
+/// Returns the entries plus whether the file used the pre-v2 format (no
+/// magic, untagged statement payloads).
+fn read_wal(path: &Path) -> Result<(Vec<WalEntry>, bool)> {
     let mut out = Vec::new();
-    let Ok(file) = File::open(path) else { return Ok(out) };
+    let Ok(file) = File::open(path) else { return Ok((out, false)) };
     let mut r = BufReader::new(file);
+    let mut magic = [0u8; 8];
+    let legacy = match r.read_exact(&mut magic) {
+        Ok(()) if &magic == WAL_MAGIC => false,
+        Ok(()) => {
+            // v1 log: those 8 bytes were record data — start over
+            let file = File::open(path).map_err(|e| Error::ExecError(format!("wal: {e}")))?;
+            r = BufReader::new(file);
+            true
+        }
+        // shorter than a magic: an (empty or torn) v2 file has nothing to
+        // replay; a v1 file this short holds no complete record either
+        Err(_) => return Ok((out, false)),
+    };
     let mut header = [0u8; 12];
     loop {
         match r.read_exact(&mut header) {
@@ -269,15 +374,28 @@ fn read_wal(path: &Path) -> Result<Vec<(String, Vec<Value>)>> {
             break; // corrupt tail
         }
         let mut c = Cursor::new(&payload);
-        let sql = c.str()?;
-        let n = c.u32()? as usize;
-        let mut params = Vec::with_capacity(n);
-        for _ in 0..n {
-            params.push(decode_value(&mut c)?);
+        if legacy {
+            out.push(decode_stmt(&mut c)?);
+            continue;
         }
-        out.push((sql, params));
+        match c.u8()? {
+            TAG_STMT => out.push(decode_stmt(&mut c)?),
+            TAG_BEGIN => out.push(WalEntry::Begin(c.u64()?)),
+            TAG_COMMIT => out.push(WalEntry::Commit(c.u64()?)),
+            _ => return Err(Cursor::corrupt("unknown wal record tag")),
+        }
     }
-    Ok(out)
+    Ok((out, legacy))
+}
+
+fn decode_stmt(c: &mut Cursor<'_>) -> Result<WalEntry> {
+    let sql = c.str()?;
+    let n = c.u32()? as usize;
+    let mut params = Vec::with_capacity(n);
+    for _ in 0..n {
+        params.push(decode_value(c)?);
+    }
+    Ok(WalEntry::Stmt(sql, params))
 }
 
 // ---------- snapshots ----------
@@ -420,12 +538,46 @@ impl Database {
         if let Ok(bytes) = std::fs::read(&snap_path) {
             load_snapshot(&db, &bytes)?;
         }
-        for (sql, params) in read_wal(&dir.join(WAL_FILE))? {
+        let (entries, legacy) = read_wal(&dir.join(WAL_FILE))?;
+        // Statements inside a Begin..Commit group apply only once the
+        // Commit frame is seen; a group cut off by the end of the log is
+        // discarded as a unit. Bare statements apply immediately.
+        let mut group: Option<(u64, Vec<(String, Vec<Value>)>)> = None;
+        let apply = |sql: &str, params: &[Value]| {
             // Deterministic replay: a statement that failed originally
             // fails again; both outcomes reproduce the pre-crash state.
-            let _ = db.execute(&sql, &params);
+            let _ = db.execute(sql, params);
+        };
+        for entry in entries {
+            match entry {
+                WalEntry::Stmt(sql, params) => match &mut group {
+                    Some((_, buf)) => buf.push((sql, params)),
+                    None => apply(&sql, &params),
+                },
+                // Begin while a group is open means the previous group
+                // never committed — drop it (defensive; the writer never
+                // interleaves groups).
+                WalEntry::Begin(id) => group = Some((id, Vec::new())),
+                WalEntry::Commit(id) => {
+                    // a Commit applies only the group its id opened;
+                    // a stray or mismatched Commit discards nothing bare
+                    match group.take() {
+                        Some((begin_id, stmts)) if begin_id == id => {
+                            for (sql, params) in stmts {
+                                apply(&sql, &params);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
         }
         db.attach_wal(WalWriter::open_append(&dir.join(WAL_FILE), policy)?, dir);
+        if legacy {
+            // Migrate a pre-v2 log: checkpointing folds it into the
+            // snapshot and rewrites an empty log with the v2 magic.
+            db.checkpoint()?;
+        }
         Ok(db)
     }
 
@@ -436,6 +588,10 @@ impl Database {
         let Some(dir) = self.durable_dir() else {
             return Err(Error::ExecError("checkpoint on a non-durable database".into()));
         };
+        // Quiesce: take every table barrier exclusively so no statement or
+        // transaction is mid-flight while we snapshot — otherwise the
+        // snapshot could capture uncommitted (not-yet-journalled) state.
+        let _quiesce = self.barriers().quiesce_guard(&self.table_names())?;
         // Hold the WAL lock across the whole checkpoint so no write can
         // slip between snapshot and truncation.
         let mut wal = self.wal_lock();
@@ -501,7 +657,11 @@ mod tests {
             seed(&db);
             db.checkpoint().unwrap();
             let wal_len = std::fs::metadata(dir.join(WAL_FILE)).unwrap().len();
-            assert_eq!(wal_len, 0, "checkpoint must truncate the log");
+            assert_eq!(
+                wal_len,
+                WAL_MAGIC.len() as u64,
+                "checkpoint must truncate the log down to the magic"
+            );
             db.execute("INSERT INTO t (name, v) VALUES ('c', 3)", &[]).unwrap();
         }
         let db = Database::open_durable(&dir, SyncPolicy::OsBuffered).unwrap();
@@ -585,6 +745,119 @@ mod tests {
     fn checkpoint_requires_durability() {
         let db = Database::new();
         assert!(db.checkpoint().is_err());
+    }
+
+    #[test]
+    fn committed_group_survives_reopen() {
+        let dir = tmpdir("group-commit");
+        {
+            let db = Database::open_durable(&dir, SyncPolicy::EveryWrite).unwrap();
+            seed(&db);
+        }
+        {
+            let mut w = WalWriter::open_append(&dir.join(WAL_FILE), SyncPolicy::EveryWrite).unwrap();
+            w.append_transaction(
+                7,
+                &[
+                    ("INSERT INTO t (name, v) VALUES (?, ?)".into(), vec![Value::from("c"), Value::Int(3)]),
+                    ("UPDATE t SET v = 30 WHERE name = 'c'".into(), vec![]),
+                ],
+            )
+            .unwrap();
+        }
+        let db = Database::open_durable(&dir, SyncPolicy::EveryWrite).unwrap();
+        let rs = db.query("SELECT v FROM t WHERE name = 'c'", &[]).unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::Int(30)]]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn uncommitted_group_is_discarded_as_unit() {
+        let dir = tmpdir("group-torn");
+        {
+            let db = Database::open_durable(&dir, SyncPolicy::EveryWrite).unwrap();
+            seed(&db);
+        }
+        // Begin + statements but no Commit frame — the crash happened
+        // after some of the group's records reached disk.
+        {
+            use std::io::Write;
+            let mut rec = Vec::new();
+            WalWriter::frame(&mut rec, &WalWriter::marker_payload(TAG_BEGIN, 9));
+            WalWriter::frame(
+                &mut rec,
+                &WalWriter::stmt_payload("INSERT INTO t (name, v) VALUES ('x', 8)", &[]),
+            );
+            WalWriter::frame(
+                &mut rec,
+                &WalWriter::stmt_payload("DELETE FROM t WHERE name = 'a'", &[]),
+            );
+            let mut f = OpenOptions::new().append(true).open(dir.join(WAL_FILE)).unwrap();
+            f.write_all(&rec).unwrap();
+        }
+        let db = Database::open_durable(&dir, SyncPolicy::EveryWrite).unwrap();
+        // neither the insert nor the delete applied: all-or-nothing
+        let rs = db.query("SELECT name FROM t ORDER BY name", &[]).unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::from("a")], vec![Value::from("b")]]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_commit_frame_discards_group() {
+        let dir = tmpdir("group-torn-commit");
+        let wal_path = dir.join(WAL_FILE);
+        {
+            let db = Database::open_durable(&dir, SyncPolicy::EveryWrite).unwrap();
+            seed(&db);
+        }
+        let base = std::fs::metadata(&wal_path).unwrap().len();
+        {
+            let mut w = WalWriter::open_append(&wal_path, SyncPolicy::EveryWrite).unwrap();
+            w.append_transaction(
+                11,
+                &[("INSERT INTO t (name, v) VALUES ('y', 9)".into(), vec![])],
+            )
+            .unwrap();
+        }
+        // cut into the trailing Commit frame (12-byte header + 9 payload)
+        let full = std::fs::metadata(&wal_path).unwrap().len();
+        assert!(full > base + 10);
+        let f = OpenOptions::new().write(true).open(&wal_path).unwrap();
+        f.set_len(full - 10).unwrap();
+        let db = Database::open_durable(&dir, SyncPolicy::EveryWrite).unwrap();
+        let rs = db.query("SELECT COUNT(*) FROM t WHERE name = 'y'", &[]).unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_v1_log_is_replayed_and_migrated() {
+        let dir = tmpdir("legacy");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Hand-write a v1 log: no magic, untagged statement payloads.
+        let mut log = Vec::new();
+        for sql in [
+            "CREATE TABLE t (id INTEGER PRIMARY KEY AUTO_INCREMENT, name VARCHAR(32))",
+            "INSERT INTO t (name) VALUES ('v1-row')",
+        ] {
+            let mut payload = Vec::new();
+            put_str(&mut payload, sql);
+            put_u32(&mut payload, 0);
+            WalWriter::frame(&mut log, &payload);
+        }
+        std::fs::write(dir.join(WAL_FILE), &log).unwrap();
+        let db = Database::open_durable(&dir, SyncPolicy::EveryWrite).unwrap();
+        let rs = db.query("SELECT name FROM t", &[]).unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::from("v1-row")]]);
+        // migration checkpointed: log now v2 (magic only), snapshot exists
+        let wal_bytes = std::fs::read(dir.join(WAL_FILE)).unwrap();
+        assert_eq!(&wal_bytes, WAL_MAGIC);
+        assert!(dir.join(SNAPSHOT_FILE).exists());
+        // and a further reopen still sees the data
+        drop(db);
+        let db = Database::open_durable(&dir, SyncPolicy::EveryWrite).unwrap();
+        assert_eq!(db.query("SELECT COUNT(*) FROM t", &[]).unwrap().rows[0][0], Value::Int(1));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

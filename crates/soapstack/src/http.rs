@@ -42,6 +42,17 @@ impl From<io::Error> for HttpError {
 /// Result alias.
 pub type Result<T> = std::result::Result<T, HttpError>;
 
+/// Protocol version of a parsed message. Connection persistence defaults
+/// differ: HTTP/1.0 closes unless asked to stay open, HTTP/1.1 stays
+/// open unless asked to close.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HttpVersion {
+    /// HTTP/1.0.
+    Http10,
+    /// HTTP/1.1.
+    Http11,
+}
+
 /// An HTTP request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Request {
@@ -49,6 +60,8 @@ pub struct Request {
     pub method: String,
     /// Request target (path).
     pub path: String,
+    /// Protocol version from the request line.
+    pub version: HttpVersion,
     /// Headers in order received/written.
     pub headers: Vec<(String, String)>,
     /// Body bytes.
@@ -74,6 +87,7 @@ impl Request {
         Request {
             method: "POST".into(),
             path: path.into(),
+            version: HttpVersion::Http11,
             headers: vec![("Content-Type".into(), content_type.into())],
             body,
         }
@@ -85,10 +99,16 @@ impl Request {
     }
 
     /// Does the client want the connection kept open after this exchange?
+    /// HTTP/1.1 defaults to keep-alive unless `Connection: close`;
+    /// HTTP/1.0 defaults to close unless `Connection: keep-alive`.
     pub fn keep_alive(&self) -> bool {
-        !self
-            .header("Connection")
-            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+        let connection = self.header("Connection");
+        match self.version {
+            HttpVersion::Http10 => {
+                connection.is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"))
+            }
+            HttpVersion::Http11 => !connection.is_some_and(|v| v.eq_ignore_ascii_case("close")),
+        }
     }
 }
 
@@ -135,14 +155,17 @@ pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>> {
     let path = parts.next().ok_or_else(|| HttpError::Malformed("missing path".into()))?;
     let version =
         parts.next().ok_or_else(|| HttpError::Malformed("missing HTTP version".into()))?;
-    if !version.starts_with("HTTP/1.") {
-        return Err(HttpError::Malformed(format!("unsupported version {version}")));
-    }
+    let version = match version {
+        "HTTP/1.0" => HttpVersion::Http10,
+        "HTTP/1.1" => HttpVersion::Http11,
+        other => return Err(HttpError::Malformed(format!("unsupported version {other}"))),
+    };
     let headers = read_headers(r)?;
     let body = read_body(r, &headers)?;
     Ok(Some(Request {
         method: method.to_owned(),
         path: path.to_owned(),
+        version,
         headers,
         body,
     }))
@@ -302,6 +325,24 @@ mod tests {
         assert!(req.keep_alive()); // HTTP/1.1 default
         req.headers.push(("Connection".into(), "close".into()));
         assert!(!req.keep_alive());
+    }
+
+    #[test]
+    fn http10_defaults_to_close() {
+        let wire: &[u8] = b"GET /x HTTP/1.0\r\n\r\n";
+        let req = read_request(&mut BufReader::new(wire)).unwrap().unwrap();
+        assert_eq!(req.version, HttpVersion::Http10);
+        assert!(!req.keep_alive());
+
+        let wire: &[u8] = b"GET /x HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n";
+        let req = read_request(&mut BufReader::new(wire)).unwrap().unwrap();
+        assert!(req.keep_alive());
+
+        // HTTP/1.1 with no Connection header still defaults to keep-alive
+        let wire: &[u8] = b"GET /x HTTP/1.1\r\n\r\n";
+        let req = read_request(&mut BufReader::new(wire)).unwrap().unwrap();
+        assert_eq!(req.version, HttpVersion::Http11);
+        assert!(req.keep_alive());
     }
 
     #[test]

@@ -1,0 +1,6 @@
+#!/usr/bin/env sh
+# Tier-1 verification: release build + full test suite (see ROADMAP.md).
+set -eu
+cd "$(dirname "$0")/.."
+cargo build --release
+cargo test -q

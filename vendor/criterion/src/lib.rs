@@ -1,0 +1,218 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the harness surface the workspace benches use —
+//! `criterion_group!`/`criterion_main!`, `benchmark_group`,
+//! `bench_function`/`bench_with_input`, `Bencher::iter` — with a simple
+//! wall-clock measurement loop: warm up, then time batches until the
+//! measurement window elapses, and report mean ns/iter to stdout. No
+//! statistical analysis, plots, or saved baselines.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter, `name/param`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// An id that is just the parameter (the group name prefixes it).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Top-level benchmark harness configuration.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { warm_up: Duration::from_millis(300), measurement: Duration::from_secs(2) }
+    }
+}
+
+impl Criterion {
+    /// Sets the per-benchmark warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the per-benchmark measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into().0;
+        run_one(&label, self.warm_up, self.measurement, &mut f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in measures a fixed
+    /// wall-clock window rather than a sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_one(&label, self.criterion.warm_up, self.criterion.measurement, &mut f);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_one(&label, self.criterion.warm_up, self.criterion.measurement, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (no-op; results are printed as they complete).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the
+/// routine to measure.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine`, recording total iterations and wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run without recording.
+        let start = Instant::now();
+        while start.elapsed() < self.warm_up {
+            black_box(routine());
+        }
+        // Measure in growing batches to amortize clock reads.
+        let mut batch = 1u64;
+        let begin = Instant::now();
+        while begin.elapsed() < self.measurement {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.elapsed += t0.elapsed();
+            self.iters += batch;
+            batch = (batch * 2).min(1024);
+        }
+    }
+}
+
+fn run_one(label: &str, warm_up: Duration, measurement: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { warm_up, measurement, iters: 0, elapsed: Duration::ZERO };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{label:<40} (no iterations recorded)");
+        return;
+    }
+    let ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    let per_sec = 1e9 / ns;
+    println!("{label:<40} {ns:>12.0} ns/iter ({per_sec:>10.0} ops/s, {} iters)", b.iters);
+}
+
+/// Declares a benchmark-group function, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("smoke");
+        let mut count = 0u64;
+        g.bench_function(BenchmarkId::from_parameter(1), |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,852 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest's API that the workspace's property
+//! tests use: the `proptest!` macro, `Strategy` combinators (`prop_map`,
+//! `prop_filter`, `prop_recursive`, tuples, ranges, regex-literal string
+//! strategies), `prop_oneof!`, `any::<T>()`, `prop::collection::vec`,
+//! `proptest::option::of`, and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, by design:
+//! * **No shrinking.** A failing case reports its deterministic seed; rerun
+//!   reproduces it exactly (cases are seeded from the test name + index).
+//! * **Regex strategies** support the subset used in-tree: literal chars,
+//!   character classes (`[a-z0-9_-]`, `[ -~]`), `\PC`, groups, `?`, and
+//!   `{m,n}` repetition.
+//! * `.proptest-regressions` files are ignored.
+
+pub mod test_runner {
+    //! Deterministic case runner and its configuration.
+
+    /// Configuration for a `proptest!` block.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Real proptest defaults to 256; 64 keeps the in-tree suites
+            // (which hit a full storage engine per case) fast.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// An assertion failed — the property is violated.
+        Fail(String),
+        /// The inputs were rejected by `prop_assume!` — try another case.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failed assertion.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejected (filtered-out) input.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Deterministic splitmix64 stream used to drive generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator from a seed.
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed ^ 0x9e3779b97f4a7c15 }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+    }
+
+    /// Runs the cases of one property function.
+    pub struct TestRunner {
+        config: ProptestConfig,
+    }
+
+    impl TestRunner {
+        /// A runner with the given configuration.
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner { config }
+        }
+
+        /// Runs `f` until `config.cases` cases pass. Panics on the first
+        /// `Fail`, reporting the case seed so the failure is reproducible.
+        pub fn run_named<F>(&mut self, name: &str, mut f: F)
+        where
+            F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+        {
+            let base = fnv1a(name.as_bytes());
+            let mut passed = 0u32;
+            let mut rejected = 0u64;
+            let mut attempt = 0u64;
+            while passed < self.config.cases {
+                let seed = base ^ attempt.wrapping_mul(0x2545f4914f6cdd1d);
+                let mut rng = TestRng::new(seed);
+                match f(&mut rng) {
+                    Ok(()) => passed += 1,
+                    Err(TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        if rejected > 256 * self.config.cases as u64 {
+                            panic!(
+                                "proptest '{name}': too many prop_assume! rejections \
+                                 ({rejected} rejects for {passed} passes)"
+                            );
+                        }
+                    }
+                    Err(TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest '{name}' failed at case {passed} \
+                             (attempt {attempt}, seed {seed:#x}):\n{msg}"
+                        );
+                    }
+                }
+                attempt += 1;
+            }
+        }
+    }
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+}
+
+pub mod strategy {
+    //! The `Strategy` trait and its combinators.
+
+    use crate::string::generate_from_regex;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { source: self, map: f }
+        }
+
+        /// Discards generated values failing `pred` (resampling, bounded).
+        fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { source: self, pred, reason: reason.into() }
+        }
+
+        /// Builds a recursive strategy: `recurse` receives the strategy for
+        /// the next level down and returns the strategy for one level up.
+        /// `depth` bounds the nesting.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let mut level: BoxedStrategy<Self::Value> = Box::new(self);
+            for _ in 0..depth {
+                level = Box::new(recurse(level));
+            }
+            level
+        }
+
+        /// Type-erases this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.map)(self.source.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        source: S,
+        pred: F,
+        reason: String,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..10_000 {
+                let v = self.source.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 10000 consecutive values: {}", self.reason)
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over `options`; must be non-empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    /// String-literal regex strategies: `"[a-z]{1,8}"` is a `Strategy`.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from_regex(self, rng)
+        }
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($S:ident . $idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A.0, B.1);
+    impl_tuple_strategy!(A.0, B.1, C.2);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — canonical strategies for primitive types.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary {
+        /// Generates an arbitrary value of `Self`.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Mix raw bit patterns (extreme magnitudes, infinities, NaN)
+            // with tame values so both regimes are exercised.
+            if rng.next_u64() & 1 == 0 {
+                f64::from_bits(rng.next_u64())
+            } else {
+                (rng.next_u64() as i64 as f64) / 1e6
+            }
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            f64::arbitrary(rng) as f32
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct AnyStrategy<T>(PhantomData<fn() -> T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A size bound for generated collections.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        start: usize,
+        end: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { start: r.start, end: r.end }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { start: n, end: n + 1 }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A `Vec` of `size.into()` values drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+pub mod option {
+    //! Option strategies (`proptest::option::of`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `Option`s of an inner strategy's values.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // Some ~75% of the time, like real proptest's default weighting.
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+
+    /// `None` sometimes, `Some(value from strategy)` otherwise.
+    pub fn of<S: Strategy>(strategy: S) -> OptionStrategy<S> {
+        OptionStrategy { inner: strategy }
+    }
+}
+
+pub mod string {
+    //! Generation of strings matching the supported regex subset.
+
+    use crate::test_runner::TestRng;
+
+    #[derive(Debug, Clone)]
+    enum Atom {
+        Literal(char),
+        /// Inclusive char ranges, sampled weighted by width.
+        Class(Vec<(char, char)>),
+        /// A small pool of multi-byte chars mixed into `\PC`.
+        Printable,
+        Group(Vec<(Atom, Rep)>),
+    }
+
+    #[derive(Debug, Clone, Copy)]
+    struct Rep {
+        min: u32,
+        max: u32, // inclusive
+    }
+
+    const ONE: Rep = Rep { min: 1, max: 1 };
+
+    /// Generates a string matching `pattern`. Panics on syntax outside the
+    /// supported subset — that is a bug in the calling test, not an input
+    /// condition.
+    pub fn generate_from_regex(pattern: &str, rng: &mut TestRng) -> String {
+        let seq = parse_seq(&mut pattern.chars().peekable(), None, pattern);
+        let mut out = String::new();
+        emit_seq(&seq, rng, &mut out);
+        out
+    }
+
+    fn parse_seq(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+        terminator: Option<char>,
+        pattern: &str,
+    ) -> Vec<(Atom, Rep)> {
+        let mut seq = Vec::new();
+        loop {
+            let c = match chars.next() {
+                Some(c) if Some(c) == terminator => return seq,
+                Some(c) => c,
+                None if terminator.is_none() => return seq,
+                None => panic!("unterminated group in regex strategy {pattern:?}"),
+            };
+            let atom = match c {
+                '[' => parse_class(chars, pattern),
+                '(' => Atom::Group(parse_seq(chars, Some(')'), pattern)),
+                '\\' => match chars.next() {
+                    Some('P') | Some('p') => {
+                        // only \PC ("not control") is used in-tree
+                        let class = chars.next();
+                        assert_eq!(class, Some('C'), "unsupported \\P class in {pattern:?}");
+                        Atom::Printable
+                    }
+                    Some('d') => Atom::Class(vec![('0', '9')]),
+                    Some('w') => Atom::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                    Some(lit) => Atom::Literal(lit),
+                    None => panic!("dangling escape in regex strategy {pattern:?}"),
+                },
+                other => Atom::Literal(other),
+            };
+            let rep = parse_rep(chars, pattern);
+            seq.push((atom, rep));
+        }
+    }
+
+    fn parse_class(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+        pattern: &str,
+    ) -> Atom {
+        let mut ranges = Vec::new();
+        loop {
+            let c = match chars.next() {
+                Some(']') => break,
+                Some(c) => c,
+                None => panic!("unterminated character class in regex strategy {pattern:?}"),
+            };
+            if chars.peek() == Some(&'-') {
+                let mut ahead = chars.clone();
+                ahead.next(); // the '-'
+                match ahead.peek() {
+                    Some(&']') | None => ranges.push((c, c)), // trailing literal '-'
+                    Some(_) => {
+                        chars.next();
+                        let hi = chars.next().unwrap();
+                        assert!(c <= hi, "inverted range in class of {pattern:?}");
+                        ranges.push((c, hi));
+                    }
+                }
+            } else {
+                ranges.push((c, c));
+            }
+        }
+        assert!(!ranges.is_empty(), "empty character class in regex strategy {pattern:?}");
+        Atom::Class(ranges)
+    }
+
+    fn parse_rep(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+        pattern: &str,
+    ) -> Rep {
+        match chars.peek() {
+            Some('?') => {
+                chars.next();
+                Rep { min: 0, max: 1 }
+            }
+            Some('*') => {
+                chars.next();
+                Rep { min: 0, max: 8 }
+            }
+            Some('+') => {
+                chars.next();
+                Rep { min: 1, max: 8 }
+            }
+            Some('{') => {
+                chars.next();
+                let mut min = String::new();
+                let mut max = String::new();
+                let mut in_max = false;
+                loop {
+                    match chars.next() {
+                        Some('}') => break,
+                        Some(',') => in_max = true,
+                        Some(d) if d.is_ascii_digit() => {
+                            if in_max { max.push(d) } else { min.push(d) }
+                        }
+                        other => panic!("bad repetition {other:?} in regex strategy {pattern:?}"),
+                    }
+                }
+                let min: u32 = min.parse().expect("repetition lower bound");
+                let max: u32 = if in_max {
+                    max.parse().expect("repetition upper bound")
+                } else {
+                    min
+                };
+                assert!(min <= max, "inverted repetition in regex strategy {pattern:?}");
+                Rep { min, max }
+            }
+            _ => ONE,
+        }
+    }
+
+    fn emit_seq(seq: &[(Atom, Rep)], rng: &mut TestRng, out: &mut String) {
+        for (atom, rep) in seq {
+            let n = rep.min + rng.below((rep.max - rep.min + 1) as u64) as u32;
+            for _ in 0..n {
+                emit_atom(atom, rng, out);
+            }
+        }
+    }
+
+    fn emit_atom(atom: &Atom, rng: &mut TestRng, out: &mut String) {
+        match atom {
+            Atom::Literal(c) => out.push(*c),
+            Atom::Class(ranges) => {
+                let total: u64 = ranges.iter().map(|(lo, hi)| width(*lo, *hi)).sum();
+                let mut pick = rng.below(total);
+                for (lo, hi) in ranges {
+                    let w = width(*lo, *hi);
+                    if pick < w {
+                        out.push(char::from_u32(*lo as u32 + pick as u32).unwrap_or(*lo));
+                        return;
+                    }
+                    pick -= w;
+                }
+                unreachable!()
+            }
+            Atom::Printable => {
+                // \PC: any non-control char. Mostly printable ASCII with a
+                // sprinkle of multi-byte chars to exercise UTF-8 paths.
+                const EXOTIC: [char; 6] = ['\u{e9}', '\u{df}', '\u{3b1}', '\u{2192}', '\u{4e2d}', '\u{1F600}'];
+                if rng.below(10) == 0 {
+                    out.push(EXOTIC[rng.below(EXOTIC.len() as u64) as usize]);
+                } else {
+                    out.push(char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap());
+                }
+            }
+            Atom::Group(seq) => emit_seq(seq, rng, out),
+        }
+    }
+
+    fn width(lo: char, hi: char) -> u64 {
+        (hi as u32 - lo as u32 + 1) as u64
+    }
+}
+
+/// Runs each `fn name(arg in strategy, ...) { body }` as a `#[test]` over
+/// many generated cases. Supports an optional leading
+/// `#![proptest_config(...)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __runner = $crate::test_runner::TestRunner::new($cfg);
+                __runner.run_named(stringify!($name), |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            { $body }
+                            ::std::result::Result::Ok(())
+                        })();
+                    __outcome
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking directly) so the runner can report the reproduction seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion for `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+                __l, __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `left == right`\n  left: {:?}\n right: {:?}\n{}",
+                __l,
+                __r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Inequality assertion for `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `left != right`\n  both: {:?}",
+                __l
+            )));
+        }
+    }};
+}
+
+/// Rejects the current generated case (resampled, not a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    /// Alias so `prop::collection::vec(...)` resolves after a glob import.
+    pub use crate as prop;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn regex_class_and_rep(s in "[a-c]{2,5}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 5);
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn group_optional(s in "x(:[0-9])?") {
+            prop_assert!(s == "x" || (s.len() == 3 && s.starts_with("x:")));
+        }
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0i64..10, 5u32..6)) {
+            prop_assert!((0..10).contains(&a));
+            prop_assert_eq!(b, 5);
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![Just(0usize), (1usize..4).prop_map(|x| x * 10)]) {
+            prop_assert!(v == 0 || v == 10 || v == 20 || v == 30);
+        }
+
+        #[test]
+        fn vec_sizes(v in prop::collection::vec(any::<u8>(), 3..6)) {
+            prop_assert!(v.len() >= 3 && v.len() < 6);
+        }
+    }
+
+    #[test]
+    fn printable_never_emits_controls() {
+        let mut rng = TestRng::new(99);
+        for _ in 0..200 {
+            let s = crate::string::generate_from_regex("\\PC{0,16}", &mut rng);
+            assert!(!s.chars().any(char::is_control), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRng::new(1);
+        let mut b = TestRng::new(1);
+        assert_eq!(
+            crate::string::generate_from_regex("[a-z]{8}", &mut a),
+            crate::string::generate_from_regex("[a-z]{8}", &mut b),
+        );
+    }
+}
