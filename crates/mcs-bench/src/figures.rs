@@ -215,6 +215,93 @@ pub fn fig11(cfg: &Config, deployments: &[Deployment]) -> Figure {
     }
 }
 
+/// Figure 12 (beyond the paper): write throughput and fsync cost of the
+/// durable catalog as concurrent writers scale, per-transaction fsync
+/// (`Durability::Always`) against the group-commit queue
+/// (`Durability::Group`). Builds its own small durable catalogs — the
+/// shared deployments are in-memory and never touch a WAL.
+pub fn fig12(cfg: &Config, _deployments: &[Deployment]) -> Figure {
+    use mcs::{AttrType, Credential, FileSpec, ManualClock, Mcs, StoreConfig};
+
+    let admin = Credential::new("/O=Grid/CN=bench");
+    let total: u64 = match cfg.scale {
+        crate::config::Scale::Quick => 200,
+        crate::config::Scale::Default => 800,
+        crate::config::Scale::Full => 3_200,
+    };
+    let modes: [(&str, fn() -> StoreConfig); 2] = [
+        ("per-txn fsync", StoreConfig::default),
+        ("group commit", || StoreConfig::grouped(Duration::from_millis(2), 64)),
+    ];
+
+    let mut series = Vec::new();
+    for (label, mk_store) in modes {
+        eprintln!("[fig12] series {label} ({total} creates per point)");
+        let mut points = Vec::new();
+        for &writers in &[1usize, 2, 4, 8] {
+            let dir = std::env::temp_dir().join(format!(
+                "mcs-fig12-{}-{writers}-{}",
+                label.replace(' ', "-"),
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let catalog = Arc::new(
+                Mcs::open_durable(
+                    &dir,
+                    &admin,
+                    IndexProfile::Paper2003,
+                    Arc::new(ManualClock::default()),
+                    mk_store(),
+                )
+                .expect("open durable catalog"),
+            );
+            catalog.define_attribute(&admin, "experiment", AttrType::Str, "").unwrap();
+            catalog.define_attribute(&admin, "run", AttrType::Int, "").unwrap();
+
+            let per_writer = total / writers as u64;
+            let syncs_before = catalog.database().wal_stats().sync_count();
+            let t0 = std::time::Instant::now();
+            let handles: Vec<_> = (0..writers)
+                .map(|w| {
+                    let catalog = Arc::clone(&catalog);
+                    let admin = admin.clone();
+                    std::thread::spawn(move || {
+                        for i in 0..per_writer {
+                            let spec = FileSpec::named(format!("f-{w}-{i:05}.dat"))
+                                .attr("experiment", "bench")
+                                .attr("run", (w as u64 * 1_000_000 + i) as i64);
+                            catalog.create_file(&admin, &spec).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            let elapsed = t0.elapsed().as_secs_f64();
+            let ops = per_writer * writers as u64;
+            let syncs = catalog.database().wal_stats().sync_count() - syncs_before;
+            eprintln!(
+                "[fig12] {label} writers={writers}: {:.0} creates/s, {syncs} fsyncs \
+                 ({:.1} txns/fsync)",
+                ops as f64 / elapsed,
+                ops as f64 / syncs.max(1) as f64,
+            );
+            points.push(Point { x: writers as u64, rate: ops as f64 / elapsed, ops, errors: 0 });
+            drop(catalog);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        series.push(Series { label: label.into(), points });
+    }
+    Figure {
+        id: "fig12".into(),
+        title: "Catalog Add Rate with Concurrent Writers: Group Commit vs Per-Txn Fsync".into(),
+        x_label: "writers".into(),
+        y_label: "creates/sec".into(),
+        series,
+    }
+}
+
 /// Run one figure by number.
 pub fn run_figure(n: u8, cfg: &Config, deployments: &[Deployment]) -> Figure {
     match n {
@@ -225,6 +312,7 @@ pub fn run_figure(n: u8, cfg: &Config, deployments: &[Deployment]) -> Figure {
         9 => fig9(cfg, deployments),
         10 => fig10(cfg, deployments),
         11 => fig11(cfg, deployments),
-        other => panic!("no figure {other} in the paper's evaluation (5–11)"),
+        12 => fig12(cfg, deployments),
+        other => panic!("no figure {other}: 5–11 reproduce the paper, 12 is the group-commit A/B"),
     }
 }

@@ -83,6 +83,39 @@ impl Statements {
     }
 }
 
+/// Storage policy for a durably-opened catalog: how autocommit statements
+/// sync ([`SyncPolicy`]) and how transaction commits sync
+/// ([`Durability`]). The default — sync every write, one fsync per
+/// commit — matches the paper's MySQL-with-binlog deployment; services
+/// expecting many concurrent writers switch `durability` to
+/// [`Durability::Group`] so commits share disk syncs.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Per-statement sync behavior for autocommit writes.
+    pub sync: relstore::SyncPolicy,
+    /// Commit durability policy (per-transaction vs group commit).
+    pub durability: relstore::Durability,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            sync: relstore::SyncPolicy::EveryWrite,
+            durability: relstore::Durability::Always,
+        }
+    }
+}
+
+impl StoreConfig {
+    /// A config with group commit enabled at the given batching window.
+    pub fn grouped(max_wait: std::time::Duration, max_batch: usize) -> StoreConfig {
+        StoreConfig {
+            sync: relstore::SyncPolicy::EveryWrite,
+            durability: relstore::Durability::Group { max_wait, max_batch },
+        }
+    }
+}
+
 /// The Metadata Catalog Service.
 ///
 /// All operations take a [`Credential`] and enforce the ACL model of
@@ -111,6 +144,23 @@ impl Mcs {
         clock: Arc<dyn Clock>,
     ) -> Result<Mcs> {
         Mcs::with_database(Arc::new(Database::new()), admin, profile, clock)
+    }
+
+    /// Open a durable catalog rooted at `dir` with an explicit
+    /// [`StoreConfig`]: the database is opened (or recovered) via
+    /// [`relstore::Database::open_durable_with`] and the catalog schema
+    /// bootstrapped on first open. The convenience wrapper over
+    /// [`Mcs::with_database`] that catalog services and benchmarks use to
+    /// pick a commit durability policy.
+    pub fn open_durable(
+        dir: &std::path::Path,
+        admin: &Credential,
+        profile: IndexProfile,
+        clock: Arc<dyn Clock>,
+        cfg: StoreConfig,
+    ) -> Result<Mcs> {
+        let db = relstore::Database::open_durable_with(dir, cfg.sync, cfg.durability)?;
+        Mcs::with_database(db, admin, profile, clock)
     }
 
     /// Open a catalog on an existing database — e.g. one opened durably

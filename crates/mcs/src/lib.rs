@@ -57,7 +57,7 @@ pub mod xmlshred;
 mod external;
 
 pub use cas::{CasAssertion, CommunityAuthorizationService};
-pub use catalog::{FileUpdate, Mcs};
+pub use catalog::{FileUpdate, Mcs, StoreConfig};
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use error::{McsError, Result};
 pub use model::{
@@ -68,5 +68,6 @@ pub use model::{
 pub use general_query::{QueryExpr, StaticPredicate};
 pub use query::CollectionContents;
 pub use replication::{ReplicatedMcs, WriteOp};
+pub use relstore::{Durability, SyncPolicy};
 pub use schema::IndexProfile;
 pub use views::ViewContents;

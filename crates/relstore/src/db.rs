@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
 
@@ -44,6 +45,37 @@ impl Stats {
     }
 }
 
+/// When a committed transaction's WAL group must reach stable storage.
+///
+/// Orthogonal to [`crate::wal::SyncPolicy`] (which governs autocommit
+/// statements): `Durability` decides how *transaction commits* pay for
+/// their sync. Both policies give the same guarantee — a transaction
+/// whose commit returned survives a crash — they differ only in who
+/// performs the `sync_data` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Durability {
+    /// Every commit issues its own `sync_data` before returning.
+    Always,
+    /// Commits pass through the group-commit queue
+    /// ([`crate::group_commit`]): a leader batches up to `max_batch`
+    /// concurrent commits, waiting at most `max_wait` for the batch to
+    /// fill, and syncs once for all of them. `max_wait` bounds added
+    /// commit latency; `max_batch` bounds the torn tail a crash can
+    /// discard (each group is still atomic on its own).
+    Group {
+        /// How long a leader waits for more commits to join its batch.
+        max_wait: Duration,
+        /// Most groups written (and synced) as one physical write.
+        max_batch: usize,
+    },
+}
+
+impl Default for Durability {
+    fn default() -> Self {
+        Durability::Always
+    }
+}
+
 /// An in-memory relational database.
 ///
 /// Tables are individually reader-writer locked (MyISAM-style table-level
@@ -66,6 +98,13 @@ pub struct Database {
     next_txn_id: AtomicU64,
     /// Cached "is a WAL attached" flag so hot paths skip the WAL mutex.
     durable: AtomicBool,
+    /// Commit durability policy; see [`Durability`].
+    durability: RwLock<Durability>,
+    /// Sync/batch counters shared with the WAL writer (survives the
+    /// writer being recreated at checkpoint).
+    wal_stats: Arc<crate::wal::WalStats>,
+    /// Leader/follower queue backing [`Durability::Group`].
+    group_queue: crate::group_commit::GroupCommitQueue,
 }
 
 impl Database {
@@ -121,6 +160,30 @@ impl Database {
     /// True once a write-ahead log is attached.
     pub fn is_durable(&self) -> bool {
         self.durable.load(Ordering::Acquire)
+    }
+
+    /// The commit durability policy in effect.
+    pub fn durability(&self) -> Durability {
+        *self.durability.read()
+    }
+
+    /// Change the commit durability policy. Takes effect for the next
+    /// commit; in-flight group commits complete under the old policy.
+    pub fn set_durability(&self, d: Durability) {
+        *self.durability.write() = d;
+    }
+
+    /// WAL sync/batch counters (test and benchmark hook).
+    pub fn wal_stats(&self) -> &crate::wal::WalStats {
+        &self.wal_stats
+    }
+
+    pub(crate) fn wal_stats_arc(&self) -> Arc<crate::wal::WalStats> {
+        Arc::clone(&self.wal_stats)
+    }
+
+    pub(crate) fn commit_queue(&self) -> &crate::group_commit::GroupCommitQueue {
+        &self.group_queue
     }
 
     pub(crate) fn barriers(&self) -> &BarrierMap {
@@ -296,19 +359,35 @@ impl Database {
         session.begin().map_err(E::from)?;
         session.allowed = Some(norm.into_iter().map(|(n, _)| n).collect());
         let result = f(&mut session);
-        let outcome = match result {
-            Ok(v) => {
-                session.commit().map_err(E::from)?;
-                Ok(v)
-            }
+        match result {
+            Ok(v) => match session.commit_publish() {
+                // The group is enqueued: its log position can no longer be
+                // reordered against any conflicting transaction, so the
+                // barriers may drop before the sync — the next writer of
+                // these tables executes while the batch leader is in
+                // `sync_data`, which is what lets serialized workloads
+                // share fsyncs. Durability still gates the return.
+                Ok(Some(pending)) => {
+                    drop(barriers);
+                    pending.finish().map_err(E::from)?;
+                    Ok(v)
+                }
+                Ok(None) => {
+                    drop(barriers);
+                    Ok(v)
+                }
+                Err(e) => {
+                    drop(barriers);
+                    Err(E::from(e))
+                }
+            },
             Err(e) => {
                 // Preserve the original error even if rollback also fails.
                 let _ = session.rollback();
+                drop(barriers); // release only after rollback finished
                 Err(e)
             }
-        };
-        drop(barriers); // release only after commit/rollback finished
-        outcome
+        }
     }
 }
 
@@ -357,6 +436,23 @@ fn split_statements(script: &str) -> Vec<String> {
     out
 }
 
+/// A commit whose WAL group is enqueued (log position fixed) but whose
+/// durability has not yet been paid. Produced by `Session::commit_publish`
+/// under [`Durability::Group`]; `finish` parks on the commit queue until a
+/// batch leader has synced the group.
+pub(crate) struct PendingCommit {
+    db: Arc<Database>,
+    ticket: u64,
+    max_wait: std::time::Duration,
+    max_batch: usize,
+}
+
+impl PendingCommit {
+    pub(crate) fn finish(self) -> Result<()> {
+        self.db.group_commit_wait(self.ticket, self.max_wait, self.max_batch)
+    }
+}
+
 /// A connection-like handle supporting BEGIN/COMMIT/ROLLBACK.
 ///
 /// Isolation is per-statement (table-level locks are held only for the
@@ -400,19 +496,53 @@ impl Session {
 
     /// Commit: discard the undo log and journal the transaction's writes
     /// to the write-ahead log as one `Begin, Stmt…, Commit` group — a
-    /// single buffered write and sync, and crash recovery replays the
-    /// group all-or-nothing.
+    /// single buffered write, and crash recovery replays the group
+    /// all-or-nothing. Under [`Durability::Always`] the commit syncs the
+    /// log itself; under [`Durability::Group`] it hands the encoded group
+    /// to the commit queue and returns once a batch leader has synced it
+    /// (see [`crate::group_commit`]).
     pub fn commit(&mut self) -> Result<()> {
+        match self.commit_publish()? {
+            None => Ok(()),
+            Some(wait) => wait.finish(),
+        }
+    }
+
+    /// First half of a commit: close the transaction and fix the group's
+    /// position in the log. Under [`Durability::Always`] this performs the
+    /// whole append-and-sync and returns `None`; under
+    /// [`Durability::Group`] it enqueues the encoded group (the commit
+    /// queue is FIFO, so the log position is now decided) and returns the
+    /// pending wait, which the caller finishes with
+    /// [`PendingCommit::finish`] — crucially, *after* releasing the
+    /// transaction's barriers, so the next conflicting transaction can
+    /// execute and join the batch while this one's sync is in flight.
+    pub(crate) fn commit_publish(&mut self) -> Result<Option<PendingCommit>> {
         self.txn.take().ok_or_else(|| Error::TxnState("no open transaction".into()))?;
         self.allowed = None;
-        let mut wal = self.db.wal_lock();
-        if let Some(w) = wal.as_mut() {
-            let records = std::mem::take(&mut self.pending_log);
-            w.append_transaction(self.txn_id, &records)?;
-        } else {
-            self.pending_log.clear();
+        let records = std::mem::take(&mut self.pending_log);
+        if records.is_empty() || !self.db.is_durable() {
+            return Ok(None);
         }
-        Ok(())
+        match self.db.durability() {
+            Durability::Always => {
+                let mut wal = self.db.wal_lock();
+                if let Some(w) = wal.as_mut() {
+                    w.append_transaction(self.txn_id, &records)?;
+                }
+                Ok(None)
+            }
+            Durability::Group { max_wait, max_batch } => {
+                let group = crate::wal::WalWriter::encode_transaction(self.txn_id, &records);
+                let ticket = self.db.group_enqueue(group);
+                Ok(Some(PendingCommit {
+                    db: Arc::clone(&self.db),
+                    ticket,
+                    max_wait,
+                    max_batch,
+                }))
+            }
+        }
     }
 
     /// Roll back: apply the undo log in reverse; buffered WAL records are

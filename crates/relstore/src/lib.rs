@@ -35,6 +35,7 @@
 pub mod db;
 pub mod error;
 pub mod executor;
+pub mod group_commit;
 pub mod index;
 pub mod lock;
 pub mod planner;
@@ -47,7 +48,7 @@ pub mod txn;
 pub mod value;
 pub mod wal;
 
-pub use db::{Database, Prepared, Session, Stats};
+pub use db::{Database, Durability, Prepared, Session, Stats};
 pub use error::{Error, Result};
 pub use executor::{ExecResult, ResultSet};
 pub use index::{Index, IndexDef, IndexKey};
@@ -57,4 +58,4 @@ pub use row::{Row, RowId, StoredRow};
 pub use schema::{ColumnDef, TableSchema};
 pub use table::Table;
 pub use value::{Date, DateTime, Time, Value, ValueType};
-pub use wal::SyncPolicy;
+pub use wal::{SyncPolicy, WalStats};

@@ -9,7 +9,7 @@ use crate::value::{Date, DateTime, Time, Value, ValueType};
 /// Parse one SQL statement (a trailing `;` is allowed).
 pub fn parse(sql: &str) -> Result<Statement> {
     let tokens = lex(sql)?;
-    let mut p = Parser { tokens, pos: 0, params: 0 };
+    let mut p = Parser { tokens, pos: 0, params: 0, depth: 0 };
     let stmt = p.statement()?;
     p.eat_punct(Punct::Semi);
     if p.pos != p.tokens.len() {
@@ -18,15 +18,29 @@ pub fn parse(sql: &str) -> Result<Statement> {
     Ok(stmt)
 }
 
+/// Maximum expression nesting. The parser recurses per `(`/`NOT`, so
+/// untrusted input (SOAP clients hand the service raw query strings)
+/// could otherwise overflow the stack instead of returning an error.
+const MAX_EXPR_DEPTH: usize = 64;
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
     params: usize,
+    depth: usize,
 }
 
 impl Parser {
     fn err(&self, msg: impl Into<String>) -> Error {
         Error::ParseError { at: self.pos, msg: msg.into() }
+    }
+
+    fn enter(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > MAX_EXPR_DEPTH {
+            return Err(self.err(format!("expression nested deeper than {MAX_EXPR_DEPTH}")));
+        }
+        Ok(())
     }
 
     fn peek(&self) -> Option<&TokenKind> {
@@ -446,7 +460,10 @@ impl Parser {
 
     fn not_expr(&mut self) -> Result<Expr> {
         if self.eat_kw("NOT") {
-            Ok(Expr::Not(Box::new(self.not_expr()?)))
+            self.enter()?;
+            let e = self.not_expr();
+            self.depth -= 1;
+            Ok(Expr::Not(Box::new(e?)))
         } else {
             self.comparison()
         }
@@ -511,7 +528,10 @@ impl Parser {
 
     fn operand(&mut self) -> Result<Expr> {
         if self.eat_punct(Punct::LParen) {
-            let e = self.expr()?;
+            self.enter()?;
+            let e = self.expr();
+            self.depth -= 1;
+            let e = e?;
             self.expect_punct(Punct::RParen)?;
             return Ok(e);
         }

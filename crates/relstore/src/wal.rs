@@ -21,8 +21,13 @@
 //! * `0x02` **Commit** — `[txn_id: u64]`: closes the open group.
 //!
 //! A committed transaction is journalled as `Begin, Stmt…, Commit` in one
-//! buffered write with a single `fsync` after the Commit frame (group
-//! commit). Recovery applies bare Stmt records immediately but buffers a
+//! buffered write with a single `fsync` after the Commit frame. Under
+//! [`crate::db::Durability::Group`], *many* concurrent transactions'
+//! groups share one physical write and one `fsync` (cross-transaction
+//! group commit; see [`crate::group_commit`]) — each group stays
+//! self-delimiting, so a torn tail discards only the group(s) whose
+//! Commit frame is missing while earlier groups from the same physical
+//! write survive. Recovery applies bare Stmt records immediately but buffers a
 //! group's statements until its Commit frame: a torn or uncommitted tail —
 //! including a crash anywhere between Begin and Commit — is discarded **as
 //! a unit**, never statement-by-statement, so a multi-statement catalog
@@ -49,9 +54,10 @@
 use std::fs::{File, OpenOptions};
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crate::db::Database;
+use crate::db::{Database, Durability};
 use crate::error::{Error, Result};
 use crate::index::IndexDef;
 use crate::schema::{ColumnDef, TableSchema};
@@ -67,6 +73,39 @@ pub enum SyncPolicy {
     /// Let the OS flush; data survives process crashes but not power
     /// loss (MyISAM-era reality).
     OsBuffered,
+}
+
+/// Observable WAL write activity — the sync-counting hook the crash and
+/// concurrency tests (and `mcs-bench`) use to *prove* group commit
+/// amortizes `fsync`s instead of asserting it. Counters only ever
+/// increase; sample before/after a workload and subtract.
+#[derive(Debug, Default)]
+pub struct WalStats {
+    /// `sync_data` calls issued (one per physical commit under
+    /// [`SyncPolicy::EveryWrite`]; zero under [`SyncPolicy::OsBuffered`]).
+    pub syncs: AtomicU64,
+    /// Transaction groups journalled (`Begin..Commit` units).
+    pub group_commits: AtomicU64,
+    /// Physical batch writes that carried at least one transaction group.
+    /// `group_commits / batches` is the achieved amortization factor.
+    pub batches: AtomicU64,
+}
+
+impl WalStats {
+    /// Snapshot of `syncs` (relaxed; for before/after deltas in tests).
+    pub fn sync_count(&self) -> u64 {
+        self.syncs.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of `group_commits`.
+    pub fn group_commit_count(&self) -> u64 {
+        self.group_commits.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of `batches`.
+    pub fn batch_count(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
 }
 
 /// Log file name inside the durability directory.
@@ -236,17 +275,18 @@ fn fnv1a(data: &[u8]) -> u64 {
 pub(crate) struct WalWriter {
     file: BufWriter<File>,
     policy: SyncPolicy,
+    stats: Arc<WalStats>,
 }
 
 impl WalWriter {
-    fn open_append(path: &Path, policy: SyncPolicy) -> Result<WalWriter> {
+    fn open_append(path: &Path, policy: SyncPolicy, stats: Arc<WalStats>) -> Result<WalWriter> {
         let file = OpenOptions::new()
             .create(true)
             .append(true)
             .open(path)
             .map_err(|e| Error::ExecError(format!("open wal: {e}")))?;
         let len = file.metadata().map_err(|e| Error::ExecError(format!("wal stat: {e}")))?.len();
-        let mut writer = WalWriter { file: BufWriter::new(file), policy };
+        let mut writer = WalWriter { file: BufWriter::new(file), policy, stats };
         if len == 0 {
             // a fresh (or just-truncated) log starts with the v2 magic
             writer
@@ -287,8 +327,13 @@ impl WalWriter {
         self.file
             .write_all(rec)
             .map_err(|e| Error::ExecError(format!("wal append: {e}")))?;
+        self.flush_and_sync()
+    }
+
+    fn flush_and_sync(&mut self) -> Result<()> {
         self.file.flush().map_err(|e| Error::ExecError(format!("wal flush: {e}")))?;
         if self.policy == SyncPolicy::EveryWrite {
+            self.stats.syncs.fetch_add(1, Ordering::Relaxed);
             self.file
                 .get_ref()
                 .sync_data()
@@ -305,6 +350,23 @@ impl WalWriter {
         self.write_and_sync(&rec)
     }
 
+    /// Encode a whole committed transaction as the framed byte run
+    /// `Begin, Stmt…, Commit`. The run is self-delimiting: recovery applies
+    /// it only once its Commit frame is intact, so any number of runs can
+    /// share one physical write and still recover independently.
+    pub(crate) fn encode_transaction(
+        txn_id: u64,
+        records: &[(String, Vec<Value>)],
+    ) -> Vec<u8> {
+        let mut rec = Vec::with_capacity(64 * (records.len() + 2));
+        Self::frame(&mut rec, &Self::marker_payload(TAG_BEGIN, txn_id));
+        for (sql, params) in records {
+            Self::frame(&mut rec, &Self::stmt_payload(sql, params));
+        }
+        Self::frame(&mut rec, &Self::marker_payload(TAG_COMMIT, txn_id));
+        rec
+    }
+
     /// Append a whole committed transaction as `Begin, Stmt…, Commit` in a
     /// single buffered write with one sync after the Commit frame (group
     /// commit). A crash anywhere before the Commit frame reaches disk makes
@@ -317,13 +379,34 @@ impl WalWriter {
         if records.is_empty() {
             return Ok(());
         }
-        let mut rec = Vec::with_capacity(64 * (records.len() + 2));
-        Self::frame(&mut rec, &Self::marker_payload(TAG_BEGIN, txn_id));
-        for (sql, params) in records {
-            Self::frame(&mut rec, &Self::stmt_payload(sql, params));
-        }
-        Self::frame(&mut rec, &Self::marker_payload(TAG_COMMIT, txn_id));
+        let rec = Self::encode_transaction(txn_id, records);
+        self.stats.group_commits.fetch_add(1, Ordering::Relaxed);
+        self.stats.batches.fetch_add(1, Ordering::Relaxed);
         self.write_and_sync(&rec)
+    }
+
+    /// Append many already-encoded transaction groups in one buffered
+    /// write followed by a **single** flush/sync — the physical half of
+    /// group commit. Groups land in iteration order; each is framed so a
+    /// torn tail discards only the transactions whose Commit frame did
+    /// not make it, never an earlier group from the same write.
+    pub(crate) fn append_batch<'a>(
+        &mut self,
+        groups: impl IntoIterator<Item = &'a [u8]>,
+    ) -> Result<()> {
+        let mut n = 0u64;
+        for g in groups {
+            self.file
+                .write_all(g)
+                .map_err(|e| Error::ExecError(format!("wal batch append: {e}")))?;
+            n += 1;
+        }
+        if n == 0 {
+            return Ok(());
+        }
+        self.stats.group_commits.fetch_add(n, Ordering::Relaxed);
+        self.stats.batches.fetch_add(1, Ordering::Relaxed);
+        self.flush_and_sync()
     }
 }
 
@@ -530,6 +613,18 @@ impl Database {
     /// snapshot if present, replay the write-ahead log, and attach a log
     /// writer so subsequent writes persist.
     pub fn open_durable(dir: impl AsRef<Path>, policy: SyncPolicy) -> Result<Arc<Database>> {
+        Self::open_durable_with(dir, policy, Durability::Always)
+    }
+
+    /// [`Database::open_durable`] with an explicit commit [`Durability`]
+    /// policy: `Durability::Always` syncs once per committed transaction;
+    /// `Durability::Group { .. }` batches concurrent commits so many
+    /// transactions share one sync (see [`crate::group_commit`]).
+    pub fn open_durable_with(
+        dir: impl AsRef<Path>,
+        policy: SyncPolicy,
+        durability: Durability,
+    ) -> Result<Arc<Database>> {
         let dir: PathBuf = dir.as_ref().to_owned();
         std::fs::create_dir_all(&dir)
             .map_err(|e| Error::ExecError(format!("create {dir:?}: {e}")))?;
@@ -572,7 +667,9 @@ impl Database {
                 }
             }
         }
-        db.attach_wal(WalWriter::open_append(&dir.join(WAL_FILE), policy)?, dir);
+        let writer = WalWriter::open_append(&dir.join(WAL_FILE), policy, db.wal_stats_arc())?;
+        db.attach_wal(writer, dir);
+        db.set_durability(durability);
         if legacy {
             // Migrate a pre-v2 log: checkpointing folds it into the
             // snapshot and rewrites an empty log with the v2 magic.
@@ -592,6 +689,11 @@ impl Database {
         // transaction is mid-flight while we snapshot — otherwise the
         // snapshot could capture uncommitted (not-yet-journalled) state.
         let _quiesce = self.barriers().quiesce_guard(&self.table_names())?;
+        // Drain the group-commit queue: a queued group's effects are
+        // already in table state (and will be in the snapshot), so its
+        // frames must land in the *old* log — after truncation they would
+        // replay on top of the snapshot and double-apply.
+        self.flush_commit_queue()?;
         // Hold the WAL lock across the whole checkpoint so no write can
         // slip between snapshot and truncation.
         let mut wal = self.wal_lock();
@@ -603,7 +705,7 @@ impl Database {
         let policy = wal.as_ref().map_or(SyncPolicy::OsBuffered, |w| w.policy);
         std::fs::write(dir.join(WAL_FILE), b"")
             .map_err(|e| Error::ExecError(format!("wal truncate: {e}")))?;
-        *wal = Some(WalWriter::open_append(&dir.join(WAL_FILE), policy)?);
+        *wal = Some(WalWriter::open_append(&dir.join(WAL_FILE), policy, self.wal_stats_arc())?);
         Ok(())
     }
 }
@@ -755,7 +857,9 @@ mod tests {
             seed(&db);
         }
         {
-            let mut w = WalWriter::open_append(&dir.join(WAL_FILE), SyncPolicy::EveryWrite).unwrap();
+            let stats = Arc::new(WalStats::default());
+            let mut w =
+                WalWriter::open_append(&dir.join(WAL_FILE), SyncPolicy::EveryWrite, stats).unwrap();
             w.append_transaction(
                 7,
                 &[
@@ -812,7 +916,9 @@ mod tests {
         }
         let base = std::fs::metadata(&wal_path).unwrap().len();
         {
-            let mut w = WalWriter::open_append(&wal_path, SyncPolicy::EveryWrite).unwrap();
+            let stats = Arc::new(WalStats::default());
+            let mut w =
+                WalWriter::open_append(&wal_path, SyncPolicy::EveryWrite, stats).unwrap();
             w.append_transaction(
                 11,
                 &[("INSERT INTO t (name, v) VALUES ('y', 9)".into(), vec![])],
