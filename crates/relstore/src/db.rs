@@ -246,7 +246,10 @@ impl Database {
         if Self::is_write(stmt) {
             let mut wal = self.wal.lock();
             if let Some(w) = wal.as_mut() {
-                w.append(sql, params)?;
+                // drain queued commit groups ahead of this record: they
+                // executed before us (their barriers preceded ours), so
+                // they must precede us in the log too
+                self.append_after_queue(w, |w| w.append(sql, params))?;
                 // hold the lock across execution so log order == exec order
                 return exec_statement(self, stmt, params, undo);
             }
@@ -362,9 +365,11 @@ impl Database {
         match result {
             Ok(v) => match session.commit_publish() {
                 // The group is enqueued: its log position can no longer be
-                // reordered against any conflicting transaction, so the
-                // barriers may drop before the sync — the next writer of
-                // these tables executes while the batch leader is in
+                // reordered against any conflicting write (later grouped
+                // commits queue behind it; later direct appends drain the
+                // queue first — see `Database::append_after_queue`), so
+                // the barriers may drop before the sync — the next writer
+                // of these tables executes while the batch leader is in
                 // `sync_data`, which is what lets serialized workloads
                 // share fsyncs. Durability still gates the return.
                 Ok(Some(pending)) => {
@@ -526,9 +531,15 @@ impl Session {
         }
         match self.db.durability() {
             Durability::Always => {
+                let txn_id = self.txn_id;
                 let mut wal = self.db.wal_lock();
                 if let Some(w) = wal.as_mut() {
-                    w.append_transaction(self.txn_id, &records)?;
+                    // A runtime flip from `Group` to `Always` can leave
+                    // groups in the commit queue; they must reach the log
+                    // before this (later-executed) transaction.
+                    self.db.append_after_queue(w, |w| {
+                        w.append_transaction(txn_id, &records)
+                    })?;
                 }
                 Ok(None)
             }

@@ -25,15 +25,38 @@
 //! next leader drains them all — the classic self-clocking group commit.
 //! `max_wait` only adds an explicit collection window on top.
 //!
-//! Correctness leans on the barrier layer ([`crate::lock`]): a
-//! transaction's exclusive table barriers are held until its commit
-//! *returns* — i.e. until its group is durable — so two transactions
-//! whose WAL replay order could matter are never in the queue at the same
-//! time, and readers cannot observe a transaction whose group has not
-//! reached the disk. Recovery needs no changes: each group in a batched
-//! physical write is self-delimiting, so a torn tail discards exactly the
-//! groups missing their Commit frame (see `crates/mcs/tests/
-//! crash_atomicity.rs` for the byte-granular proof).
+//! Correctness has two parts:
+//!
+//! * **Log order = execution order.** Conflicting operations are ordered
+//!   by the barrier layer ([`crate::lock`]), and every path that can put
+//!   bytes in the log fixes its position *while still holding its
+//!   barriers*: a grouped commit enqueues before
+//!   [`Database::transaction`](crate::db::Database::transaction) drops
+//!   its barriers, and a direct append (an autocommit statement, or an
+//!   `Always` commit after a runtime policy flip) first drains every
+//!   queued group into the log — under the WAL mutex, via
+//!   [`Database::append_after_queue`] — before writing its own record.
+//!   The leader likewise drains the queue only while holding the WAL
+//!   mutex, so drain-and-append is one critical section and a direct
+//!   append can never land ahead of a group enqueued before it.
+//! * **Visibility runs ahead of durability — deliberately.** A
+//!   transaction's barriers are released as soon as its group is
+//!   enqueued, *before* any `sync_data`: that is what lets the next
+//!   conflicting transaction execute and join the batch while the
+//!   leader's sync is in flight (otherwise contended tables would
+//!   serialise into batches of one). The flip side is the standard
+//!   early-lock-release anomaly: a concurrent **reader may observe a
+//!   commit whose group is not yet on disk** and act on state that a
+//!   crash would roll back. The committer itself is never lied to —
+//!   `commit()` returns only after its group is durable — and callers
+//!   that must not expose maybe-lost data to third parties should stay
+//!   on [`Durability::Always`](crate::db::Durability::Always) (see
+//!   DESIGN.md §7.1).
+//!
+//! Recovery needs no changes: each group in a batched physical write is
+//! self-delimiting, so a torn tail discards exactly the groups missing
+//! their Commit frame (see `crates/mcs/tests/crash_atomicity.rs` for the
+//! byte-granular proof).
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
@@ -123,9 +146,14 @@ impl Database {
     fn lead_batch(&self, max_wait: Duration, max_batch: usize) {
         let q = self.commit_queue();
         let deadline = Instant::now() + max_wait;
-        let batch: Vec<(u64, Vec<u8>)> = {
+        // Collection window: wait (queue lock only, never the WAL mutex)
+        // for the batch to fill; new arrivals poke the condvar. An empty
+        // queue ends the window early — a direct appender has drained and
+        // published everything (possibly including this leader's own
+        // group), so there is nothing left to collect.
+        {
             let mut st = q.lock();
-            while st.pending.len() < max_batch {
+            while !st.pending.is_empty() && st.pending.len() < max_batch {
                 let now = Instant::now();
                 if now >= deadline {
                     break;
@@ -139,13 +167,23 @@ impl Database {
                     break;
                 }
             }
+        }
+        // Drain only *after* taking the WAL mutex: drain-and-append must
+        // be one critical section, or a direct append (autocommit
+        // statement / `Always` commit) could slip between them and land
+        // in the log ahead of an earlier-executed queued group. A direct
+        // appender that won the WAL mutex has already drained (and
+        // published) some prefix of this batch; what is left is still in
+        // FIFO order.
+        let mut wal = self.wal_lock();
+        let batch: Vec<(u64, Vec<u8>)> = {
+            let mut st = q.lock();
             let n = st.pending.len().min(max_batch);
             st.pending.drain(..n).collect()
         };
         let result = if batch.is_empty() {
             Ok(())
         } else {
-            let mut wal = self.wal_lock();
             match wal.as_mut() {
                 Some(w) => w.append_batch(batch.iter().map(|(_, g)| g.as_slice())),
                 // No WAL attached (never detaches once attached; this arm
@@ -153,6 +191,7 @@ impl Database {
                 None => Ok(()),
             }
         };
+        drop(wal);
         let err = result.err().map(|e| e.to_string());
         let mut st = q.lock();
         for (ticket, _) in &batch {
@@ -160,6 +199,44 @@ impl Database {
         }
         st.leader_active = false;
         q.cond.notify_all();
+    }
+
+    /// The single ordering point for **direct** WAL appends (autocommit
+    /// statements, `Durability::Always` commits): with the WAL mutex held
+    /// (the `&mut WalWriter` proves it), drain every queued group into
+    /// the log — in enqueue order, ahead of the caller's record — then
+    /// run the caller's own append. Any group already enqueued belongs to
+    /// a transaction that executed (and released its barriers) before the
+    /// caller could, so its bytes must precede the caller's; skipping the
+    /// drain would let recovery replay the two in the wrong order.
+    ///
+    /// The caller's `append` closure is expected to flush/sync, which
+    /// covers the drained groups too; their waiting committers are
+    /// published (woken with the combined result) after it returns.
+    pub(crate) fn append_after_queue(
+        &self,
+        w: &mut crate::wal::WalWriter,
+        append: impl FnOnce(&mut crate::wal::WalWriter) -> Result<()>,
+    ) -> Result<()> {
+        let drained: Vec<(u64, Vec<u8>)> = {
+            let mut st = self.commit_queue().lock();
+            st.pending.drain(..).collect()
+        };
+        let result = w
+            .append_groups_unsynced(drained.iter().map(|(_, g)| g.as_slice()))
+            .and_then(|_| append(w));
+        if !drained.is_empty() {
+            let err = result.as_ref().err().map(|e| e.to_string());
+            let q = self.commit_queue();
+            let mut st = q.lock();
+            for (ticket, _) in &drained {
+                st.results.insert(*ticket, err.clone());
+            }
+            // Wakes the drained groups' committers; also nudges a leader
+            // sitting in its collection window to notice the empty queue.
+            q.cond.notify_all();
+        }
+        result
     }
 
     /// Drain the queue completely (checkpoint calls this before
@@ -286,6 +363,100 @@ mod tests {
         })
         .unwrap();
         assert_eq!(db.wal_stats().group_commit_count(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A conflicting autocommit statement runs while a grouped commit's
+    /// bytes are still queued (the committer-leader is parked in a long
+    /// collection window): the direct append must drain the queued group
+    /// into the log *ahead* of its own record, or recovery replays the
+    /// delete before the insert. Also proves the drain publishes the
+    /// parked committer — nobody waits out the 5 s window.
+    #[test]
+    fn direct_append_drains_queued_groups_first() {
+        let dir = tmpdir("order");
+        {
+            let db = Database::open_durable_with(
+                &dir,
+                SyncPolicy::EveryWrite,
+                Durability::Group { max_wait: Duration::from_secs(5), max_batch: 64 },
+            )
+            .unwrap();
+            db.execute("CREATE TABLE t (name VARCHAR(32))", &[]).unwrap();
+            let started = std::time::Instant::now();
+            let (in_txn, ready) = std::sync::mpsc::channel();
+            let writer = {
+                let db = Arc::clone(&db);
+                std::thread::spawn(move || {
+                    db.transaction(&[("t", Access::Write)], |s| {
+                        s.execute("INSERT INTO t (name) VALUES ('from-txn')", &[])?;
+                        in_txn.send(()).unwrap();
+                        Ok::<_, crate::Error>(())
+                    })
+                    .unwrap();
+                })
+            };
+            // Blocks on t's barrier until the transaction has enqueued its
+            // group and released (enqueue happens under the barriers), so
+            // this delete executes strictly after the insert — and must
+            // also land after it in the log.
+            ready.recv().unwrap();
+            db.execute("DELETE FROM t WHERE name = 'from-txn'", &[]).unwrap();
+            writer.join().unwrap();
+            assert!(
+                started.elapsed() < Duration::from_secs(4),
+                "committer stalled in the collection window instead of being \
+                 published by the direct append"
+            );
+        }
+        let db = Database::open_durable(&dir, SyncPolicy::EveryWrite).unwrap();
+        assert_eq!(
+            db.query("SELECT COUNT(*) FROM t", &[]).unwrap().rows[0][0],
+            Value::Int(0),
+            "recovery replayed the autocommit delete ahead of the grouped insert"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Flipping `Group` → `Always` at runtime while a group is still
+    /// queued: the `Always` commit is a direct append and must push the
+    /// queued group into the log ahead of itself.
+    #[test]
+    fn always_commit_after_flip_drains_queued_groups() {
+        let dir = tmpdir("flip-order");
+        {
+            let db = Database::open_durable_with(
+                &dir,
+                SyncPolicy::EveryWrite,
+                Durability::Group { max_wait: Duration::from_secs(5), max_batch: 64 },
+            )
+            .unwrap();
+            db.execute("CREATE TABLE t (name VARCHAR(32))", &[]).unwrap();
+            let (in_txn, ready) = std::sync::mpsc::channel();
+            let writer = {
+                let db = Arc::clone(&db);
+                std::thread::spawn(move || {
+                    db.transaction(&[("t", Access::Write)], |s| {
+                        s.execute("INSERT INTO t (name) VALUES ('x')", &[])?;
+                        in_txn.send(()).unwrap();
+                        Ok::<_, crate::Error>(())
+                    })
+                    .unwrap();
+                })
+            };
+            ready.recv().unwrap();
+            db.set_durability(Durability::Always);
+            // barrier-ordered after the insert; under Always it appends
+            // directly, which must drain the queued insert group first
+            db.transaction(&[("t", Access::Write)], |s| {
+                s.execute("DELETE FROM t WHERE name = 'x'", &[])?;
+                Ok::<_, crate::Error>(())
+            })
+            .unwrap();
+            writer.join().unwrap();
+        }
+        let db = Database::open_durable(&dir, SyncPolicy::EveryWrite).unwrap();
+        assert_eq!(db.query("SELECT COUNT(*) FROM t", &[]).unwrap().rows[0][0], Value::Int(0));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -276,6 +276,14 @@ pub(crate) struct WalWriter {
     file: BufWriter<File>,
     policy: SyncPolicy,
     stats: Arc<WalStats>,
+    /// Set when an append, flush, or sync failed (ENOSPC, I/O error).
+    /// After a failure the physical tail of the log is unknown — a torn
+    /// frame may sit mid-file, and replay stops at the first corrupt
+    /// frame — so appending anything more would silently discard every
+    /// later commit at recovery. A poisoned writer rejects all further
+    /// appends; `checkpoint()` rebuilds the log from scratch and attaches
+    /// a fresh writer, which is the recovery path.
+    poisoned: bool,
 }
 
 impl WalWriter {
@@ -286,7 +294,7 @@ impl WalWriter {
             .open(path)
             .map_err(|e| Error::ExecError(format!("open wal: {e}")))?;
         let len = file.metadata().map_err(|e| Error::ExecError(format!("wal stat: {e}")))?.len();
-        let mut writer = WalWriter { file: BufWriter::new(file), policy, stats };
+        let mut writer = WalWriter { file: BufWriter::new(file), policy, stats, poisoned: false };
         if len == 0 {
             // a fresh (or just-truncated) log starts with the v2 magic
             writer
@@ -323,27 +331,52 @@ impl WalWriter {
         payload
     }
 
+    /// Fail fast if an earlier append left the log tail in an unknown
+    /// state (see the `poisoned` field).
+    fn usable(&self) -> Result<()> {
+        if self.poisoned {
+            return Err(Error::ExecError(
+                "wal writer poisoned by an earlier append failure; \
+                 checkpoint to rebuild the log"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn write_bytes(&mut self, rec: &[u8], what: &str) -> Result<()> {
+        match self.file.write_all(rec) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.poisoned = true;
+                Err(Error::ExecError(format!("{what}: {e}")))
+            }
+        }
+    }
+
     fn write_and_sync(&mut self, rec: &[u8]) -> Result<()> {
-        self.file
-            .write_all(rec)
-            .map_err(|e| Error::ExecError(format!("wal append: {e}")))?;
+        self.write_bytes(rec, "wal append")?;
         self.flush_and_sync()
     }
 
     fn flush_and_sync(&mut self) -> Result<()> {
-        self.file.flush().map_err(|e| Error::ExecError(format!("wal flush: {e}")))?;
+        if let Err(e) = self.file.flush() {
+            self.poisoned = true;
+            return Err(Error::ExecError(format!("wal flush: {e}")));
+        }
         if self.policy == SyncPolicy::EveryWrite {
             self.stats.syncs.fetch_add(1, Ordering::Relaxed);
-            self.file
-                .get_ref()
-                .sync_data()
-                .map_err(|e| Error::ExecError(format!("wal sync: {e}")))?;
+            if let Err(e) = self.file.get_ref().sync_data() {
+                self.poisoned = true;
+                return Err(Error::ExecError(format!("wal sync: {e}")));
+            }
         }
         Ok(())
     }
 
     /// Append one autocommitted statement record.
     pub(crate) fn append(&mut self, sql: &str, params: &[Value]) -> Result<()> {
+        self.usable()?;
         let payload = Self::stmt_payload(sql, params);
         let mut rec = Vec::with_capacity(payload.len() + 12);
         Self::frame(&mut rec, &payload);
@@ -379,10 +412,36 @@ impl WalWriter {
         if records.is_empty() {
             return Ok(());
         }
+        self.usable()?;
         let rec = Self::encode_transaction(txn_id, records);
         self.stats.group_commits.fetch_add(1, Ordering::Relaxed);
         self.stats.batches.fetch_add(1, Ordering::Relaxed);
         self.write_and_sync(&rec)
+    }
+
+    /// Buffer already-encoded transaction groups into the log, in
+    /// iteration order, **without** flushing or syncing; the caller's
+    /// next flush/sync makes them durable as part of its own physical
+    /// write. Returns the number of groups written. This is the primitive
+    /// behind both the leader's batched append and the direct-append
+    /// path, which pushes every queued group ahead of its own record so
+    /// log order can never contradict execution order
+    /// (`Database::append_after_queue`).
+    pub(crate) fn append_groups_unsynced<'a>(
+        &mut self,
+        groups: impl IntoIterator<Item = &'a [u8]>,
+    ) -> Result<u64> {
+        self.usable()?;
+        let mut n = 0u64;
+        for g in groups {
+            self.write_bytes(g, "wal batch append")?;
+            n += 1;
+        }
+        if n > 0 {
+            self.stats.group_commits.fetch_add(n, Ordering::Relaxed);
+            self.stats.batches.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(n)
     }
 
     /// Append many already-encoded transaction groups in one buffered
@@ -394,18 +453,9 @@ impl WalWriter {
         &mut self,
         groups: impl IntoIterator<Item = &'a [u8]>,
     ) -> Result<()> {
-        let mut n = 0u64;
-        for g in groups {
-            self.file
-                .write_all(g)
-                .map_err(|e| Error::ExecError(format!("wal batch append: {e}")))?;
-            n += 1;
-        }
-        if n == 0 {
+        if self.append_groups_unsynced(groups)? == 0 {
             return Ok(());
         }
-        self.stats.group_commits.fetch_add(n, Ordering::Relaxed);
-        self.stats.batches.fetch_add(1, Ordering::Relaxed);
         self.flush_and_sync()
     }
 }
@@ -963,6 +1013,45 @@ mod tests {
         drop(db);
         let db = Database::open_durable(&dir, SyncPolicy::EveryWrite).unwrap();
         assert_eq!(db.query("SELECT COUNT(*) FROM t", &[]).unwrap().rows[0][0], Value::Int(1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn append_failure_poisons_the_writer() {
+        // /dev/full yields a deterministic ENOSPC on flush (Linux);
+        // elsewhere there is no cheap way to force the failure — skip.
+        let Ok(file) = OpenOptions::new().write(true).open("/dev/full") else { return };
+        let mut w = WalWriter {
+            file: BufWriter::new(file),
+            policy: SyncPolicy::EveryWrite,
+            stats: Arc::new(WalStats::default()),
+            poisoned: false,
+        };
+        assert!(w.append("INSERT INTO t (v) VALUES (1)", &[]).is_err());
+        assert!(w.poisoned);
+        // every further append must fail fast: the tail may hold a torn
+        // frame, and replay stops at the first corrupt frame, so anything
+        // appended after it would be silently dropped at recovery
+        assert!(w.append("INSERT INTO t (v) VALUES (2)", &[]).is_err());
+        assert!(w.append_transaction(7, &[("X".into(), vec![])]).is_err());
+        assert!(w.append_batch([b"g".as_slice()]).is_err());
+        assert_eq!(w.stats.sync_count(), 0, "must not sync after a failed flush");
+    }
+
+    #[test]
+    fn checkpoint_recovers_a_poisoned_writer() {
+        let dir = tmpdir("poison-ckpt");
+        let db = Database::open_durable(&dir, SyncPolicy::EveryWrite).unwrap();
+        seed(&db);
+        db.wal_lock().as_mut().unwrap().poisoned = true;
+        assert!(db.execute("INSERT INTO t (name) VALUES ('c')", &[]).is_err());
+        // checkpoint folds table state into the snapshot and attaches a
+        // fresh writer over an empty log — the documented recovery path
+        db.checkpoint().unwrap();
+        db.execute("INSERT INTO t (name) VALUES ('c')", &[]).unwrap();
+        drop(db);
+        let db = Database::open_durable(&dir, SyncPolicy::EveryWrite).unwrap();
+        assert_eq!(db.query("SELECT COUNT(*) FROM t", &[]).unwrap().rows[0][0], Value::Int(3));
         std::fs::remove_dir_all(&dir).ok();
     }
 
