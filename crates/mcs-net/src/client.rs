@@ -34,6 +34,9 @@ pub enum FaultKind {
     BadAttribute,
     /// Ambiguous or missing version.
     VersionConflict,
+    /// An async-acknowledged write can no longer become durable (server
+    /// log failure after the ack); surfaced by `wait_for_epoch`/`sync_now`.
+    DurabilityLost,
     /// Server-side database error.
     Db,
     /// Anything else server-side.
@@ -56,6 +59,7 @@ impl FaultKind {
             "CollectionNotEmpty" => FaultKind::CollectionNotEmpty,
             "BadAttribute" => FaultKind::BadAttribute,
             "VersionConflict" => FaultKind::VersionConflict,
+            "DurabilityLost" => FaultKind::DurabilityLost,
             "Db" => FaultKind::Db,
             "Internal" => FaultKind::Internal,
             "BadArguments" => FaultKind::BadArguments,
@@ -120,10 +124,41 @@ impl NetError {
 /// Result alias.
 pub type Result<T> = std::result::Result<T, NetError>;
 
+/// Per-request commit durability a client can ask of the server (the
+/// `mcs:durability` header; see DESIGN.md §7.2). `Async` trades bounded
+/// durability lag for immediate acknowledgement — the server echoes a
+/// commit epoch with each write, and [`McsClient::wait_for_epoch`] /
+/// [`McsClient::sync_now`] turn the weak ack into a hard one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DurabilityMode {
+    /// One fsync per commit before the response (the default).
+    Always,
+    /// Commit parks until a group-commit leader has synced its batch.
+    Group,
+    /// Commit is acknowledged as soon as its log position is fixed; the
+    /// response carries the commit epoch.
+    Async,
+}
+
+impl DurabilityMode {
+    fn header_value(self) -> &'static str {
+        match self {
+            DurabilityMode::Always => "always",
+            DurabilityMode::Group => "group",
+            DurabilityMode::Async => "async",
+        }
+    }
+}
+
 /// A synchronous client bound to one MCS endpoint and one credential.
 pub struct McsClient {
     soap: SoapClient,
     cred: Credential,
+    /// When set, every request carries `mcs:durability="<mode>"`.
+    durability: Option<DurabilityMode>,
+    /// Commit epoch echoed by the last write response (0 if the last
+    /// call logged nothing or predates this feature).
+    last_epoch: u64,
 }
 
 impl McsClient {
@@ -139,7 +174,12 @@ impl McsClient {
         cred: Credential,
         opts: TransportOpts,
     ) -> McsClient {
-        McsClient { soap: SoapClient::with_opts(addr, "/mcs", opts), cred }
+        McsClient {
+            soap: SoapClient::with_opts(addr, "/mcs", opts),
+            cred,
+            durability: None,
+            last_epoch: 0,
+        }
     }
 
     /// The credential this client acts as.
@@ -147,11 +187,60 @@ impl McsClient {
         &self.cred
     }
 
+    /// Ask the server for a per-request commit durability (`None` reverts
+    /// to the server's store-wide policy). With
+    /// [`DurabilityMode::Async`], writes return as soon as their log
+    /// position is fixed; read the echoed epoch with
+    /// [`McsClient::last_epoch`] and barrier with
+    /// [`McsClient::wait_for_epoch`] or [`McsClient::sync_now`].
+    pub fn set_durability(&mut self, mode: Option<DurabilityMode>) {
+        self.durability = mode;
+    }
+
+    /// The commit epoch the server echoed on the most recent response (0
+    /// if that call logged nothing). Pass it to
+    /// [`McsClient::wait_for_epoch`] to make the write durable.
+    pub fn last_epoch(&self) -> u64 {
+        self.last_epoch
+    }
+
     fn call(&mut self, method: &str, mut args: Element) -> Result<Element> {
         // Every call carries the credential (the GSI context of the
         // original would ride the TLS layer instead).
         args.children.insert(0, soapstack::xml::Node::Element(credential_el(&self.cred)));
-        Ok(self.soap.call(method, args)?)
+        if let Some(mode) = self.durability {
+            args = args
+                .attr("xmlns:mcs", soapstack::soap::MCS_NS)
+                .attr("mcs:durability", mode.header_value());
+        }
+        let r = self.soap.call(method, args)?;
+        // writes echo the commit epoch of whatever they logged
+        self.last_epoch = r
+            .attr_value("mcs:epoch")
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
+        Ok(r)
+    }
+
+    // --- durability barriers (DESIGN.md §7.2) ---
+
+    /// Park on the server until the durable-epoch watermark covers
+    /// `epoch` (a value from [`McsClient::last_epoch`]); returns the
+    /// watermark. Fails with [`FaultKind::DurabilityLost`] if the
+    /// server's log writer broke while the epoch was pending.
+    pub fn wait_for_epoch(&mut self, epoch: u64) -> Result<u64> {
+        let r = self.call(
+            "waitForEpoch",
+            Element::new("a").child(text_el("epoch", epoch.to_string())),
+        )?;
+        Ok(req_text(&r, "durableEpoch")?.parse().unwrap_or(0))
+    }
+
+    /// Make every acknowledged write durable now (the bulk-load final
+    /// barrier); returns the epoch the barrier covered.
+    pub fn sync_now(&mut self) -> Result<u64> {
+        let r = self.call("syncNow", Element::new("a"))?;
+        Ok(req_text(&r, "durableEpoch")?.parse().unwrap_or(0))
     }
 
     /// Liveness probe.

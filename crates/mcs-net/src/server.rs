@@ -23,6 +23,7 @@ pub fn fault_kind(e: &McsError) -> &'static str {
         McsError::CollectionNotEmpty(_) => "CollectionNotEmpty",
         McsError::BadAttribute(_) => "BadAttribute",
         McsError::VersionConflict(_) => "VersionConflict",
+        McsError::DurabilityLost(_) => "DurabilityLost",
         McsError::Db(_) => "Db",
         McsError::Internal(_) => "Internal",
     }
@@ -50,18 +51,74 @@ fn wrap(children: Vec<Element>) -> Element {
     r
 }
 
+/// Parse the per-request `mcs:durability` attribute on the method element
+/// (the SOAP header clients use to relax or harden one call's commit
+/// policy — see DESIGN.md §7.2). `group`/`async` use the server's
+/// default batching window.
+fn durability_override(call: &Element) -> std::result::Result<Option<mcs::Durability>, Fault> {
+    let Some(v) = call.attr_value("mcs:durability") else { return Ok(None) };
+    let window = std::time::Duration::from_millis(2);
+    match v {
+        "always" => Ok(Some(mcs::Durability::Always)),
+        "group" => Ok(Some(mcs::Durability::Group { max_wait: window, max_batch: 64 })),
+        "async" => Ok(Some(mcs::Durability::Async { max_wait: window, max_batch: 64 })),
+        other => Err(Fault {
+            code: "soap:Client.BadArguments".into(),
+            message: format!(
+                "unknown mcs:durability mode `{other}` (expected always|group|async)"
+            ),
+        }),
+    }
+}
+
 fn reg<F>(d: &mut SoapDispatcher, mcs: &Arc<Mcs>, name: &str, f: F)
 where
     F: Fn(&Mcs, &Element) -> MethodResult + Send + Sync + 'static,
 {
     let mcs = Arc::clone(mcs);
-    d.register(name, move |call| f(&mcs, call));
+    d.register(name, move |call| {
+        // Every method passes through here: apply the per-request
+        // durability header (if any) and echo the commit epoch of
+        // whatever the operation logged, so an async-acknowledged client
+        // has the handle it needs for waitForEpoch.
+        let (result, epoch) = match durability_override(call)? {
+            Some(mode) => mcs.with_durability(mode, |m| f(m, call)),
+            None => {
+                let before = Mcs::last_commit_epoch();
+                let r = f(&mcs, call);
+                let after = Mcs::last_commit_epoch();
+                (r, if after > before { after } else { 0 })
+            }
+        };
+        let mut el = result?;
+        if epoch > 0 {
+            el.attrs.push(("xmlns:mcs".into(), soapstack::soap::MCS_NS.into()));
+            el.attrs.push(("mcs:epoch".into(), epoch.to_string()));
+        }
+        Ok(el)
+    });
 }
 
 /// Register every MCS operation on a dispatcher.
 pub fn register_methods(d: &mut SoapDispatcher, mcs: Arc<Mcs>) {
     let d = d;
     let mcs = &mcs;
+
+    // --- durability (DESIGN.md §7.2) ---
+    reg(d, mcs, "waitForEpoch", |mcs, call| {
+        let _cred = credential_from(call).map_err(fault_of_xml)?;
+        let epoch = req_i64(call, "epoch").map_err(fault_of_xml)?;
+        if epoch < 0 {
+            return Err(fault_of_xml(XmlError::Shape("epoch must be >= 0".into())));
+        }
+        mcs.wait_for_epoch(epoch as u64).map_err(fault_of)?;
+        Ok(wrap(vec![text_el("durableEpoch", mcs.durable_epoch().to_string())]))
+    });
+    reg(d, mcs, "syncNow", |mcs, call| {
+        let _cred = credential_from(call).map_err(fault_of_xml)?;
+        let epoch = mcs.sync_now().map_err(fault_of)?;
+        Ok(wrap(vec![text_el("durableEpoch", epoch.to_string())]))
+    });
 
     // --- files ---
     reg(d, mcs, "ping", |_mcs, _call| Ok(ok()));

@@ -25,7 +25,10 @@ pub fn describe(d: &SoapDispatcher) -> String {
             Element::new("documentation").text(
                 "Metadata Catalog Service (MCS) — reproduction of Singh et al., SC'03. \
                  Stores and queries descriptive (logical) metadata for data-intensive \
-                 applications.",
+                 applications. Write operations accept an mcs:durability attribute \
+                 (always|group|async) on the method element and echo an mcs:epoch \
+                 attribute on the response; waitForEpoch/syncNow turn asynchronous \
+                 acknowledgements into durable ones.",
             ),
         )
         .child(port);

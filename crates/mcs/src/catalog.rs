@@ -114,6 +114,20 @@ impl StoreConfig {
             durability: relstore::Durability::Group { max_wait, max_batch },
         }
     }
+
+    /// A config with asynchronous commit acknowledgement: writes return
+    /// as soon as their WAL group is enqueued, carrying a commit epoch; a
+    /// background flusher pays durability in batches. Clients turn the
+    /// weak ack into a hard one with [`Mcs::wait_for_epoch`] or
+    /// [`Mcs::sync_now`] — the paper's bulk loaders only need that one
+    /// final barrier. See DESIGN.md §7.2 for what the ack does and does
+    /// not promise.
+    pub fn asynchronous(max_wait: std::time::Duration, max_batch: usize) -> StoreConfig {
+        StoreConfig {
+            sync: relstore::SyncPolicy::EveryWrite,
+            durability: relstore::Durability::Async { max_wait, max_batch },
+        }
+    }
 }
 
 /// The Metadata Catalog Service.
@@ -209,6 +223,60 @@ impl Mcs {
     /// measure "direct MySQL" rates without the service layer).
     pub fn database(&self) -> &Arc<Database> {
         &self.db
+    }
+
+    // ---------- commit durability / epochs (DESIGN.md §7.2) ----------
+
+    /// Run `f` with `durability` overriding the store-wide commit policy
+    /// for every commit `f` makes on this thread, and return `f`'s result
+    /// together with the commit epoch of the *last* WAL unit it produced
+    /// (0 if it wrote nothing — e.g. a pure read, or a failed operation
+    /// that never reached commit). This is how the network layer maps a
+    /// per-request `mcs:durability` header onto one catalog call and
+    /// echoes the epoch back to the client.
+    pub fn with_durability<R>(
+        &self,
+        durability: relstore::Durability,
+        f: impl FnOnce(&Mcs) -> R,
+    ) -> (R, u64) {
+        let before = Database::last_commit_epoch();
+        let r = self.db.with_durability(durability, || f(self));
+        let after = Database::last_commit_epoch();
+        (r, if after > before { after } else { 0 })
+    }
+
+    /// The most recently allocated commit epoch on the underlying
+    /// database. See [`relstore::Database::commit_epoch`].
+    pub fn commit_epoch(&self) -> u64 {
+        self.db.commit_epoch()
+    }
+
+    /// The commit epoch of the last WAL unit **this thread** produced (0
+    /// if none). See [`relstore::Database::last_commit_epoch`].
+    pub fn last_commit_epoch() -> u64 {
+        Database::last_commit_epoch()
+    }
+
+    /// The durable-epoch watermark. See
+    /// [`relstore::Database::durable_epoch`].
+    pub fn durable_epoch(&self) -> u64 {
+        self.db.durable_epoch()
+    }
+
+    /// Park until the watermark covers `epoch` (a value previously echoed
+    /// to the caller by an async-acknowledged write). Fails promptly with
+    /// [`McsError::DurabilityLost`] if the log writer failed while the
+    /// epoch was pending.
+    pub fn wait_for_epoch(&self, epoch: u64) -> Result<()> {
+        self.db.wait_for_epoch(epoch).map_err(McsError::from)
+    }
+
+    /// Make every acknowledged write durable now (the bulk-load final
+    /// barrier); returns the epoch the barrier covered.
+    pub fn sync_now(&self) -> Result<u64> {
+        let epoch = self.db.commit_epoch();
+        self.db.sync_now()?;
+        Ok(epoch)
     }
 
     pub(crate) fn now(&self) -> Value {

@@ -39,6 +39,12 @@ pub enum McsError {
     /// Version conflict (file+version pair must be unique; queries on
     /// multi-version files must specify the version).
     VersionConflict(String),
+    /// An asynchronously-acknowledged write can no longer become durable
+    /// through the log (the WAL writer failed after the ack); surfaced by
+    /// `wait_for_epoch`/`sync_now` so clients holding an epoch learn the
+    /// promise broke instead of waiting forever. A checkpoint on the
+    /// service host clears the condition.
+    DurabilityLost(String),
     /// Underlying database error.
     Db(relstore::Error),
     /// Anything else.
@@ -61,6 +67,7 @@ impl fmt::Display for McsError {
             McsError::CollectionNotEmpty(n) => write!(f, "collection `{n}` is not empty"),
             McsError::BadAttribute(m) => write!(f, "attribute error: {m}"),
             McsError::VersionConflict(m) => write!(f, "version conflict: {m}"),
+            McsError::DurabilityLost(m) => write!(f, "durability lost: {m}"),
             McsError::Db(e) => write!(f, "database error: {e}"),
             McsError::Internal(m) => write!(f, "internal error: {m}"),
         }
@@ -71,7 +78,10 @@ impl std::error::Error for McsError {}
 
 impl From<relstore::Error> for McsError {
     fn from(e: relstore::Error) -> Self {
-        McsError::Db(e)
+        match e {
+            relstore::Error::DurabilityLost(m) => McsError::DurabilityLost(m),
+            other => McsError::Db(other),
+        }
     }
 }
 

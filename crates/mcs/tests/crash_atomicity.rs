@@ -337,6 +337,170 @@ fn batched_group_write_recovers_framed_prefix_under_any_truncation() {
     std::fs::remove_dir_all(&scratch).ok();
 }
 
+/// Mixed-durability crash matrix for the epoch/ack contract (DESIGN.md
+/// §7.2): a deterministic interleaving of `Always`, `Group` and `Async`
+/// commits on ONE table, with the durable-epoch watermark and the on-disk
+/// WAL length sampled after every commit. The WAL is then truncated at
+/// *every byte offset* and replayed, asserting both directions of the
+/// contract:
+///
+/// * **(a) durable acks survive.** For every sample `(len, watermark)`
+///   taken during the run: any cut that keeps at least `len` bytes must
+///   recover every commit whose epoch was ≤ `watermark` at that moment —
+///   `wait_for_epoch(e)` returning is a real durability promise.
+/// * **(b) weak acks are lost whole.** Every commit (async ones
+///   included) inserts two rows; at every cut each commit shows both
+///   rows or neither — a torn or unflushed group never leaks half a
+///   transaction. The final async commit is acked but *never* flushed
+///   (its flusher window is hours long and nothing drains it before the
+///   snapshot), so it must be absent at every cut.
+///
+/// Determinism: commits are sequential (modes interleave, threads don't),
+/// the flusher's window is far longer than the test so it never writes on
+/// its own, and every write that does happen is forced synchronously by
+/// an `Always` direct append (drains the queue ahead of itself), a
+/// `Group` leader (the flusher yields its window to parked committers),
+/// or the final `sync_now`.
+#[test]
+fn mixed_durability_epoch_contract_under_any_truncation() {
+    use relstore::Value;
+
+    let dir = tmpdir("epoch");
+    {
+        let db = Database::open_durable(&dir, SyncPolicy::OsBuffered).unwrap();
+        db.execute("CREATE TABLE t (v INTEGER)", &[]).unwrap();
+        db.checkpoint().unwrap();
+    }
+    let base = wal_len(&dir);
+    let huge = Duration::from_secs(3600);
+    let weak = Durability::Async { max_wait: huge, max_batch: 1024 };
+
+    // (epoch, v) per commit; each commit inserts rows v and v + 1000.
+    let mut commits: Vec<(u64, i64)> = Vec::new();
+    // (wal_len, durable_epoch) observed right after each commit returned.
+    let mut samples: Vec<(u64, u64)> = Vec::new();
+    let lost_val: i64 = 99;
+    let snap = tmpdir("epoch-snap");
+    let final_len;
+    {
+        // EveryWrite so wal_len() reflects exactly what a crash would keep.
+        let db = Database::open_durable_with(&dir, SyncPolicy::EveryWrite, weak).unwrap();
+        let modes: &[&str] = &[
+            "async", "async", "always", "group", "async", "always", "async", "async", "group",
+            "always",
+        ];
+        for (i, mode) in modes.iter().enumerate() {
+            let v = i as i64 + 1;
+            let d = match *mode {
+                "always" => Durability::Always,
+                "group" => Durability::Group { max_wait: Duration::from_millis(50), max_batch: 1 },
+                _ => weak,
+            };
+            db.with_durability(d, || {
+                db.transaction(&[("t", Access::Write)], |s| {
+                    s.execute(&format!("INSERT INTO t (v) VALUES ({v})"), &[])?;
+                    s.execute(&format!("INSERT INTO t (v) VALUES ({})", v + 1000), &[])?;
+                    Ok::<_, relstore::Error>(())
+                })
+            })
+            .unwrap();
+            commits.push((Database::last_commit_epoch(), v));
+            samples.push((wal_len(&dir), db.durable_epoch()));
+        }
+        // Harness sanity: epochs strictly increase, samples never regress,
+        // and the interleaving really produced a lagging watermark.
+        assert!(commits.windows(2).all(|w| w[0].0 < w[1].0), "epochs not increasing: {commits:?}");
+        assert!(
+            samples.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1),
+            "samples regressed: {samples:?}"
+        );
+        assert!(
+            commits.iter().zip(&samples).any(|(&(e, _), &(_, d))| d < e),
+            "no commit was ever acked ahead of the watermark; matrix proves nothing"
+        );
+
+        // Final async commit: acked with an epoch, never flushed.
+        db.with_durability(weak, || {
+            db.transaction(&[("t", Access::Write)], |s| {
+                s.execute(&format!("INSERT INTO t (v) VALUES ({lost_val})"), &[])?;
+                s.execute(&format!("INSERT INTO t (v) VALUES ({})", lost_val + 1000), &[])?;
+                Ok::<_, relstore::Error>(())
+            })
+        })
+        .unwrap();
+        let lost_epoch = Database::last_commit_epoch();
+        assert!(lost_epoch > db.durable_epoch(), "the straggler must be acked, not durable");
+        assert!(db.wal_stats().acked_not_durable_count() >= 1);
+
+        // Snapshot the dir NOW — the straggler's bytes are only in memory,
+        // so the snapshot is exactly what a crash at this instant keeps.
+        final_len = wal_len(&dir);
+        copy_truncated(&dir, &snap, final_len);
+
+        // Unblock cleanly: sync_now cuts the flusher's window short and
+        // flushes the straggler (into `dir`, not the snapshot).
+        db.sync_now().unwrap();
+        assert_eq!(db.durable_epoch(), db.commit_epoch());
+    }
+    assert!(final_len > base, "the run must have journalled something");
+
+    let scratch = tmpdir("epoch-cut");
+    for cut in base..=final_len {
+        copy_truncated(&snap, &scratch, cut);
+        let db = Database::open_durable(&scratch, SyncPolicy::OsBuffered).unwrap();
+        let ctx = format!("cut at {cut} of {final_len}");
+        let present: HashSet<i64> = db
+            .query("SELECT v FROM t", &[])
+            .unwrap()
+            .rows
+            .iter()
+            .map(|r| r[0].as_int().unwrap())
+            .collect();
+        // (b) all-or-nothing per commit, including the never-flushed one
+        for &(_, v) in commits.iter().chain([&(0u64, lost_val)]) {
+            assert_eq!(
+                present.contains(&v),
+                present.contains(&(v + 1000)),
+                "{ctx}: commit {v} half-applied"
+            );
+        }
+        assert!(!present.contains(&lost_val), "{ctx}: unflushed async commit leaked into the log");
+        // (a) every epoch at or below a watermark sampled at ≤ this length
+        // must have survived the cut
+        for &(len_s, durable_s) in &samples {
+            if len_s > cut {
+                continue;
+            }
+            for &(epoch, v) in &commits {
+                if epoch <= durable_s {
+                    assert!(
+                        present.contains(&v),
+                        "{ctx}: epoch {epoch} (v={v}) was durable at watermark {durable_s} \
+                         (wal length {len_s}) but did not survive"
+                    );
+                }
+            }
+        }
+        // rows never appear from nowhere
+        let known: HashSet<i64> = commits
+            .iter()
+            .map(|&(_, v)| v)
+            .chain([lost_val])
+            .flat_map(|v| [v, v + 1000])
+            .collect();
+        assert!(present.is_subset(&known), "{ctx}: unknown rows {present:?}");
+    }
+
+    // The real dir got the sync_now: the straggler IS durable there.
+    let db = Database::open_durable(&dir, SyncPolicy::OsBuffered).unwrap();
+    let n = db.query("SELECT COUNT(*) FROM t WHERE v = 99", &[]).unwrap().rows[0][0].clone();
+    assert_eq!(n, Value::Int(1), "sync_now'd straggler must be durable in the live dir");
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&snap).ok();
+    std::fs::remove_dir_all(&scratch).ok();
+}
+
 /// A reader racing a writer that repeatedly creates a 10-attribute file
 /// and deletes it again must only ever observe the complete attribute
 /// set or nothing — never a partially created/deleted file.

@@ -68,6 +68,23 @@ pub enum Durability {
         /// Most groups written (and synced) as one physical write.
         max_batch: usize,
     },
+    /// Commits enqueue their WAL group exactly as under
+    /// [`Durability::Group`] but return **immediately** with a commit
+    /// epoch instead of parking; a background flusher (reusing the
+    /// group-commit leader path) appends and syncs batches and publishes
+    /// the durable-epoch watermark. The committer learns its epoch via
+    /// [`Database::last_commit_epoch`] and can turn the weak ack into a
+    /// durable one with [`Database::wait_for_epoch`] or
+    /// [`Database::sync_now`] — the paper's bulk-load clients batch
+    /// thousands of adds and only need one final barrier. What "acked"
+    /// does and does not promise is specified in DESIGN.md §7.2.
+    Async {
+        /// How long the flusher waits for more commits to join a batch
+        /// (this bounds the durability lag of an isolated commit).
+        max_wait: Duration,
+        /// Most groups written (and synced) as one physical write.
+        max_batch: usize,
+    },
 }
 
 impl Default for Durability {
@@ -103,8 +120,28 @@ pub struct Database {
     /// Sync/batch counters shared with the WAL writer (survives the
     /// writer being recreated at checkpoint).
     wal_stats: Arc<crate::wal::WalStats>,
-    /// Leader/follower queue backing [`Durability::Group`].
+    /// Leader/follower queue backing [`Durability::Group`] and
+    /// [`Durability::Async`].
     group_queue: crate::group_commit::GroupCommitQueue,
+    /// Commit-epoch allocator; see [`crate::epoch`]. Incremented at the
+    /// moment a logged unit's position in the WAL becomes fixed, so epoch
+    /// order equals log order.
+    commit_epochs: AtomicU64,
+    /// Durable-epoch watermark + waiters; see [`crate::epoch`].
+    epoch_gate: crate::epoch::EpochGate,
+}
+
+thread_local! {
+    /// Per-operation durability override; see [`Database::with_durability`].
+    static DURABILITY_OVERRIDE: std::cell::Cell<Option<Durability>> =
+        const { std::cell::Cell::new(None) };
+    /// Epoch of the most recent WAL unit this thread produced (commit or
+    /// autocommit append); see [`Database::last_commit_epoch`].
+    static LAST_COMMIT_EPOCH: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+pub(crate) fn note_commit_epoch(epoch: u64) {
+    LAST_COMMIT_EPOCH.set(epoch);
 }
 
 impl Database {
@@ -171,6 +208,45 @@ impl Database {
     /// commit; in-flight group commits complete under the old policy.
     pub fn set_durability(&self, d: Durability) {
         *self.durability.write() = d;
+    }
+
+    /// Run `f` with `d` as this thread's commit durability, overriding the
+    /// database-wide policy for every commit `f` makes (the per-operation
+    /// knob the MCS layer exposes as a SOAP header). Restores the previous
+    /// override on exit, including across panics; nested overrides stack.
+    pub fn with_durability<R>(&self, d: Durability, f: impl FnOnce() -> R) -> R {
+        struct Restore(Option<Durability>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                DURABILITY_OVERRIDE.set(self.0);
+            }
+        }
+        let _restore = Restore(DURABILITY_OVERRIDE.replace(Some(d)));
+        f()
+    }
+
+    /// The durability policy the *next* commit on this thread will use:
+    /// the [`Database::with_durability`] override when one is active,
+    /// otherwise the database-wide policy.
+    pub fn effective_durability(&self) -> Durability {
+        DURABILITY_OVERRIDE.get().unwrap_or_else(|| self.durability())
+    }
+
+    /// The commit epoch allocated by the most recent durable commit (or
+    /// autocommit write) made by **this thread**, 0 if it has made none.
+    /// Thread-local so layered APIs (the MCS write paths) can return
+    /// `(result, epoch)` without threading the epoch through every
+    /// signature.
+    pub fn last_commit_epoch() -> u64 {
+        LAST_COMMIT_EPOCH.get()
+    }
+
+    pub(crate) fn commit_epochs(&self) -> &AtomicU64 {
+        &self.commit_epochs
+    }
+
+    pub(crate) fn epoch_gate(&self) -> &crate::epoch::EpochGate {
+        &self.epoch_gate
     }
 
     /// WAL sync/batch counters (test and benchmark hook).
@@ -249,7 +325,8 @@ impl Database {
                 // drain queued commit groups ahead of this record: they
                 // executed before us (their barriers preceded ours), so
                 // they must precede us in the log too
-                self.append_after_queue(w, |w| w.append(sql, params))?;
+                let epoch = self.append_after_queue(w, |w| w.append(sql, params))?;
+                note_commit_epoch(epoch);
                 // hold the lock across execution so log order == exec order
                 return exec_statement(self, stmt, params, undo);
             }
@@ -529,7 +606,7 @@ impl Session {
         if records.is_empty() || !self.db.is_durable() {
             return Ok(None);
         }
-        match self.db.durability() {
+        match self.db.effective_durability() {
             Durability::Always => {
                 let txn_id = self.txn_id;
                 let mut wal = self.db.wal_lock();
@@ -537,21 +614,35 @@ impl Session {
                     // A runtime flip from `Group` to `Always` can leave
                     // groups in the commit queue; they must reach the log
                     // before this (later-executed) transaction.
-                    self.db.append_after_queue(w, |w| {
+                    let epoch = self.db.append_after_queue(w, |w| {
                         w.append_transaction(txn_id, &records)
                     })?;
+                    note_commit_epoch(epoch);
                 }
                 Ok(None)
             }
             Durability::Group { max_wait, max_batch } => {
                 let group = crate::wal::WalWriter::encode_transaction(self.txn_id, &records);
-                let ticket = self.db.group_enqueue(group);
+                let (ticket, epoch) = self.db.group_enqueue(group, true);
+                note_commit_epoch(epoch);
                 Ok(Some(PendingCommit {
                     db: Arc::clone(&self.db),
                     ticket,
                     max_wait,
                     max_batch,
                 }))
+            }
+            Durability::Async { max_wait, max_batch } => {
+                // Same enqueue as `Group` (log position fixed, FIFO), but
+                // nobody parks: the caller gets the commit epoch via
+                // `Database::last_commit_epoch` and a background flusher
+                // pays the durability later. `wants_result = false` keeps
+                // the results map from accumulating entries no one reads.
+                let group = crate::wal::WalWriter::encode_transaction(self.txn_id, &records);
+                let (_, epoch) = self.db.group_enqueue(group, false);
+                note_commit_epoch(epoch);
+                self.db.ensure_flusher(max_wait, max_batch);
+                Ok(None)
             }
         }
     }

@@ -73,6 +73,13 @@ pub enum Error {
     BadLiteral(String),
     /// Operation requires an active transaction, or nesting was attempted.
     TxnState(String),
+    /// An asynchronously-acknowledged commit can no longer become durable:
+    /// the WAL writer failed (and poisoned itself) after the commit was
+    /// acknowledged but before its group reached stable storage. Surfaced
+    /// by [`crate::Database::wait_for_epoch`] / [`crate::Database::sync_now`]
+    /// instead of hanging; a `checkpoint()` rebuilds the log and clears the
+    /// condition (see DESIGN.md §7.2).
+    DurabilityLost(String),
 }
 
 impl fmt::Display for Error {
@@ -103,6 +110,7 @@ impl fmt::Display for Error {
             }
             Error::BadLiteral(m) => write!(f, "bad literal: {m}"),
             Error::TxnState(m) => write!(f, "transaction error: {m}"),
+            Error::DurabilityLost(m) => write!(f, "durability lost: {m}"),
         }
     }
 }

@@ -25,6 +25,13 @@
 //! next leader drains them all — the classic self-clocking group commit.
 //! `max_wait` only adds an explicit collection window on top.
 //!
+//! [`Durability::Async`](crate::db::Durability::Async) rides the same
+//! queue: commits enqueue exactly like `Group` but never park — they are
+//! acknowledged immediately with a commit epoch, and a detached flusher
+//! thread ([`Database::ensure_flusher`]) plays the leader role batch
+//! after batch, publishing the durable-epoch watermark as it goes (see
+//! [`crate::epoch`] for the epoch/ack contract).
+//!
 //! Correctness has two parts:
 //!
 //! * **Log order = execution order.** Conflicting operations are ordered
@@ -59,7 +66,8 @@
 //! byte-granular proof).
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, Weak};
 use std::time::{Duration, Instant};
 
 use crate::db::Database;
@@ -85,32 +93,71 @@ impl GroupCommitQueue {
     }
 }
 
+/// One enqueued commit group awaiting a leader (or the async flusher).
+#[derive(Debug)]
+struct PendingGroup {
+    ticket: u64,
+    /// Commit epoch, allocated under the queue lock at enqueue time — the
+    /// same instant the group's log position becomes fixed, so epoch order
+    /// equals log order (see [`crate::epoch`]).
+    epoch: u64,
+    bytes: Vec<u8>,
+    /// `true` for [`Durability::Group`](crate::db::Durability::Group)
+    /// committers, who park on the queue and read their result back;
+    /// `false` for [`Durability::Async`](crate::db::Durability::Async)
+    /// commits, which return immediately — publishing a result nobody
+    /// reads would leak a map entry per commit.
+    wants_result: bool,
+}
+
 #[derive(Debug, Default)]
 struct QueueState {
-    /// Encoded groups awaiting a leader, FIFO in ticket order.
-    pending: VecDeque<(u64, Vec<u8>)>,
+    /// Encoded groups awaiting a leader, FIFO in ticket (and epoch) order.
+    pending: VecDeque<PendingGroup>,
     /// Results for drained tickets; each follower removes its own entry,
     /// so the map never outgrows one batch.
     results: HashMap<u64, Option<String>>,
     next_ticket: u64,
     leader_active: bool,
+    /// Threads inside [`Database::flush_commit_queue`] demanding the
+    /// queue be drained *now* (`sync_now`, checkpoint). A non-zero count
+    /// cuts any leader's collection window short — an explicit sync
+    /// barrier must never sleep out an async flush window.
+    sync_waiters: usize,
+    /// An async background flusher thread is alive (spawned by
+    /// [`Database::ensure_flusher`]). It clears this flag — in the same
+    /// critical section in which it observes the queue empty — and exits,
+    /// so an idle database carries no thread.
+    flusher_active: bool,
 }
 
 impl Database {
-    /// Enqueue an encoded group and return its ticket. The queue is FIFO,
-    /// so from this point the group's position in the log relative to
-    /// every other enqueued group is fixed — the caller may release its
-    /// transaction barriers before redeeming the ticket.
-    pub(crate) fn group_enqueue(&self, group: Vec<u8>) -> u64 {
+    /// Enqueue an encoded group; returns `(ticket, epoch)`. The queue is
+    /// FIFO, so from this point the group's position in the log relative
+    /// to every other enqueued group is fixed — which is also why the
+    /// commit epoch is allocated here, under the queue lock: epoch order
+    /// is log order. The caller may release its transaction barriers
+    /// before redeeming the ticket (or, for `wants_result = false`, never
+    /// redeem it at all and track the epoch instead).
+    pub(crate) fn group_enqueue(&self, group: Vec<u8>, wants_result: bool) -> (u64, u64) {
         let q = self.commit_queue();
         let mut st = q.lock();
         let ticket = st.next_ticket;
         st.next_ticket += 1;
-        st.pending.push_back((ticket, group));
+        let epoch = self.commit_epochs().fetch_add(1, Ordering::AcqRel) + 1;
+        if !wants_result {
+            // Async ack: the commit is about to be acknowledged with this
+            // epoch while its bytes are still queued.
+            let stats = self.wal_stats();
+            stats.acked_not_durable.fetch_add(1, Ordering::Relaxed);
+            let lag = epoch - self.epoch_gate().durable().min(epoch);
+            stats.max_epoch_lag.fetch_max(lag, Ordering::Relaxed);
+        }
+        st.pending.push_back(PendingGroup { ticket, epoch, bytes: group, wants_result });
         // A leader may be sitting in its collection window — let it see
         // the new entry (also wakes followers, who harmlessly re-check).
         q.cond.notify_all();
-        ticket
+        (ticket, epoch)
     }
 
     /// Park until the ticket's group is durable: lead if no leader is
@@ -133,7 +180,7 @@ impl Database {
             if !st.leader_active {
                 st.leader_active = true;
                 drop(st);
-                self.lead_batch(max_wait, max_batch.max(1));
+                self.lead_batch(max_wait, max_batch.max(1), false);
                 st = q.lock();
             } else {
                 st = q.cond.wait(st).unwrap_or_else(PoisonError::into_inner);
@@ -143,17 +190,29 @@ impl Database {
 
     /// Leader role: collect, write, sync, publish. `leader_active` is
     /// already claimed by the caller; this always releases it.
-    fn lead_batch(&self, max_wait: Duration, max_batch: usize) {
+    ///
+    /// `yield_to_sync` is set by the async flusher: its collection window
+    /// may be tuned long (async callers aren't waiting), so it must break
+    /// the window the moment a `wants_result` group appears — that
+    /// committer is parked and is owed *its* latency bound, not the
+    /// flusher's. A synchronous `Group` leader never yields (collecting
+    /// parked peers is the whole point of its window).
+    fn lead_batch(&self, max_wait: Duration, max_batch: usize, yield_to_sync: bool) {
         let q = self.commit_queue();
         let deadline = Instant::now() + max_wait;
         // Collection window: wait (queue lock only, never the WAL mutex)
         // for the batch to fill; new arrivals poke the condvar. An empty
         // queue ends the window early — a direct appender has drained and
         // published everything (possibly including this leader's own
-        // group), so there is nothing left to collect.
+        // group), so there is nothing left to collect. A pending sync
+        // barrier (`sync_waiters`) cuts the window short for any leader.
         {
             let mut st = q.lock();
-            while !st.pending.is_empty() && st.pending.len() < max_batch {
+            while !st.pending.is_empty() && st.pending.len() < max_batch && st.sync_waiters == 0
+            {
+                if yield_to_sync && st.pending.iter().any(|g| g.wants_result) {
+                    break;
+                }
                 let now = Instant::now();
                 if now >= deadline {
                     break;
@@ -176,7 +235,7 @@ impl Database {
         // published) some prefix of this batch; what is left is still in
         // FIFO order.
         let mut wal = self.wal_lock();
-        let batch: Vec<(u64, Vec<u8>)> = {
+        let batch: Vec<PendingGroup> = {
             let mut st = q.lock();
             let n = st.pending.len().min(max_batch);
             st.pending.drain(..n).collect()
@@ -185,17 +244,37 @@ impl Database {
             Ok(())
         } else {
             match wal.as_mut() {
-                Some(w) => w.append_batch(batch.iter().map(|(_, g)| g.as_slice())),
+                Some(w) => w.append_batch(batch.iter().map(|g| g.bytes.as_slice())),
                 // No WAL attached (never detaches once attached; this arm
                 // is unreachable in practice): nothing to persist.
                 None => Ok(()),
             }
         };
+        if !batch.is_empty() {
+            match &result {
+                Ok(()) => {
+                    // FIFO ⇒ the last group carries the batch's largest
+                    // epoch; everything at or below it is now flushed.
+                    self.epoch_gate().publish(batch.last().map_or(0, |g| g.epoch));
+                    let asyncs = batch.iter().filter(|g| !g.wants_result).count() as u64;
+                    if asyncs > 0 {
+                        self.wal_stats().acked_not_durable.fetch_sub(asyncs, Ordering::Relaxed);
+                    }
+                }
+                // The writer has poisoned itself: epochs above the
+                // watermark can no longer become durable through this log.
+                // Fail the gate so async waiters return instead of hanging
+                // (checkpoint clears it).
+                Err(e) => self.epoch_gate().fail(&e.to_string()),
+            }
+        }
         drop(wal);
         let err = result.err().map(|e| e.to_string());
         let mut st = q.lock();
-        for (ticket, _) in &batch {
-            st.results.insert(*ticket, err.clone());
+        for g in &batch {
+            if g.wants_result {
+                st.results.insert(g.ticket, err.clone());
+            }
         }
         st.leader_active = false;
         q.cond.notify_all();
@@ -213,37 +292,98 @@ impl Database {
     /// The caller's `append` closure is expected to flush/sync, which
     /// covers the drained groups too; their waiting committers are
     /// published (woken with the combined result) after it returns.
+    ///
+    /// Returns the commit epoch allocated for the caller's own record. It
+    /// is allocated in the *same* queue-lock critical section as the drain
+    /// (with the WAL mutex held throughout), so it is strictly greater
+    /// than every drained group's epoch and strictly less than any epoch
+    /// enqueued afterwards — epoch order stays log order. On success the
+    /// epoch is published as durable (the closure flushed it); on failure
+    /// the gate is failed so async waiters return promptly.
     pub(crate) fn append_after_queue(
         &self,
         w: &mut crate::wal::WalWriter,
         append: impl FnOnce(&mut crate::wal::WalWriter) -> Result<()>,
-    ) -> Result<()> {
-        let drained: Vec<(u64, Vec<u8>)> = {
+    ) -> Result<u64> {
+        let (drained, epoch): (Vec<PendingGroup>, u64) = {
             let mut st = self.commit_queue().lock();
-            st.pending.drain(..).collect()
+            let drained = st.pending.drain(..).collect();
+            let epoch = self.commit_epochs().fetch_add(1, Ordering::AcqRel) + 1;
+            (drained, epoch)
         };
         let result = w
-            .append_groups_unsynced(drained.iter().map(|(_, g)| g.as_slice()))
+            .append_groups_unsynced(drained.iter().map(|g| g.bytes.as_slice()))
             .and_then(|_| append(w));
+        match &result {
+            Ok(()) => {
+                // Covers the drained groups too: their epochs are smaller.
+                self.epoch_gate().publish(epoch);
+                let asyncs = drained.iter().filter(|g| !g.wants_result).count() as u64;
+                if asyncs > 0 {
+                    self.wal_stats().acked_not_durable.fetch_sub(asyncs, Ordering::Relaxed);
+                }
+            }
+            Err(e) => self.epoch_gate().fail(&e.to_string()),
+        }
         if !drained.is_empty() {
             let err = result.as_ref().err().map(|e| e.to_string());
             let q = self.commit_queue();
             let mut st = q.lock();
-            for (ticket, _) in &drained {
-                st.results.insert(*ticket, err.clone());
+            for g in &drained {
+                if g.wants_result {
+                    st.results.insert(g.ticket, err.clone());
+                }
             }
             // Wakes the drained groups' committers; also nudges a leader
             // sitting in its collection window to notice the empty queue.
             q.cond.notify_all();
         }
-        result
+        result.map(|()| epoch)
     }
 
-    /// Drain the queue completely (checkpoint calls this before
-    /// truncating the log, so queued groups land in the old log that the
-    /// snapshot supersedes). Waits out any active leader.
+    /// Make sure a background flusher thread is running to pay the
+    /// durability of [`Durability::Async`](crate::db::Durability::Async)
+    /// commits. Called after every async enqueue; cheap when a flusher is
+    /// already alive. The flusher claims leadership exactly like a
+    /// `Group` committer-leader (so the two modes compose on one queue),
+    /// drains batch after batch, and exits the moment it observes an
+    /// empty queue — idle databases carry no thread and an isolated
+    /// commit waits at most one `max_wait` collection window.
+    pub(crate) fn ensure_flusher(self: &Arc<Self>, max_wait: Duration, max_batch: usize) {
+        let q = self.commit_queue();
+        {
+            let mut st = q.lock();
+            if st.pending.is_empty() || st.flusher_active {
+                return;
+            }
+            st.flusher_active = true;
+        }
+        let weak = Arc::downgrade(self);
+        let spawned = std::thread::Builder::new()
+            .name("relstore-flusher".into())
+            .spawn(move || flusher_loop(weak, max_wait, max_batch.max(1)));
+        if spawned.is_err() {
+            // Can't spawn (resource exhaustion): pay durability here and
+            // now rather than strand acked commits in the queue.
+            self.commit_queue().lock().flusher_active = false;
+            let _ = self.flush_commit_queue();
+        }
+    }
+
+    /// Drain the queue completely (checkpoint and `sync_now` call this
+    /// before syncing, so queued groups are on disk first). Registers as
+    /// a sync waiter, which cuts any active leader's collection window
+    /// short — this must complete in write+sync time, not window time —
+    /// then waits that leader out and drains whatever is left itself.
     pub(crate) fn flush_commit_queue(&self) -> Result<()> {
         let q = self.commit_queue();
+        {
+            let mut st = q.lock();
+            st.sync_waiters += 1;
+            // A leader may be sitting in its collection window: wake it so
+            // it sees the raised count and drains immediately.
+            q.cond.notify_all();
+        }
         loop {
             {
                 let mut st = q.lock();
@@ -251,12 +391,47 @@ impl Database {
                     st = q.cond.wait(st).unwrap_or_else(PoisonError::into_inner);
                 }
                 if st.pending.is_empty() {
+                    st.sync_waiters -= 1;
                     return Ok(());
                 }
                 st.leader_active = true;
             }
-            self.lead_batch(Duration::ZERO, usize::MAX);
+            self.lead_batch(Duration::ZERO, usize::MAX, false);
         }
+    }
+}
+
+/// Body of the background flusher thread (see [`Database::ensure_flusher`]).
+///
+/// Holds only a `Weak` handle between batches so the thread never keeps a
+/// dropped database alive indefinitely; while groups are pending it
+/// upgrades, claims leadership (waiting out a concurrent `Group` leader if
+/// one is mid-batch), and runs the ordinary [`Database::lead_batch`] path.
+/// The exit check and the `flusher_active` reset happen in one queue-lock
+/// critical section, so an async commit enqueued after the reset finds
+/// `flusher_active == false` and spawns a replacement — no group can be
+/// stranded.
+fn flusher_loop(db: Weak<Database>, max_wait: Duration, max_batch: usize) {
+    loop {
+        let Some(db) = db.upgrade() else { return };
+        let q = db.commit_queue();
+        {
+            let mut st = q.lock();
+            loop {
+                if st.pending.is_empty() {
+                    // Exit idle windows immediately: no sleeping out
+                    // `max_wait` against an empty queue.
+                    st.flusher_active = false;
+                    return;
+                }
+                if !st.leader_active {
+                    st.leader_active = true;
+                    break;
+                }
+                st = q.cond.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+        db.lead_batch(max_wait, max_batch, true);
     }
 }
 
@@ -457,6 +632,189 @@ mod tests {
         }
         let db = Database::open_durable(&dir, SyncPolicy::EveryWrite).unwrap();
         assert_eq!(db.query("SELECT COUNT(*) FROM t", &[]).unwrap().rows[0][0], Value::Int(0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `Durability::Async` acks immediately with an epoch; `sync_now` is
+    /// the final barrier after which everything is durable and the debt
+    /// gauge is paid off. Recovery sees every acked-and-synced commit.
+    #[test]
+    fn async_commits_ack_immediately_and_become_durable() {
+        let dir = tmpdir("async");
+        {
+            let db = Database::open_durable_with(
+                &dir,
+                SyncPolicy::EveryWrite,
+                Durability::Async { max_wait: Duration::from_millis(2), max_batch: 64 },
+            )
+            .unwrap();
+            db.execute("CREATE TABLE t (v INTEGER)", &[]).unwrap();
+            let mut last = 0u64;
+            for v in 0..16 {
+                db.transaction(&[("t", Access::Write)], |s| {
+                    s.execute(&format!("INSERT INTO t (v) VALUES ({v})"), &[])?;
+                    Ok::<_, crate::Error>(())
+                })
+                .unwrap();
+                let e = Database::last_commit_epoch();
+                assert!(e > last, "epochs must be strictly increasing: {e} after {last}");
+                last = e;
+            }
+            db.sync_now().unwrap();
+            assert_eq!(db.durable_epoch(), db.commit_epoch());
+            assert_eq!(db.wal_stats().acked_not_durable_count(), 0);
+            assert!(db.wal_stats().sync_count() < 16, "async commits must share syncs");
+        } // crash
+        let db = Database::open_durable(&dir, SyncPolicy::EveryWrite).unwrap();
+        assert_eq!(db.query("SELECT COUNT(*) FROM t", &[]).unwrap().rows[0][0], Value::Int(16));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Regression for the idle-window fix: an isolated async commit must
+    /// become durable within ~one `max_wait` collection window *with
+    /// nobody prompting* — the watermark is polled passively, never
+    /// waited on (`wait_for_epoch` would actively drain the queue and
+    /// mask a flusher that sleeps out extra windows). If the flusher
+    /// re-entered a window against an empty queue (or slept out a second
+    /// window before exiting) this would take two.
+    #[test]
+    fn isolated_async_commit_durable_within_one_window() {
+        let dir = tmpdir("async-lone");
+        let max_wait = Duration::from_millis(300);
+        let db = Database::open_durable_with(
+            &dir,
+            SyncPolicy::EveryWrite,
+            Durability::Async { max_wait, max_batch: 64 },
+        )
+        .unwrap();
+        db.execute("CREATE TABLE t (v INTEGER)", &[]).unwrap();
+        let started = std::time::Instant::now();
+        db.transaction(&[("t", Access::Write)], |s| {
+            s.execute("INSERT INTO t (v) VALUES (1)", &[])?;
+            Ok::<_, crate::Error>(())
+        })
+        .unwrap();
+        let epoch = Database::last_commit_epoch();
+        assert!(
+            started.elapsed() < Duration::from_millis(50),
+            "async commit must ack without waiting for the flusher"
+        );
+        let deadline = started + max_wait + Duration::from_millis(250);
+        while db.durable_epoch() < epoch {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "isolated commit not durable after {:?}; flusher slept past one \
+                 {max_wait:?} window",
+                started.elapsed()
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Per-commit `with_durability` overrides: Always, Group and Async
+    /// writers interleave on one table/queue and all survive reopen in
+    /// order.
+    #[test]
+    fn mixed_durability_commits_share_the_queue() {
+        let dir = tmpdir("mixed");
+        {
+            let db = Database::open_durable_with(&dir, SyncPolicy::EveryWrite, grouped()).unwrap();
+            db.execute("CREATE TABLE t (v INTEGER)", &[]).unwrap();
+            let modes = [
+                Durability::Async { max_wait: Duration::from_millis(2), max_batch: 64 },
+                Durability::Always,
+                grouped(),
+                Durability::Async { max_wait: Duration::from_millis(2), max_batch: 64 },
+                Durability::Always,
+            ];
+            for (v, mode) in modes.iter().enumerate() {
+                db.with_durability(*mode, || {
+                    db.transaction(&[("t", Access::Write)], |s| {
+                        s.execute(&format!("INSERT INTO t (v) VALUES ({v})"), &[])?;
+                        Ok::<_, crate::Error>(())
+                    })
+                })
+                .unwrap();
+            }
+            // the override is scoped: outside the closure the db-wide
+            // policy is back in force
+            assert_eq!(db.effective_durability(), grouped());
+            db.sync_now().unwrap();
+            assert_eq!(db.wal_stats().acked_not_durable_count(), 0);
+        }
+        let db = Database::open_durable(&dir, SyncPolicy::EveryWrite).unwrap();
+        let rs = db.query("SELECT v FROM t ORDER BY v", &[]).unwrap();
+        assert_eq!(rs.rows.len(), 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A `Group` committer that enqueues while the async flusher is
+    /// sitting in a *long* collection window must not wait that window
+    /// out: the flusher yields (breaks its window) the moment a parked
+    /// synchronous committer appears in the queue.
+    #[test]
+    fn group_commit_is_not_held_hostage_by_flusher_window() {
+        let dir = tmpdir("hostage");
+        let huge = Duration::from_secs(600);
+        let db = Database::open_durable_with(
+            &dir,
+            SyncPolicy::EveryWrite,
+            Durability::Async { max_wait: huge, max_batch: 1024 },
+        )
+        .unwrap();
+        db.execute("CREATE TABLE t (v INTEGER)", &[]).unwrap();
+        // park the flusher in its (huge) window with one async group
+        db.transaction(&[("t", Access::Write)], |s| {
+            s.execute("INSERT INTO t (v) VALUES (1)", &[])?;
+            Ok::<_, crate::Error>(())
+        })
+        .unwrap();
+        let async_epoch = Database::last_commit_epoch();
+        let started = std::time::Instant::now();
+        db.with_durability(Durability::Group { max_wait: Duration::from_millis(50), max_batch: 8 }, || {
+            db.transaction(&[("t", Access::Write)], |s| {
+                s.execute("INSERT INTO t (v) VALUES (2)", &[])?;
+                Ok::<_, crate::Error>(())
+            })
+        })
+        .unwrap();
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "Group commit waited out the flusher's {huge:?} window"
+        );
+        // the yield drained FIFO: the async group rode along and is durable
+        assert!(db.durable_epoch() >= async_epoch);
+        assert_eq!(db.wal_stats().acked_not_durable_count(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `sync_now` (and checkpoint) must cut an active leader's collection
+    /// window short rather than sleep it out: an explicit sync barrier
+    /// completes in write+sync time.
+    #[test]
+    fn sync_now_cuts_the_collection_window() {
+        let dir = tmpdir("cut");
+        let huge = Duration::from_secs(600);
+        let db = Database::open_durable_with(
+            &dir,
+            SyncPolicy::EveryWrite,
+            Durability::Async { max_wait: huge, max_batch: 1024 },
+        )
+        .unwrap();
+        db.execute("CREATE TABLE t (v INTEGER)", &[]).unwrap();
+        db.transaction(&[("t", Access::Write)], |s| {
+            s.execute("INSERT INTO t (v) VALUES (1)", &[])?;
+            Ok::<_, crate::Error>(())
+        })
+        .unwrap();
+        let started = std::time::Instant::now();
+        db.sync_now().unwrap();
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "sync_now waited out the flusher's {huge:?} window"
+        );
+        assert_eq!(db.durable_epoch(), db.commit_epoch());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod db;
+pub mod epoch;
 pub mod error;
 pub mod executor;
 pub mod group_commit;

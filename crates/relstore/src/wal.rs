@@ -77,8 +77,11 @@ pub enum SyncPolicy {
 
 /// Observable WAL write activity — the sync-counting hook the crash and
 /// concurrency tests (and `mcs-bench`) use to *prove* group commit
-/// amortizes `fsync`s instead of asserting it. Counters only ever
-/// increase; sample before/after a workload and subtract.
+/// amortizes `fsync`s instead of asserting it. `syncs`/`group_commits`/
+/// `batches` only ever increase (sample before/after a workload and
+/// subtract); `acked_not_durable` and `max_epoch_lag` are gauges tracking
+/// [`Durability::Async`](crate::db::Durability::Async) acknowledgement
+/// debt.
 #[derive(Debug, Default)]
 pub struct WalStats {
     /// `sync_data` calls issued (one per physical commit under
@@ -89,6 +92,16 @@ pub struct WalStats {
     /// Physical batch writes that carried at least one transaction group.
     /// `group_commits / batches` is the achieved amortization factor.
     pub batches: AtomicU64,
+    /// Async commits acknowledged whose groups have not yet been flushed
+    /// to the log — the durability debt a crash right now would lose.
+    /// Rises on async enqueue, falls when the flusher (or any drain path)
+    /// lands the group; a checkpoint zeroes it (the snapshot pays every
+    /// outstanding debt at once).
+    pub acked_not_durable: AtomicU64,
+    /// Largest `commit_epoch − durable_epoch` gap observed at async
+    /// enqueue time: how far acknowledgement has ever run ahead of
+    /// durability on this database. High-water mark; never decreases.
+    pub max_epoch_lag: AtomicU64,
 }
 
 impl WalStats {
@@ -105,6 +118,16 @@ impl WalStats {
     /// Snapshot of `batches`.
     pub fn batch_count(&self) -> u64 {
         self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the `acked_not_durable` gauge.
+    pub fn acked_not_durable_count(&self) -> u64 {
+        self.acked_not_durable.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the `max_epoch_lag` high-water mark.
+    pub fn max_epoch_lag_seen(&self) -> u64 {
+        self.max_epoch_lag.load(Ordering::Relaxed)
     }
 }
 
@@ -282,8 +305,10 @@ pub(crate) struct WalWriter {
     /// frame — so appending anything more would silently discard every
     /// later commit at recovery. A poisoned writer rejects all further
     /// appends; `checkpoint()` rebuilds the log from scratch and attaches
-    /// a fresh writer, which is the recovery path.
-    poisoned: bool,
+    /// a fresh writer, which is the recovery path. `pub(crate)` so the
+    /// poison-injection tests (here and in `epoch`/`group_commit`) can
+    /// flip it without a real failing device.
+    pub(crate) poisoned: bool,
 }
 
 impl WalWriter {
@@ -370,6 +395,25 @@ impl WalWriter {
                 self.poisoned = true;
                 return Err(Error::ExecError(format!("wal sync: {e}")));
             }
+        }
+        Ok(())
+    }
+
+    /// Flush **and** sync regardless of [`SyncPolicy`] — the physical half
+    /// of [`Database::sync_now`](crate::db::Database::sync_now), which must
+    /// put already-acknowledged bytes on stable storage even under
+    /// [`SyncPolicy::OsBuffered`]. Poisons the writer on failure like every
+    /// other write path.
+    pub(crate) fn force_sync(&mut self) -> Result<()> {
+        self.usable()?;
+        if let Err(e) = self.file.flush() {
+            self.poisoned = true;
+            return Err(Error::ExecError(format!("wal flush: {e}")));
+        }
+        self.stats.syncs.fetch_add(1, Ordering::Relaxed);
+        if let Err(e) = self.file.get_ref().sync_data() {
+            self.poisoned = true;
+            return Err(Error::ExecError(format!("wal sync: {e}")));
         }
         Ok(())
     }
@@ -756,6 +800,14 @@ impl Database {
         std::fs::write(dir.join(WAL_FILE), b"")
             .map_err(|e| Error::ExecError(format!("wal truncate: {e}")))?;
         *wal = Some(WalWriter::open_append(&dir.join(WAL_FILE), policy, self.wal_stats_arc())?);
+        // The snapshot captured the effects of every epoch allocated so
+        // far (the quiesce guard means none is mid-allocation), so they
+        // are all durable now — raise the watermark, clear any poison
+        // failure, and zero the async-debt gauge. This is also how
+        // `wait_for_epoch` callers stranded by a poisoned writer get
+        // unstuck.
+        self.epoch_gate().recover(self.commit_epoch());
+        self.wal_stats().acked_not_durable.store(0, Ordering::Relaxed);
         Ok(())
     }
 }
@@ -1052,6 +1104,60 @@ mod tests {
         drop(db);
         let db = Database::open_durable(&dir, SyncPolicy::EveryWrite).unwrap();
         assert_eq!(db.query("SELECT COUNT(*) FROM t", &[]).unwrap().rows[0][0], Value::Int(3));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A poisoned writer must fail pending `wait_for_epoch` callers
+    /// promptly — an acked async commit whose group can no longer reach
+    /// the log is a broken promise, and hanging forever would hide it.
+    /// `checkpoint()` is the recovery path: it folds the (already
+    /// visible) effects into the snapshot, which makes every allocated
+    /// epoch durable and clears the failure.
+    #[test]
+    fn poisoned_writer_fails_pending_wait_for_epoch() {
+        // /dev/full yields a deterministic ENOSPC on flush (Linux) — the
+        // flusher's batched append will fail and poison the writer.
+        let Ok(full) = OpenOptions::new().write(true).open("/dev/full") else { return };
+        let dir = tmpdir("poison-epoch");
+        let db = Database::open_durable_with(
+            &dir,
+            SyncPolicy::EveryWrite,
+            crate::db::Durability::Async {
+                max_wait: std::time::Duration::from_millis(5),
+                max_batch: 64,
+            },
+        )
+        .unwrap();
+        db.execute("CREATE TABLE t (v INTEGER)", &[]).unwrap();
+        // Swap the log device for the full one; the async enqueue below
+        // never touches the WAL, so the ack still succeeds.
+        *db.wal_lock() = Some(WalWriter {
+            file: BufWriter::new(full),
+            policy: SyncPolicy::EveryWrite,
+            stats: db.wal_stats_arc(),
+            poisoned: false,
+        });
+        db.transaction(&[("t", crate::lock::Access::Write)], |s| {
+            s.execute("INSERT INTO t (v) VALUES (1)", &[])?;
+            Ok::<_, Error>(())
+        })
+        .unwrap();
+        let epoch = Database::last_commit_epoch();
+        assert!(epoch > 0);
+        let r = db.wait_for_epoch(epoch);
+        assert!(
+            matches!(r, Err(Error::DurabilityLost(_))),
+            "waiter must fail, not hang: {r:?}"
+        );
+        assert_eq!(db.wal_stats().acked_not_durable_count(), 1);
+        // Recovery: the checkpoint snapshot carries the insert, so the
+        // epoch's durability promise is kept after all.
+        db.checkpoint().unwrap();
+        db.wait_for_epoch(epoch).unwrap();
+        assert_eq!(db.wal_stats().acked_not_durable_count(), 0);
+        drop(db);
+        let db = Database::open_durable(&dir, SyncPolicy::EveryWrite).unwrap();
+        assert_eq!(db.query("SELECT COUNT(*) FROM t", &[]).unwrap().rows[0][0], Value::Int(1));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -82,10 +82,14 @@ fn envelope(body_child: Element) -> Element {
 }
 
 /// Encode a request calling `method` with an already-built argument
-/// element tree (children of the method element).
+/// element tree: children become the method element's children, and any
+/// attributes on `args` ride along on the method element itself (that is
+/// how per-request headers like `mcs:durability` travel without changing
+/// the doc/literal body shape).
 pub fn encode_request(method: &str, args: Element) -> String {
     let mut call = Element::new(format!("m:{method}")).attr("xmlns:m", MCS_NS);
     call.children = args.children;
+    call.attrs.extend(args.attrs);
     let mut out = String::with_capacity(256);
     out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
     out.push_str(&envelope(call).to_xml());
@@ -93,10 +97,12 @@ pub fn encode_request(method: &str, args: Element) -> String {
 }
 
 /// Encode a successful response: `<m:{method}Response>` wrapping `result`'s
-/// children.
+/// children; attributes on `result` are copied onto the response element
+/// (the server echoes e.g. the commit epoch of an async write this way).
 pub fn encode_response(method: &str, result: Element) -> String {
     let mut resp = Element::new(format!("m:{method}Response")).attr("xmlns:m", MCS_NS);
     resp.children = result.children;
+    resp.attrs.extend(result.attrs);
     let mut out = String::with_capacity(256);
     out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
     out.push_str(&envelope(resp).to_xml());
@@ -169,6 +175,27 @@ mod tests {
         let wire = encode_response("createFile", result);
         let el = decode_response(&wire).unwrap();
         assert_eq!(el.local_name(), "createFileResponse");
+        assert_eq!(el.find("id").unwrap().text_content(), "17");
+    }
+
+    #[test]
+    fn method_attributes_ride_the_envelope() {
+        // per-request headers (mcs:durability) travel as attributes on
+        // the method element; the epoch echo comes back the same way
+        let args = Element::new("args")
+            .attr("mcs:durability", "async")
+            .child(Element::new("logicalName").text("f1"));
+        let wire = encode_request("createFile", args);
+        let (_, el) = decode_request(&wire).unwrap();
+        assert_eq!(el.attr_value("mcs:durability"), Some("async"));
+        assert_eq!(el.find("logicalName").unwrap().text_content(), "f1");
+
+        let result = Element::new("r")
+            .attr("mcs:epoch", "42")
+            .child(Element::new("id").text("17"));
+        let wire = encode_response("createFile", result);
+        let el = decode_response(&wire).unwrap();
+        assert_eq!(el.attr_value("mcs:epoch"), Some("42"));
         assert_eq!(el.find("id").unwrap().text_content(), "17");
     }
 

@@ -10,6 +10,10 @@
 #   verify.sh unit     everything except *_truncation / *_stress tests
 #   verify.sh crash    WAL crash-recovery matrix (*_truncation tests)
 #   verify.sh stress   concurrent-commit stress runs (*_stress tests)
+#   verify.sh async-durability
+#                      the async epoch/ack contract: mixed-durability
+#                      crash matrix, wait_for_epoch liveness, epoch
+#                      monotonicity property test, SOAP round-trip
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -33,8 +37,21 @@ case "$lane" in
     cargo test -q _stress
     echo "stress lane: $(($(date +%s) - start))s elapsed"
     ;;
+  async-durability)
+    start=$(date +%s)
+    if ! cargo test -q -p relstore --test epoch_monotonicity --test async_epoch_liveness; then
+      echo "async-durability lane failed." >&2
+      echo "To replay a monotonicity failure, rerun with the seed printed above:" >&2
+      echo "  RELSTORE_EPOCH_SEED=<seed> cargo test -p relstore --test epoch_monotonicity -- --nocapture" >&2
+      exit 1
+    fi
+    cargo test -q -p relstore epoch
+    cargo test -q -p mcs --test crash_atomicity mixed_durability_epoch_contract
+    cargo test -q -p mcs-net --test async_durability
+    echo "async-durability lane: $(($(date +%s) - start))s elapsed"
+    ;;
   *)
-    echo "usage: verify.sh [unit|crash|stress]" >&2
+    echo "usage: verify.sh [unit|crash|stress|async-durability]" >&2
     exit 2
     ;;
 esac
