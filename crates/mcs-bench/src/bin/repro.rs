@@ -22,7 +22,7 @@ fn main() {
                 let n = args
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| die("--figure needs a number 5..=13"));
+                    .unwrap_or_else(|| die("--figure needs a number 5..=14"));
                 figures.push(n);
             }
             "--out" => out_dir = Some(args.next().unwrap_or_else(|| die("--out needs a path"))),
@@ -34,7 +34,8 @@ fn main() {
                      --full     the paper's sizes (100k/1M/5M files; ~12 GB RAM)\n\
                      --figure N run only figure N (may repeat; default: 5..=11;\n\
                                 12 = group-commit vs per-txn-fsync A/B,\n\
-                                13 = async epoch-ack commit latency A/B)\n\
+                                13 = async epoch-ack commit latency A/B,\n\
+                                14 = epoch-consistent read-cache A/B)\n\
                      --out DIR  JSON output directory (default: results)"
                 );
                 return;
@@ -51,10 +52,10 @@ fn main() {
     }
 
     println!("MCS SC'03 evaluation reproduction — scale {scale:?}, sizes {:?}", cfg.scale.sizes());
-    // Figures 12 and 13 build their own durable catalogs; don't populate
-    // the big in-memory deployments unless a paper figure needs them.
+    // Figures 12–14 build their own catalogs; don't populate the big
+    // shared in-memory deployments unless a paper figure needs them.
     let deployments =
-        if figures.iter().all(|&n| n == 12 || n == 13) { Vec::new() } else { deploy(&cfg) };
+        if figures.iter().all(|&n| (12..=14).contains(&n)) { Vec::new() } else { deploy(&cfg) };
     for n in figures {
         let fig = run_figure(n, &cfg, &deployments);
         println!("\n{}", fig.to_table());

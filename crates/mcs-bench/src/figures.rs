@@ -405,6 +405,146 @@ pub fn fig13(cfg: &Config, _deployments: &[Deployment]) -> Figure {
     }
 }
 
+/// Figure 14 (beyond the paper): the epoch-consistent read cache A/B
+/// (DESIGN.md §7.3) on the complex-query hot path. One *cached* catalog
+/// per database size, measured three ways over a small repeated working
+/// set of full 10-attribute queries:
+///
+/// * **cache off** — every query wrapped in the per-request bypass, i.e.
+///   the byte-identical uncached execution path (the fig7 baseline);
+/// * **warm cache** — the working set prewarmed, so steady state is all
+///   version-validated hits;
+/// * **write churn** — a background writer keeps touching
+///   `user_attributes`, so every hit must revalidate and refill; each
+///   query's result is checked against the expected file, so this series
+///   doubles as a correctness probe of the invalidation protocol.
+///
+/// Builds its own catalogs — the shared deployments are uncached.
+pub fn fig14(cfg: &Config, _deployments: &[Deployment]) -> Figure {
+    use mcs::Attribute;
+    use workload::{build_catalog_with, spec};
+
+    /// Distinct repeated queries in the working set (same shape as a
+    /// workflow re-running its discovery queries).
+    const WORKING_SET: u64 = 16;
+
+    let run = RunConfig {
+        hosts: 1,
+        threads_per_host: 4,
+        duration: cfg.scale.point_duration(),
+        warmup: cfg.scale.warmup(),
+        min_ops: cfg.scale.min_ops(),
+        max_extension: cfg.scale.max_extension(),
+    };
+
+    let mut off = Vec::new();
+    let mut warm = Vec::new();
+    let mut churn = Vec::new();
+    for &n in cfg.scale.sizes().iter() {
+        eprintln!("[fig14] populating {} logical files (cached catalog)...", size_label(n));
+        let t0 = std::time::Instant::now();
+        let built = build_catalog_with(n, IndexProfile::Paper2003, Some(mcs::CacheConfig::default()));
+        eprintln!("[fig14] {} ready in {:.1}s", size_label(n), t0.elapsed().as_secs_f64());
+        let mcs = &built.mcs;
+        let admin = &built.admin;
+        // File indices spread across the database; each query matches
+        // exactly its file (attributes 2+3 pin the index).
+        let targets: Vec<u64> = (0..WORKING_SET).map(|j| j * (n / WORKING_SET).max(1)).collect();
+        let queries: Arc<Vec<(u64, Vec<mcs::AttrPredicate>)>> =
+            Arc::new(targets.iter().map(|&i| (i, spec::complex_query(i, 10))).collect());
+
+        // One worker: round-robin the working set, verify every answer.
+        let make_worker = |bypass: bool| {
+            let mcs = Arc::clone(mcs);
+            let queries = Arc::clone(&queries);
+            move |_h: usize, t: usize| -> Box<dyn workload::Workload> {
+                let mcs = Arc::clone(&mcs);
+                let queries = Arc::clone(&queries);
+                let mut at = t; // stagger threads across the set
+                let cred = workload::driver_credential(0, t);
+                Box::new(move || {
+                    let (i, preds) = &queries[at % queries.len()];
+                    at += 1;
+                    let r = if bypass {
+                        mcs.with_cache_bypass(|m| m.query_by_attributes(&cred, preds))
+                    } else {
+                        mcs.query_by_attributes(&cred, preds)
+                    };
+                    matches!(r, Ok(hits) if hits == [(spec::file_name(*i), 1)])
+                })
+            }
+        };
+
+        // --- cache off: the uncached baseline via the bypass path ---
+        eprintln!("[fig14] {} cache off", size_label(n));
+        let m = run_closed_loop(&run, make_worker(true));
+        off.push(Point { x: n, rate: m.rate(), ops: m.ops, errors: m.errors });
+
+        // --- warm cache: prewarm, then measure repeated hits ---
+        for (_, preds) in queries.iter() {
+            mcs.query_by_attributes(admin, preds).expect("prewarm");
+        }
+        eprintln!("[fig14] {} warm cache", size_label(n));
+        let m = run_closed_loop(&run, make_worker(false));
+        warm.push(Point { x: n, rate: m.rate(), ops: m.ops, errors: m.errors });
+
+        // --- write churn: a background writer invalidates while we read ---
+        eprintln!("[fig14] {} write churn", size_label(n));
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        let m = std::thread::scope(|scope| {
+            scope.spawn(|| {
+                // Rewrite an attribute to its current value: the commit
+                // bumps `user_attributes` (staling every query entry)
+                // without changing any query's answer.
+                let mut k = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                    let i = targets[(k % WORKING_SET) as usize];
+                    let attr = Attribute {
+                        name: spec::ATTR_NAMES[0].to_owned(),
+                        value: spec::attr_value(0, i),
+                    };
+                    mcs.set_attribute(admin, &mcs::ObjectRef::File(spec::file_name(i)), &attr)
+                        .expect("churn write");
+                    k += 1;
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            });
+            let m = run_closed_loop(&run, make_worker(false));
+            stop.store(true, std::sync::atomic::Ordering::Release);
+            m
+        });
+        churn.push(Point { x: n, rate: m.rate(), ops: m.ops, errors: m.errors });
+
+        let stats = mcs.cache_stats().expect("cached catalog");
+        let speedup = warm.last().unwrap().rate / off.last().unwrap().rate.max(1e-9);
+        eprintln!(
+            "[fig14] {}: off {:.1}/s, warm {:.1}/s ({speedup:.0}x), churn {:.1}/s; \
+             cache hits {} misses {} stale {} evictions {}",
+            size_label(n),
+            off.last().unwrap().rate,
+            warm.last().unwrap().rate,
+            churn.last().unwrap().rate,
+            stats.hits,
+            stats.misses,
+            stats.stale,
+            stats.evictions,
+        );
+    }
+
+    Figure {
+        id: "fig14".into(),
+        title: "Complex Query Rate with an Epoch-Consistent Read Cache: Off vs Warm vs Churn"
+            .into(),
+        x_label: "database size (files)".into(),
+        y_label: "queries/sec".into(),
+        series: vec![
+            Series { label: "cache off (bypass)".into(), points: off },
+            Series { label: "warm cache".into(), points: warm },
+            Series { label: "write churn".into(), points: churn },
+        ],
+    }
+}
+
 /// Run one figure by number.
 pub fn run_figure(n: u8, cfg: &Config, deployments: &[Deployment]) -> Figure {
     match n {
@@ -417,8 +557,10 @@ pub fn run_figure(n: u8, cfg: &Config, deployments: &[Deployment]) -> Figure {
         11 => fig11(cfg, deployments),
         12 => fig12(cfg, deployments),
         13 => fig13(cfg, deployments),
+        14 => fig14(cfg, deployments),
         other => panic!(
-            "no figure {other}: 5–11 reproduce the paper, 12/13 are the durability A/Bs"
+            "no figure {other}: 5–11 reproduce the paper, 12/13 the durability A/Bs, \
+             14 the read-cache A/B"
         ),
     }
 }

@@ -150,12 +150,30 @@ impl DurabilityMode {
     }
 }
 
+/// Server-side read-cache counters as reported by the `cacheStats` op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStatsReport {
+    /// Whether the server has a read cache at all.
+    pub enabled: bool,
+    /// Entries served without re-executing the read.
+    pub hits: u64,
+    /// Lookups that found no entry.
+    pub misses: u64,
+    /// Entries discarded because a table version moved (counted in
+    /// `misses` too).
+    pub stale: u64,
+    /// Entries displaced by the capacity bound.
+    pub evictions: u64,
+}
+
 /// A synchronous client bound to one MCS endpoint and one credential.
 pub struct McsClient {
     soap: SoapClient,
     cred: Credential,
     /// When set, every request carries `mcs:durability="<mode>"`.
     durability: Option<DurabilityMode>,
+    /// When true, every request carries `mcs:cache="bypass"`.
+    cache_bypass: bool,
     /// Commit epoch echoed by the last write response (0 if the last
     /// call logged nothing or predates this feature).
     last_epoch: u64,
@@ -178,6 +196,7 @@ impl McsClient {
             soap: SoapClient::with_opts(addr, "/mcs", opts),
             cred,
             durability: None,
+            cache_bypass: false,
             last_epoch: 0,
         }
     }
@@ -204,14 +223,39 @@ impl McsClient {
         self.last_epoch
     }
 
+    /// Ask the server to skip its read cache for this client's requests
+    /// (the `mcs:cache="bypass"` attribute; see DESIGN.md §7.3). The
+    /// bypass is per-request — other clients and the cache itself are
+    /// unaffected — which makes it the tool for A/B measurements and
+    /// for forcing a read straight from the store.
+    pub fn set_cache_bypass(&mut self, bypass: bool) {
+        self.cache_bypass = bypass;
+    }
+
+    /// Fetch the server's read-cache counters (the `cacheStats` op).
+    pub fn cache_stats(&mut self) -> Result<CacheStatsReport> {
+        let r = self.call("cacheStats", Element::new("a"))?;
+        Ok(CacheStatsReport {
+            enabled: req_text(&r, "enabled")? == "true",
+            hits: req_text(&r, "hits")?.parse().unwrap_or(0),
+            misses: req_text(&r, "misses")?.parse().unwrap_or(0),
+            stale: req_text(&r, "stale")?.parse().unwrap_or(0),
+            evictions: req_text(&r, "evictions")?.parse().unwrap_or(0),
+        })
+    }
+
     fn call(&mut self, method: &str, mut args: Element) -> Result<Element> {
         // Every call carries the credential (the GSI context of the
         // original would ride the TLS layer instead).
         args.children.insert(0, soapstack::xml::Node::Element(credential_el(&self.cred)));
+        if self.durability.is_some() || self.cache_bypass {
+            args = args.attr("xmlns:mcs", soapstack::soap::MCS_NS);
+        }
         if let Some(mode) = self.durability {
-            args = args
-                .attr("xmlns:mcs", soapstack::soap::MCS_NS)
-                .attr("mcs:durability", mode.header_value());
+            args = args.attr("mcs:durability", mode.header_value());
+        }
+        if self.cache_bypass {
+            args = args.attr("mcs:cache", "bypass");
         }
         let r = self.soap.call(method, args)?;
         // writes echo the commit epoch of whatever they logged

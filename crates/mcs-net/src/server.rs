@@ -71,6 +71,21 @@ fn durability_override(call: &Element) -> std::result::Result<Option<mcs::Durabi
     }
 }
 
+/// Parse the per-request `mcs:cache` attribute on the method element.
+/// `bypass` makes every read in this call execute the uncached path — the
+/// escape hatch for clients that must observe the raw tables (or measure
+/// them, as the fig14 A/B does). Anything else is rejected.
+fn cache_bypass(call: &Element) -> std::result::Result<bool, Fault> {
+    match call.attr_value("mcs:cache") {
+        None => Ok(false),
+        Some("bypass") => Ok(true),
+        Some(other) => Err(Fault {
+            code: "soap:Client.BadArguments".into(),
+            message: format!("unknown mcs:cache mode `{other}` (expected bypass)"),
+        }),
+    }
+}
+
 fn reg<F>(d: &mut SoapDispatcher, mcs: &Arc<Mcs>, name: &str, f: F)
 where
     F: Fn(&Mcs, &Element) -> MethodResult + Send + Sync + 'static,
@@ -80,12 +95,22 @@ where
         // Every method passes through here: apply the per-request
         // durability header (if any) and echo the commit epoch of
         // whatever the operation logged, so an async-acknowledged client
-        // has the handle it needs for waitForEpoch.
+        // has the handle it needs for waitForEpoch. The per-request
+        // `mcs:cache="bypass"` attribute wraps the same call in a
+        // cache-bypass scope.
+        let bypass = cache_bypass(call)?;
+        let run = |m: &Mcs| {
+            if bypass {
+                m.with_cache_bypass(|m| f(m, call))
+            } else {
+                f(m, call)
+            }
+        };
         let (result, epoch) = match durability_override(call)? {
-            Some(mode) => mcs.with_durability(mode, |m| f(m, call)),
+            Some(mode) => mcs.with_durability(mode, run),
             None => {
                 let before = Mcs::last_commit_epoch();
-                let r = f(&mcs, call);
+                let r = run(&mcs);
                 let after = Mcs::last_commit_epoch();
                 (r, if after > before { after } else { 0 })
             }
@@ -118,6 +143,19 @@ pub fn register_methods(d: &mut SoapDispatcher, mcs: Arc<Mcs>) {
         let _cred = credential_from(call).map_err(fault_of_xml)?;
         let epoch = mcs.sync_now().map_err(fault_of)?;
         Ok(wrap(vec![text_el("durableEpoch", epoch.to_string())]))
+    });
+
+    // --- read cache (DESIGN.md §7.3) ---
+    reg(d, mcs, "cacheStats", |mcs, call| {
+        let _cred = credential_from(call).map_err(fault_of_xml)?;
+        let stats = mcs.cache_stats().unwrap_or_default();
+        Ok(wrap(vec![
+            text_el("enabled", mcs.cache_enabled().to_string()),
+            text_el("hits", stats.hits.to_string()),
+            text_el("misses", stats.misses.to_string()),
+            text_el("stale", stats.stale.to_string()),
+            text_el("evictions", stats.evictions.to_string()),
+        ]))
     });
 
     // --- files ---

@@ -68,8 +68,26 @@ impl Mcs {
         })
     }
 
-    /// Look up an attribute definition.
+    /// Look up an attribute definition. Served from the read cache when
+    /// one is enabled — including the negative ("not defined") answer,
+    /// which the version stamp keeps honest across later `define`s.
     pub fn attribute_definition(&self, name: &str) -> Result<Option<AttributeDefinition>> {
+        use crate::cache::{CacheKey, CacheValue, Lookup};
+        let Some(cache) = self.read_cache() else {
+            return self.attribute_definition_uncached(name);
+        };
+        let key = CacheKey::AttrDef(name.to_owned());
+        let stamp = match cache.lookup(&self.db, &key) {
+            Lookup::Hit(CacheValue::AttrDef(d)) => return Ok(d),
+            Lookup::Hit(_) => return self.attribute_definition_uncached(name),
+            Lookup::Miss(stamp) => stamp,
+        };
+        let d = self.attribute_definition_uncached(name)?;
+        cache.insert(key, CacheValue::AttrDef(d.clone()), stamp);
+        Ok(d)
+    }
+
+    fn attribute_definition_uncached(&self, name: &str) -> Result<Option<AttributeDefinition>> {
         let rs = self.db.execute_prepared(&self.stmts.sel_attrdef, &[name.into()])?;
         let rows = rs.rows.expect("select");
         rows.rows

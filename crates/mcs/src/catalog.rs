@@ -33,6 +33,15 @@ pub(crate) struct Statements {
     pub sel_coll_by_id: Prepared,
     pub sel_coll_by_name: Prepared,
     pub files_in_coll: Prepared,
+    pub sel_subcolls: Prepared,
+    pub count_subcolls: Prepared,
+    pub ins_coll: Prepared,
+    pub del_coll_by_id: Prepared,
+    pub del_annot_obj: Prepared,
+    pub del_hist_file: Prepared,
+    pub del_acl_obj: Prepared,
+    pub del_view_member: Prepared,
+    pub upd_file_coll: Prepared,
 }
 
 impl Statements {
@@ -79,6 +88,28 @@ impl Statements {
             sel_coll_by_name: db.prepare("SELECT * FROM logical_collections WHERE name = ?")?,
             files_in_coll: db
                 .prepare("SELECT * FROM logical_files WHERE collection_id = ? ORDER BY name")?,
+            sel_subcolls: db.prepare(
+                "SELECT name FROM logical_collections WHERE parent_id = ? ORDER BY name",
+            )?,
+            count_subcolls: db.prepare(
+                "SELECT COUNT(*) AS n FROM logical_collections WHERE parent_id = ?",
+            )?,
+            ins_coll: db.prepare(
+                "INSERT INTO logical_collections \
+                 (name, description, parent_id, creator, created) VALUES (?, ?, ?, ?, ?)",
+            )?,
+            del_coll_by_id: db.prepare("DELETE FROM logical_collections WHERE id = ?")?,
+            del_annot_obj: db
+                .prepare("DELETE FROM annotations WHERE object_type = ? AND object_id = ?")?,
+            del_hist_file: db.prepare("DELETE FROM transformation_history WHERE file_id = ?")?,
+            del_acl_obj: db
+                .prepare("DELETE FROM acl_entries WHERE object_type = ? AND object_id = ?")?,
+            del_view_member: db
+                .prepare("DELETE FROM view_members WHERE member_type = ? AND member_id = ?")?,
+            upd_file_coll: db.prepare(
+                "UPDATE logical_files SET collection_id = ?, last_modifier = ?, \
+                 last_modified = ? WHERE id = ?",
+            )?,
         })
     }
 }
@@ -95,6 +126,10 @@ pub struct StoreConfig {
     pub sync: relstore::SyncPolicy,
     /// Commit durability policy (per-transaction vs group commit).
     pub durability: relstore::Durability,
+    /// Read cache sizing, `None` (the default) to disable — see
+    /// [`crate::cache`]. Off by default so the 2003 figures reproduce
+    /// byte-identical behavior.
+    pub cache: Option<crate::cache::CacheConfig>,
 }
 
 impl Default for StoreConfig {
@@ -102,6 +137,7 @@ impl Default for StoreConfig {
         StoreConfig {
             sync: relstore::SyncPolicy::EveryWrite,
             durability: relstore::Durability::Always,
+            cache: None,
         }
     }
 }
@@ -110,9 +146,16 @@ impl StoreConfig {
     /// A config with group commit enabled at the given batching window.
     pub fn grouped(max_wait: std::time::Duration, max_batch: usize) -> StoreConfig {
         StoreConfig {
-            sync: relstore::SyncPolicy::EveryWrite,
             durability: relstore::Durability::Group { max_wait, max_batch },
+            ..StoreConfig::default()
         }
+    }
+
+    /// Builder: enable the read cache ([`crate::cache`]) at the given
+    /// sizing.
+    pub fn with_cache(mut self, cache: crate::cache::CacheConfig) -> StoreConfig {
+        self.cache = Some(cache);
+        self
     }
 
     /// A config with asynchronous commit acknowledgement: writes return
@@ -124,8 +167,8 @@ impl StoreConfig {
     /// not promise.
     pub fn asynchronous(max_wait: std::time::Duration, max_batch: usize) -> StoreConfig {
         StoreConfig {
-            sync: relstore::SyncPolicy::EveryWrite,
             durability: relstore::Durability::Async { max_wait, max_batch },
+            ..StoreConfig::default()
         }
     }
 }
@@ -140,6 +183,9 @@ pub struct Mcs {
     pub(crate) clock: Arc<dyn Clock>,
     pub(crate) stmts: Statements,
     pub(crate) profile: IndexProfile,
+    /// Version-validated read cache ([`crate::cache`]); `None` unless
+    /// opened with [`StoreConfig::cache`] / [`Mcs::with_database_cached`].
+    pub(crate) cache: Option<crate::cache::McsCache>,
     /// Trusted communities for CAS assertions (community -> shared secret).
     pub(crate) cas_trust: parking_lot::RwLock<std::collections::HashMap<String, u64>>,
 }
@@ -160,6 +206,17 @@ impl Mcs {
         Mcs::with_database(Arc::new(Database::new()), admin, profile, clock)
     }
 
+    /// [`Mcs::with_options`] plus a read cache — the in-memory
+    /// constructor the cache tests and benchmarks use.
+    pub fn with_options_cached(
+        admin: &Credential,
+        profile: IndexProfile,
+        clock: Arc<dyn Clock>,
+        cache: crate::cache::CacheConfig,
+    ) -> Result<Mcs> {
+        Mcs::with_database_cached(Arc::new(Database::new()), admin, profile, clock, Some(cache))
+    }
+
     /// Open a durable catalog rooted at `dir` with an explicit
     /// [`StoreConfig`]: the database is opened (or recovered) via
     /// [`relstore::Database::open_durable_with`] and the catalog schema
@@ -174,7 +231,7 @@ impl Mcs {
         cfg: StoreConfig,
     ) -> Result<Mcs> {
         let db = relstore::Database::open_durable_with(dir, cfg.sync, cfg.durability)?;
-        Mcs::with_database(db, admin, profile, clock)
+        Mcs::with_database_cached(db, admin, profile, clock, cfg.cache)
     }
 
     /// Open a catalog on an existing database — e.g. one opened durably
@@ -188,6 +245,19 @@ impl Mcs {
         profile: IndexProfile,
         clock: Arc<dyn Clock>,
     ) -> Result<Mcs> {
+        Mcs::with_database_cached(db, admin, profile, clock, None)
+    }
+
+    /// [`Mcs::with_database`] plus an optional read cache
+    /// ([`crate::cache`]) — the constructor every other one funnels
+    /// through.
+    pub fn with_database_cached(
+        db: Arc<Database>,
+        admin: &Credential,
+        profile: IndexProfile,
+        clock: Arc<dyn Clock>,
+        cache: Option<crate::cache::CacheConfig>,
+    ) -> Result<Mcs> {
         let fresh = db.table("logical_files").is_err();
         if fresh {
             bootstrap(&db, profile)?;
@@ -198,6 +268,7 @@ impl Mcs {
             clock,
             stmts,
             profile,
+            cache: cache.as_ref().map(crate::cache::McsCache::new),
             cas_trust: parking_lot::RwLock::new(std::collections::HashMap::new()),
         };
         if fresh {
@@ -351,7 +422,25 @@ impl Mcs {
 
     /// Look up a logical file by name. Errors with [`McsError::VersionConflict`]
     /// if several versions exist (the client must then supply the version).
+    /// Served from the read cache when one is enabled; only successful
+    /// resolutions are cached (errors always re-execute).
     pub(crate) fn resolve_file(&self, name: &str) -> Result<LogicalFile> {
+        use crate::cache::{CacheKey, CacheValue, Lookup};
+        let Some(cache) = self.read_cache() else {
+            return self.resolve_file_uncached(name);
+        };
+        let key = CacheKey::FileByName(name.to_owned());
+        let stamp = match cache.lookup(&self.db, &key) {
+            Lookup::Hit(CacheValue::File(f)) => return Ok(f),
+            Lookup::Hit(_) => return self.resolve_file_uncached(name),
+            Lookup::Miss(stamp) => stamp,
+        };
+        let f = self.resolve_file_uncached(name)?;
+        cache.insert(key, CacheValue::File(f.clone()), stamp);
+        Ok(f)
+    }
+
+    fn resolve_file_uncached(&self, name: &str) -> Result<LogicalFile> {
         let rs = self.db.execute_prepared(&self.stmts.sel_file_versions, &[name.into()])?;
         let rows = rs.rows.expect("select");
         match rows.rows.len() {
@@ -363,8 +452,25 @@ impl Mcs {
         }
     }
 
-    /// Look up a specific version of a logical file.
+    /// Look up a specific version of a logical file (cached like
+    /// [`Mcs::resolve_file`]).
     pub(crate) fn resolve_file_version(&self, name: &str, version: i64) -> Result<LogicalFile> {
+        use crate::cache::{CacheKey, CacheValue, Lookup};
+        let Some(cache) = self.read_cache() else {
+            return self.resolve_file_version_uncached(name, version);
+        };
+        let key = CacheKey::FileByNameVer(name.to_owned(), version);
+        let stamp = match cache.lookup(&self.db, &key) {
+            Lookup::Hit(CacheValue::File(f)) => return Ok(f),
+            Lookup::Hit(_) => return self.resolve_file_version_uncached(name, version),
+            Lookup::Miss(stamp) => stamp,
+        };
+        let f = self.resolve_file_version_uncached(name, version)?;
+        cache.insert(key, CacheValue::File(f.clone()), stamp);
+        Ok(f)
+    }
+
+    fn resolve_file_version_uncached(&self, name: &str, version: i64) -> Result<LogicalFile> {
         let rs = self
             .db
             .execute_prepared(&self.stmts.sel_file_name_ver, &[name.into(), version.into()])?;
@@ -386,7 +492,24 @@ impl Mcs {
             .ok_or_else(|| McsError::NotFound(ObjectRef::File(format!("#{id}"))))
     }
 
+    /// Look up a collection by name (cached like [`Mcs::resolve_file`]).
     pub(crate) fn resolve_collection(&self, name: &str) -> Result<Collection> {
+        use crate::cache::{CacheKey, CacheValue, Lookup};
+        let Some(cache) = self.read_cache() else {
+            return self.resolve_collection_uncached(name);
+        };
+        let key = CacheKey::CollByName(name.to_owned());
+        let stamp = match cache.lookup(&self.db, &key) {
+            Lookup::Hit(CacheValue::Collection(c)) => return Ok(c),
+            Lookup::Hit(_) => return self.resolve_collection_uncached(name),
+            Lookup::Miss(stamp) => stamp,
+        };
+        let c = self.resolve_collection_uncached(name)?;
+        cache.insert(key, CacheValue::Collection(c.clone()), stamp);
+        Ok(c)
+    }
+
+    fn resolve_collection_uncached(&self, name: &str) -> Result<Collection> {
         let rs = self.db.execute_prepared(&self.stmts.sel_coll_by_name, &[name.into()])?;
         let rows = rs.rows.expect("select");
         rows.rows
@@ -538,20 +661,17 @@ impl Mcs {
                     &self.stmts.del_attrs_obj,
                     &[ObjectType::File.code().into(), f.id.into()],
                 )?;
-                s.execute(
-                    "DELETE FROM annotations WHERE object_type = ? AND object_id = ?",
+                s.execute_prepared(
+                    &self.stmts.del_annot_obj,
                     &[ObjectType::File.code().into(), f.id.into()],
                 )?;
-                s.execute(
-                    "DELETE FROM transformation_history WHERE file_id = ?",
-                    &[f.id.into()],
-                )?;
-                s.execute(
-                    "DELETE FROM acl_entries WHERE object_type = ? AND object_id = ?",
+                s.execute_prepared(&self.stmts.del_hist_file, &[f.id.into()])?;
+                s.execute_prepared(
+                    &self.stmts.del_acl_obj,
                     &[ObjectType::File.code().into(), f.id.into()],
                 )?;
-                s.execute(
-                    "DELETE FROM view_members WHERE member_type = ? AND member_id = ?",
+                s.execute_prepared(
+                    &self.stmts.del_view_member,
                     &[ObjectType::File.code().into(), f.id.into()],
                 )?;
                 Ok(())
@@ -687,9 +807,8 @@ impl Mcs {
             }
         };
         let id = self.db.transaction(&[("logical_collections", Access::Write)], |s| {
-            let res = s.execute(
-                "INSERT INTO logical_collections \
-                 (name, description, parent_id, creator, created) VALUES (?, ?, ?, ?, ?)",
+            let res = s.execute_prepared(
+                &self.stmts.ins_coll,
                 &[
                     name.into(),
                     description.into(),
@@ -736,10 +855,7 @@ impl Mcs {
                     return Err(McsError::CollectionNotEmpty(name.to_owned()));
                 }
                 let kids = s
-                    .execute(
-                        "SELECT COUNT(*) AS n FROM logical_collections WHERE parent_id = ?",
-                        &[c.id.into()],
-                    )?
+                    .execute_prepared(&self.stmts.count_subcolls, &[c.id.into()])?
                     .rows
                     .ok_or_else(|| McsError::Internal("child query returned no rows".into()))?;
                 if kids.rows[0][0] != Value::Int(0) {
@@ -748,17 +864,12 @@ impl Mcs {
                 if c.audit_enabled {
                     self.audit_action_in(s, ObjectType::Collection, c.id, "delete", cred, &c.name)?;
                 }
-                s.execute("DELETE FROM logical_collections WHERE id = ?", &[c.id.into()])?;
-                for table in ["user_attributes", "annotations", "acl_entries"] {
-                    s.execute(
-                        &format!("DELETE FROM {table} WHERE object_type = ? AND object_id = ?"),
-                        &[ObjectType::Collection.code().into(), c.id.into()],
-                    )?;
-                }
-                s.execute(
-                    "DELETE FROM view_members WHERE member_type = ? AND member_id = ?",
-                    &[ObjectType::Collection.code().into(), c.id.into()],
-                )?;
+                s.execute_prepared(&self.stmts.del_coll_by_id, &[c.id.into()])?;
+                let obj = [Value::Int(ObjectType::Collection.code()), Value::Int(c.id)];
+                s.execute_prepared(&self.stmts.del_attrs_obj, &obj)?;
+                s.execute_prepared(&self.stmts.del_annot_obj, &obj)?;
+                s.execute_prepared(&self.stmts.del_acl_obj, &obj)?;
+                s.execute_prepared(&self.stmts.del_view_member, &obj)?;
                 Ok(())
             },
         )
@@ -799,9 +910,8 @@ impl Mcs {
             }
             None => Value::Null,
         };
-        self.db.execute(
-            "UPDATE logical_files SET collection_id = ?, last_modifier = ?, last_modified = ? \
-             WHERE id = ?",
+        self.db.execute_prepared(
+            &self.stmts.upd_file_coll,
             &[new_id, cred.dn.as_str().into(), self.now(), f.id.into()],
         )?;
         Ok(())

@@ -40,6 +40,7 @@ pub mod annotations;
 pub mod attrs;
 pub mod audit;
 pub mod authz;
+pub mod cache;
 pub mod cas;
 pub mod catalog;
 pub mod clock;
@@ -57,6 +58,7 @@ pub mod xmlshred;
 mod external;
 
 pub use cas::{CasAssertion, CommunityAuthorizationService};
+pub use cache::{CacheConfig, CacheStats};
 pub use catalog::{FileUpdate, Mcs, StoreConfig};
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use error::{McsError, Result};

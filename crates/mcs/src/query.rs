@@ -44,6 +44,20 @@ impl Mcs {
         if preds.is_empty() {
             return Err(McsError::BadAttribute("query needs at least one predicate".into()));
         }
+        // Probe the read cache *after* the permission check (authorization
+        // is never cached) and take the version vector of the query's
+        // input tables before computing, so the fill below can only stamp
+        // a state at least as old as what it read — any write landing
+        // mid-compute bumps a version and the entry self-invalidates.
+        let mut fill = None;
+        if let Some(cache) = self.read_cache() {
+            let key = crate::cache::query_key(preds, self.profile);
+            match cache.lookup(&self.db, &key) {
+                crate::cache::Lookup::Hit(crate::cache::CacheValue::Hits(h)) => return Ok(h),
+                crate::cache::Lookup::Hit(_) => {}
+                crate::cache::Lookup::Miss(stamp) => fill = Some((cache, key, stamp)),
+            }
+        }
         // Resolve definitions and type-check before touching the table.
         let mut checked: Vec<(&AttrPredicate, AttrType)> = Vec::with_capacity(preds.len());
         for p in preds {
@@ -74,14 +88,50 @@ impl Mcs {
         {
             let handle = self.db.table("user_attributes")?;
             let t = handle.read();
-            for (p, ty) in &checked {
-                let ids = self.eval_predicate(&t, p, *ty)?;
-                candidates = Some(match candidates {
+            let intersect = |acc: Option<HashSet<i64>>, ids: HashSet<i64>| {
+                Some(match acc {
                     None => ids,
                     Some(prev) => prev.intersection(&ids).copied().collect(),
-                });
-                if candidates.as_ref().is_some_and(HashSet::is_empty) {
-                    break;
+                })
+            };
+            if self.profile == IndexProfile::ValueIndexed {
+                // Under value indexes an Eq predicate is a point lookup:
+                // evaluate all of them first and intersect starting from
+                // the smallest set, so the accumulator is never larger
+                // than the most selective equality — ranges (and Ne/Like
+                // scans) then only shrink it further.
+                let mut eq_sets = Vec::new();
+                for (p, ty) in &checked {
+                    if p.op == AttrOp::Eq {
+                        eq_sets.push(self.eval_predicate(&t, p, *ty)?);
+                    }
+                }
+                eq_sets.sort_by_key(HashSet::len);
+                for ids in eq_sets {
+                    candidates = intersect(candidates, ids);
+                    if candidates.as_ref().is_some_and(HashSet::is_empty) {
+                        break;
+                    }
+                }
+                if !candidates.as_ref().is_some_and(HashSet::is_empty) {
+                    for (p, ty) in &checked {
+                        if p.op == AttrOp::Eq {
+                            continue;
+                        }
+                        let ids = self.eval_predicate(&t, p, *ty)?;
+                        candidates = intersect(candidates, ids);
+                        if candidates.as_ref().is_some_and(HashSet::is_empty) {
+                            break;
+                        }
+                    }
+                }
+            } else {
+                for (p, ty) in &checked {
+                    let ids = self.eval_predicate(&t, p, *ty)?;
+                    candidates = intersect(candidates, ids);
+                    if candidates.as_ref().is_some_and(HashSet::is_empty) {
+                        break;
+                    }
                 }
             }
         } // release the attribute-table lock before touching logical_files
@@ -96,6 +146,9 @@ impl Mcs {
             }
         }
         out.sort();
+        if let Some((cache, key, stamp)) = fill {
+            cache.insert(key, crate::cache::CacheValue::Hits(out.clone()), stamp);
+        }
         Ok(out)
     }
 
@@ -235,10 +288,7 @@ impl Mcs {
         for r in &files.rows {
             out.files.push((r[1].as_str()?.to_owned(), r[2].as_int()?));
         }
-        let kids = self.db.execute(
-            "SELECT name FROM logical_collections WHERE parent_id = ? ORDER BY name",
-            &[c.id.into()],
-        )?;
+        let kids = self.db.execute_prepared(&self.stmts.sel_subcolls, &[c.id.into()])?;
         for r in &kids.rows.unwrap().rows {
             out.subcollections.push(r[0].as_str()?.to_owned());
         }

@@ -129,6 +129,13 @@ pub struct Database {
     commit_epochs: AtomicU64,
     /// Durable-epoch watermark + waiters; see [`crate::epoch`].
     epoch_gate: crate::epoch::EpochGate,
+    /// Per-table write versions (keyed by lowercased name): a monotonic
+    /// counter bumped after every applied write while the writer's barrier
+    /// is still held, so a reader can take a consistency token for a table
+    /// set without touching row data. Counters survive DROP TABLE — a
+    /// recreated table keeps counting up, which keeps stale cache entries
+    /// stale. See DESIGN.md §7.3 for the cache-consistency contract.
+    versions: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
 }
 
 thread_local! {
@@ -157,7 +164,9 @@ impl Database {
         if tables.contains_key(&key) {
             return Err(Error::TableExists(table.schema.name.clone()));
         }
-        tables.insert(key, Arc::new(RwLock::new(table)));
+        tables.insert(key.clone(), Arc::new(RwLock::new(table)));
+        drop(tables);
+        self.version_counter(&key).fetch_add(1, Ordering::AcqRel);
         Ok(())
     }
 
@@ -172,11 +181,14 @@ impl Database {
 
     /// Remove a table.
     pub fn drop_table(&self, name: &str) -> Result<()> {
+        let key = name.to_ascii_lowercase();
         self.tables
             .write()
-            .remove(&name.to_ascii_lowercase())
+            .remove(&key)
             .map(drop)
-            .ok_or_else(|| Error::NoSuchTable(name.to_owned()))
+            .ok_or_else(|| Error::NoSuchTable(name.to_owned()))?;
+        self.version_counter(&key).fetch_add(1, Ordering::AcqRel);
+        Ok(())
     }
 
     /// Names of all tables, sorted.
@@ -266,6 +278,45 @@ impl Database {
         &self.barriers
     }
 
+    /// The write-version counter for `key` (already lowercased),
+    /// get-or-create.
+    fn version_counter(&self, key: &str) -> Arc<AtomicU64> {
+        if let Some(c) = self.versions.read().get(key) {
+            return Arc::clone(c);
+        }
+        let mut map = self.versions.write();
+        Arc::clone(map.entry(key.to_owned()).or_default())
+    }
+
+    /// The current write version of a table (case-insensitive). Starts at
+    /// 0 and increases monotonically with every applied write (including
+    /// rollbacks, which also mutate the table); never decreases. Tables
+    /// that were never written — including ones that don't exist — report
+    /// version 0.
+    pub fn table_version(&self, name: &str) -> u64 {
+        self.version_counter(&name.to_ascii_lowercase()).load(Ordering::Acquire)
+    }
+
+    /// Snapshot the write versions of several tables at once (the
+    /// consistency token a cache stamps its entries with). Names are
+    /// case-insensitive; the result is in argument order. The snapshot is
+    /// not atomic across tables — that is fine for validation by equality,
+    /// because any write between the two component loads bumps its
+    /// counter and makes the vectors unequal.
+    pub fn version_vector(&self, names: &[&str]) -> Vec<u64> {
+        names.iter().map(|n| self.table_version(n)).collect()
+    }
+
+    /// Bump the write version of every table in `tables` (lowercased
+    /// names). Called after a write is applied, at a point where the
+    /// writer still holds the locks that made the write invisible —
+    /// see DESIGN.md §7.3 for why bump-after-apply is the safe order.
+    pub(crate) fn bump_table_versions(&self, tables: &[String]) {
+        for t in tables {
+            self.version_counter(t).fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
     pub(crate) fn wal_lock(
         &self,
     ) -> parking_lot::MutexGuard<'_, Option<crate::wal::WalWriter>> {
@@ -328,8 +379,18 @@ impl Database {
                 let epoch = self.append_after_queue(w, |w| w.append(sql, params))?;
                 note_commit_epoch(epoch);
                 // hold the lock across execution so log order == exec order
-                return exec_statement(self, stmt, params, undo);
+                let r = exec_statement(self, stmt, params, undo);
+                if r.is_ok() {
+                    self.bump_table_versions(tables);
+                }
+                return r;
             }
+            drop(wal);
+            let r = exec_statement(self, stmt, params, undo);
+            if r.is_ok() {
+                self.bump_table_versions(tables);
+            }
+            return r;
         }
         exec_statement(self, stmt, params, undo)
     }
@@ -654,7 +715,15 @@ impl Session {
             self.txn.take().ok_or_else(|| Error::TxnState("no open transaction".into()))?;
         self.allowed = None;
         self.pending_log.clear();
-        log.rollback()
+        // Undo mutates the touched tables back to their old contents, so
+        // their write versions must advance too (a cache entry filled from
+        // the pre-rollback state would otherwise validate against the
+        // restored state). Bump after the undo is applied, while a claimed
+        // transaction's barriers are still held by the caller.
+        let touched = log.touched_tables();
+        let r = log.rollback();
+        self.db.bump_table_versions(&touched);
+        r
     }
 
     /// Parse and execute one statement in this session. BEGIN/COMMIT/
@@ -713,6 +782,10 @@ impl Session {
             // record for commit time (only when a WAL will consume it)
             self.db.stats.bump(stmt);
             let r = exec_statement(&self.db, stmt, params, self.txn.as_mut())?;
+            // bump while the transaction's exclusive barriers (claimed
+            // mode) still hide the write; bump-before-visible only causes
+            // spurious cache misses, never stale hits
+            self.db.bump_table_versions(tables);
             if self.db.is_durable() {
                 self.pending_log.push((sql.to_owned(), params.to_vec()));
             }
@@ -1076,6 +1149,75 @@ mod tests {
         .unwrap();
         let rs = db.query("SELECT s FROM t", &[]).unwrap();
         assert_eq!(rs.rows[0][0], Value::from("a;b"));
+    }
+
+    #[test]
+    fn table_versions_bump_on_writes_not_reads() {
+        let db = db();
+        let v0 = db.table_version("files");
+        db.query("SELECT * FROM files", &[]).unwrap();
+        assert_eq!(db.table_version("files"), v0, "SELECT must not bump");
+        let attrs_v = db.table_version("attrs");
+        db.execute("INSERT INTO files (name) VALUES ('a')", &[]).unwrap();
+        let v1 = db.table_version("files");
+        assert!(v1 > v0, "INSERT must bump");
+        assert_eq!(db.table_version("attrs"), attrs_v, "untouched table stays put");
+        assert_eq!(db.table_version("never_written"), 0);
+        db.execute("UPDATE files SET size = 1 WHERE name = 'a'", &[]).unwrap();
+        db.execute("DELETE FROM files WHERE name = 'a'", &[]).unwrap();
+        assert!(db.table_version("files") > v1);
+        // case-insensitive, and the vector snapshot matches the scalars
+        assert_eq!(db.table_version("FILES"), db.table_version("files"));
+        assert_eq!(
+            db.version_vector(&["files", "attrs"]),
+            vec![db.table_version("files"), db.table_version("attrs")]
+        );
+    }
+
+    #[test]
+    fn table_versions_bump_per_transaction_statement() {
+        let db = db();
+        let v0 = db.table_version("files");
+        let a0 = db.table_version("attrs");
+        db.transaction(&[("files", Access::Write), ("attrs", Access::Write)], |s| {
+            s.execute("INSERT INTO files (name) VALUES ('f')", &[])?;
+            s.execute("INSERT INTO attrs (file_id, name) VALUES (1, 'a')", &[])?;
+            Ok::<_, Error>(())
+        })
+        .unwrap();
+        assert!(db.table_version("files") > v0);
+        assert!(db.table_version("attrs") > a0);
+    }
+
+    #[test]
+    fn table_versions_bump_on_rollback() {
+        let db = db();
+        db.execute("INSERT INTO files (name) VALUES ('keep')", &[]).unwrap();
+        let r: std::result::Result<(), Error> =
+            db.transaction(&[("files", Access::Write)], |s| {
+                s.execute("UPDATE files SET size = 9 WHERE name = 'keep'", &[])?;
+                Err(Error::ExecError("abort".into()))
+            });
+        assert!(r.is_err());
+        // the update bumped once, the undo that reverted it bumped again —
+        // a cache entry stamped mid-transaction can never validate
+        assert!(db.table_version("files") >= 3);
+        // and a failed statement that wrote nothing doesn't have to bump
+        let v = db.table_version("files");
+        let _ = db.execute("INSERT INTO files (name) VALUES ('keep')", &[]);
+        assert!(db.table_version("files") >= v);
+    }
+
+    #[test]
+    fn table_versions_survive_drop_and_recreate() {
+        let db = db();
+        db.execute("INSERT INTO files (name) VALUES ('a')", &[]).unwrap();
+        let v = db.table_version("files");
+        db.execute("DROP TABLE files", &[]).unwrap();
+        assert!(db.table_version("files") > v, "DROP must bump");
+        let v = db.table_version("files");
+        db.execute("CREATE TABLE files (id INTEGER)", &[]).unwrap();
+        assert!(db.table_version("files") > v, "recreate keeps counting up");
     }
 
     #[test]

@@ -48,6 +48,19 @@ impl UndoLog {
         self.entries.is_empty()
     }
 
+    /// Lowercased names of the tables this log will mutate on rollback,
+    /// deduped (for write-version bumps after the undo is applied).
+    pub(crate) fn touched_tables(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .entries
+            .iter()
+            .map(|(t, _)| t.read().schema.name.to_ascii_lowercase())
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
     /// Apply all inverse operations, newest first. Errors are collected
     /// rather than aborting, so a partially-conflicting rollback restores
     /// as much as possible (conflicts can only occur if another session

@@ -56,9 +56,23 @@ fn typed_null_row(name: &str, a: usize, v: Value) -> [Value; 8] {
 /// workload (§7): collections of 1000 files, ten typed attributes per
 /// file and per collection, service opened to everyone.
 pub fn build_catalog(n_files: u64, profile: IndexProfile) -> BuiltCatalog {
+    build_catalog_with(n_files, profile, None)
+}
+
+/// [`build_catalog`] with an optional read cache (DESIGN.md §7.3) — the
+/// fig14 A/B builds one cached catalog and measures it with and without
+/// the per-request bypass.
+pub fn build_catalog_with(
+    n_files: u64,
+    profile: IndexProfile,
+    cache: Option<mcs::CacheConfig>,
+) -> BuiltCatalog {
     let admin = Credential::new(ADMIN_DN);
     let clock = Arc::new(ManualClock::default());
-    let mcs = Arc::new(Mcs::with_options(&admin, profile, clock).expect("bootstrap"));
+    let mcs = Arc::new(match cache {
+        Some(c) => Mcs::with_options_cached(&admin, profile, clock, c).expect("bootstrap"),
+        None => Mcs::with_options(&admin, profile, clock).expect("bootstrap"),
+    });
     mcs.allow_anyone(&admin).expect("open service");
     for (a, name) in ATTR_NAMES.iter().enumerate() {
         mcs.define_attribute(&admin, name, ATTR_TYPES[a], "evaluation workload attribute")

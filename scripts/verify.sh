@@ -14,6 +14,11 @@
 #                      the async epoch/ack contract: mixed-durability
 #                      crash matrix, wait_for_epoch liveness, epoch
 #                      monotonicity property test, SOAP round-trip
+#   verify.sh cache    the read-cache consistency contract (DESIGN.md
+#                      §7.3): table-version unit tests, cache unit
+#                      tests, the seeded cached-vs-uncached twin
+#                      property test, and the SOAP bypass/stats
+#                      round-trip
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -50,8 +55,22 @@ case "$lane" in
     cargo test -q -p mcs-net --test async_durability
     echo "async-durability lane: $(($(date +%s) - start))s elapsed"
     ;;
+  cache)
+    start=$(date +%s)
+    cargo test -q -p relstore --lib table_version
+    cargo test -q -p mcs --lib cache
+    if ! cargo test -q -p mcs --test cache_consistency; then
+      echo "cache lane failed." >&2
+      echo "To replay a twin-divergence failure, rerun with the seed printed above:" >&2
+      echo "  MCS_CACHE_SEED=<seed> cargo test -p mcs --test cache_consistency -- --nocapture" >&2
+      exit 1
+    fi
+    cargo test -q -p mcs-net --test cache_over_net
+    cargo test -q -p soapstack --test keep_alive
+    echo "cache lane: $(($(date +%s) - start))s elapsed"
+    ;;
   *)
-    echo "usage: verify.sh [unit|crash|stress|async-durability]" >&2
+    echo "usage: verify.sh [unit|crash|stress|async-durability|cache]" >&2
     exit 2
     ;;
 esac
