@@ -545,6 +545,146 @@ pub fn fig14(cfg: &Config, _deployments: &[Deployment]) -> Figure {
     }
 }
 
+/// Figure 15 (beyond the paper): horizontal scaling of the
+/// hash-partitioned catalog (DESIGN.md §7.4). Two experiments per shard
+/// count (1/2/4/8):
+///
+/// * **aggregate add rate** — 8 concurrent writers creating files
+///   through the router into a fresh *durable* catalog with per-txn
+///   fsync. One WAL serializes every fsync; N shards fsync
+///   independently, which is exactly where partitioning should pay.
+/// * **complex-query rate** — the paper's 10-predicate discovery query
+///   against catalogs bulk-loaded in parallel (one loader thread per
+///   shard) at the two larger workload sizes, every answer verified, so
+///   the scatter-gather planner is held to single-shard answers while
+///   it fans out.
+pub fn fig15(cfg: &Config, _deployments: &[Deployment]) -> Figure {
+    use mcs::{AttrType, Credential, FileSpec, ManualClock, StoreConfig};
+    use workload::{build_sharded_catalog, spec};
+
+    const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+    const WRITERS: usize = 8;
+    const WORKING_SET: u64 = 16;
+
+    let admin = Credential::new("/O=Grid/CN=bench");
+    let total: u64 = match cfg.scale {
+        crate::config::Scale::Quick => 200,
+        crate::config::Scale::Default => 800,
+        crate::config::Scale::Full => 3_200,
+    };
+
+    // --- (a) durable add rate, 8 writers, per-txn fsync ---
+    let mut add_points = Vec::new();
+    for &shards in &SHARD_COUNTS {
+        let dir = std::env::temp_dir()
+            .join(format!("mcs-fig15-{shards}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let catalog = Arc::new(
+            mcs::Mcs::open_sharded(
+                &dir,
+                &admin,
+                IndexProfile::Paper2003,
+                Arc::new(ManualClock::default()),
+                StoreConfig::default().sharded(shards),
+            )
+            .expect("open durable sharded catalog"),
+        );
+        catalog.define_attribute(&admin, "experiment", AttrType::Str, "").unwrap();
+        catalog.define_attribute(&admin, "run", AttrType::Int, "").unwrap();
+
+        let per_writer = total / WRITERS as u64;
+        let t0 = std::time::Instant::now();
+        let handles: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let catalog = Arc::clone(&catalog);
+                let admin = admin.clone();
+                std::thread::spawn(move || {
+                    for i in 0..per_writer {
+                        let spec = FileSpec::named(format!("f-{w}-{i:05}.dat"))
+                            .attr("experiment", "bench")
+                            .attr("run", (w as u64 * 1_000_000 + i) as i64);
+                        catalog.create_file(&admin, &spec).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        let ops = per_writer * WRITERS as u64;
+        eprintln!(
+            "[fig15] add rate, {shards} shard(s), {WRITERS} writers: {:.0} creates/s",
+            ops as f64 / elapsed
+        );
+        add_points.push(Point {
+            x: shards as u64,
+            rate: ops as f64 / elapsed,
+            ops,
+            errors: 0,
+        });
+        drop(catalog);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let mut series =
+        vec![Series { label: format!("add rate, {WRITERS} writers"), points: add_points }];
+
+    // --- (b) complex-query rate on parallel-loaded catalogs ---
+    let run = RunConfig {
+        hosts: 1,
+        threads_per_host: 4,
+        duration: cfg.scale.point_duration(),
+        warmup: cfg.scale.warmup(),
+        min_ops: cfg.scale.min_ops(),
+        max_extension: cfg.scale.max_extension(),
+    };
+    for &n in &cfg.scale.sizes()[1..=2] {
+        let mut points = Vec::new();
+        for &shards in &SHARD_COUNTS {
+            eprintln!(
+                "[fig15] populating {} files across {shards} shard(s)...",
+                size_label(n)
+            );
+            let t0 = std::time::Instant::now();
+            let built = build_sharded_catalog(n, IndexProfile::Paper2003, shards, None);
+            eprintln!("[fig15] loaded in {:.1}s", t0.elapsed().as_secs_f64());
+            let targets: Vec<u64> =
+                (0..WORKING_SET).map(|j| j * (n / WORKING_SET).max(1)).collect();
+            let queries: Arc<Vec<(u64, Vec<mcs::AttrPredicate>)>> =
+                Arc::new(targets.iter().map(|&i| (i, spec::complex_query(i, 10))).collect());
+            let catalog = &built.catalog;
+            let m = run_closed_loop(&run, |_h, t| -> Box<dyn workload::Workload> {
+                let catalog = Arc::clone(catalog);
+                let queries = Arc::clone(&queries);
+                let mut at = t; // stagger threads across the set
+                let cred = workload::driver_credential(0, t);
+                Box::new(move || {
+                    let (i, preds) = &queries[at % queries.len()];
+                    at += 1;
+                    let r = catalog.query_by_attributes(&cred, preds);
+                    matches!(r, Ok(hits) if hits == [(spec::file_name(*i), 1)])
+                })
+            });
+            eprintln!(
+                "[fig15] complex query, {} files, {shards} shard(s): {:.1}/s",
+                size_label(n),
+                m.rate()
+            );
+            points.push(Point { x: shards as u64, rate: m.rate(), ops: m.ops, errors: m.errors });
+        }
+        series.push(Series { label: format!("complex query, {}", size_label(n)), points });
+    }
+
+    Figure {
+        id: "fig15".into(),
+        title: "Sharded Catalog Scaling: Aggregate Add Rate and Scatter-Gather Query Rate"
+            .into(),
+        x_label: "shards".into(),
+        y_label: "ops/sec".into(),
+        series,
+    }
+}
+
 /// Run one figure by number.
 pub fn run_figure(n: u8, cfg: &Config, deployments: &[Deployment]) -> Figure {
     match n {
@@ -558,9 +698,10 @@ pub fn run_figure(n: u8, cfg: &Config, deployments: &[Deployment]) -> Figure {
         12 => fig12(cfg, deployments),
         13 => fig13(cfg, deployments),
         14 => fig14(cfg, deployments),
+        15 => fig15(cfg, deployments),
         other => panic!(
             "no figure {other}: 5–11 reproduce the paper, 12/13 the durability A/Bs, \
-             14 the read-cache A/B"
+             14 the read-cache A/B, 15 the sharded-catalog scaling A/B"
         ),
     }
 }

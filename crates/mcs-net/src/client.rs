@@ -166,6 +166,20 @@ pub struct CacheStatsReport {
     pub evictions: u64,
 }
 
+/// Server topology and vitals as reported by the `catalogInfo` op.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatalogInfoReport {
+    /// Number of hash-partitioned backends behind the endpoint (1 for an
+    /// unsharded catalog).
+    pub shards: usize,
+    /// The server's index profile, e.g. `Paper2003`.
+    pub profile: String,
+    /// Total logical files across all shards.
+    pub files: u64,
+    /// Whether the server has a read cache.
+    pub cache_enabled: bool,
+}
+
 /// A synchronous client bound to one MCS endpoint and one credential.
 pub struct McsClient {
     soap: SoapClient,
@@ -177,6 +191,9 @@ pub struct McsClient {
     /// Commit epoch echoed by the last write response (0 if the last
     /// call logged nothing or predates this feature).
     last_epoch: u64,
+    /// Shard the last echoed epoch belongs to (0 unless the server is
+    /// sharded and said otherwise).
+    last_shard: usize,
 }
 
 impl McsClient {
@@ -198,6 +215,7 @@ impl McsClient {
             durability: None,
             cache_bypass: false,
             last_epoch: 0,
+            last_shard: 0,
         }
     }
 
@@ -221,6 +239,13 @@ impl McsClient {
     /// [`McsClient::wait_for_epoch`] to make the write durable.
     pub fn last_epoch(&self) -> u64 {
         self.last_epoch
+    }
+
+    /// The shard [`McsClient::last_epoch`] belongs to. Epochs are per
+    /// shard on a partitioned server (`mcs:shard` response attribute);
+    /// always 0 against a single-shard catalog.
+    pub fn last_shard(&self) -> usize {
+        self.last_shard
     }
 
     /// Ask the server to skip its read cache for this client's requests
@@ -258,10 +283,15 @@ impl McsClient {
             args = args.attr("mcs:cache", "bypass");
         }
         let r = self.soap.call(method, args)?;
-        // writes echo the commit epoch of whatever they logged
+        // writes echo the commit epoch of whatever they logged (and the
+        // shard it landed on, when the server is partitioned)
         self.last_epoch = r
             .attr_value("mcs:epoch")
             .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
+        self.last_shard = r
+            .attr_value("mcs:shard")
+            .and_then(|v| v.parse::<usize>().ok())
             .unwrap_or(0);
         Ok(r)
     }
@@ -273,11 +303,30 @@ impl McsClient {
     /// watermark. Fails with [`FaultKind::DurabilityLost`] if the
     /// server's log writer broke while the epoch was pending.
     pub fn wait_for_epoch(&mut self, epoch: u64) -> Result<u64> {
-        let r = self.call(
-            "waitForEpoch",
-            Element::new("a").child(text_el("epoch", epoch.to_string())),
-        )?;
+        self.wait_for_epoch_on(0, epoch)
+    }
+
+    /// [`McsClient::wait_for_epoch`] against one shard of a partitioned
+    /// server: epochs are per shard, so pair the epoch with the shard the
+    /// write's response named ([`McsClient::last_shard`]).
+    pub fn wait_for_epoch_on(&mut self, shard: usize, epoch: u64) -> Result<u64> {
+        let mut args = Element::new("a").child(text_el("epoch", epoch.to_string()));
+        if shard > 0 {
+            args = args.child(text_el("shard", shard.to_string()));
+        }
+        let r = self.call("waitForEpoch", args)?;
         Ok(req_text(&r, "durableEpoch")?.parse().unwrap_or(0))
+    }
+
+    /// Server topology and vitals (the `catalogInfo` op).
+    pub fn catalog_info(&mut self) -> Result<CatalogInfoReport> {
+        let r = self.call("catalogInfo", Element::new("a"))?;
+        Ok(CatalogInfoReport {
+            shards: req_text(&r, "shards")?.parse().unwrap_or(1),
+            profile: req_text(&r, "profile")?,
+            files: req_text(&r, "files")?.parse().unwrap_or(0),
+            cache_enabled: req_text(&r, "cacheEnabled")? == "true",
+        })
     }
 
     /// Make every acknowledged write durable now (the bulk-load final

@@ -13,5 +13,5 @@ pub mod server;
 pub mod wire;
 pub mod wsdl;
 
-pub use client::{CacheStatsReport, DurabilityMode, FaultKind, McsClient, NetError};
+pub use client::{CacheStatsReport, CatalogInfoReport, DurabilityMode, FaultKind, McsClient, NetError};
 pub use server::{register_methods, McsServer};

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use mcs::{McsError, Mcs};
+use mcs::{McsError, Mcs, ShardedCatalog};
 use soapstack::server::{Handler, HttpServer, SoapDispatcher};
 use soapstack::xml::{Element, XmlError};
 use soapstack::{Fault, Request, Response};
@@ -86,76 +86,118 @@ fn cache_bypass(call: &Element) -> std::result::Result<bool, Fault> {
     }
 }
 
-fn reg<F>(d: &mut SoapDispatcher, mcs: &Arc<Mcs>, name: &str, f: F)
+fn reg<F>(d: &mut SoapDispatcher, catalog: &Arc<ShardedCatalog>, name: &str, f: F)
 where
-    F: Fn(&Mcs, &Element) -> MethodResult + Send + Sync + 'static,
+    F: Fn(&ShardedCatalog, &Element) -> MethodResult + Send + Sync + 'static,
 {
-    let mcs = Arc::clone(mcs);
+    let catalog = Arc::clone(catalog);
     d.register(name, move |call| {
         // Every method passes through here: apply the per-request
         // durability header (if any) and echo the commit epoch of
         // whatever the operation logged, so an async-acknowledged client
-        // has the handle it needs for waitForEpoch. The per-request
-        // `mcs:cache="bypass"` attribute wraps the same call in a
-        // cache-bypass scope.
+        // has the handle it needs for waitForEpoch. Epochs are per shard,
+        // so a sharded catalog also echoes which shard the commit landed
+        // on. The per-request `mcs:cache="bypass"` attribute wraps the
+        // same call in a cache-bypass scope (propagated to scatter
+        // workers by the planner).
         let bypass = cache_bypass(call)?;
-        let run = |m: &Mcs| {
+        let run = |c: &ShardedCatalog| {
             if bypass {
-                m.with_cache_bypass(|m| f(m, call))
+                c.with_cache_bypass(|c| f(c, call))
             } else {
-                f(m, call)
+                f(c, call)
             }
         };
-        let (result, epoch) = match durability_override(call)? {
-            Some(mode) => mcs.with_durability(mode, run),
-            None => {
-                let before = Mcs::last_commit_epoch();
-                let r = run(&mcs);
-                let after = Mcs::last_commit_epoch();
-                (r, if after > before { after } else { 0 })
-            }
+        let (result, epoch, shard) = match durability_override(call)? {
+            Some(mode) => catalog.with_durability(mode, run),
+            None => catalog.track_epoch(run),
         };
         let mut el = result?;
         if epoch > 0 {
             el.attrs.push(("xmlns:mcs".into(), soapstack::soap::MCS_NS.into()));
             el.attrs.push(("mcs:epoch".into(), epoch.to_string()));
+            if catalog.shards() > 1 {
+                el.attrs.push(("mcs:shard".into(), shard.to_string()));
+            }
         }
         Ok(el)
     });
 }
 
-/// Register every MCS operation on a dispatcher.
-pub fn register_methods(d: &mut SoapDispatcher, mcs: Arc<Mcs>) {
-    let d = d;
-    let mcs = &mcs;
+fn epoch_list(epochs: &[u64]) -> String {
+    epochs.iter().map(u64::to_string).collect::<Vec<_>>().join(" ")
+}
 
-    // --- durability (DESIGN.md §7.2) ---
+/// Register every MCS operation on a dispatcher.
+pub fn register_methods(d: &mut SoapDispatcher, catalog: Arc<ShardedCatalog>) {
+    let d = d;
+    let mcs = &catalog;
+
+    // --- service topology ---
+    reg(d, mcs, "catalogInfo", |mcs, call| {
+        let _cred = credential_from(call).map_err(fault_of_xml)?;
+        Ok(wrap(vec![
+            text_el("shards", mcs.shards().to_string()),
+            text_el("profile", format!("{:?}", mcs.index_profile())),
+            text_el("files", mcs.file_count().map_err(fault_of)?.to_string()),
+            text_el("cacheEnabled", mcs.cache_enabled().to_string()),
+            text_el("commitEpochs", epoch_list(&mcs.commit_epochs())),
+            text_el("durableEpochs", epoch_list(&mcs.durable_epochs())),
+        ]))
+    });
+
+    // --- durability (DESIGN.md §7.2, per shard §7.4) ---
     reg(d, mcs, "waitForEpoch", |mcs, call| {
         let _cred = credential_from(call).map_err(fault_of_xml)?;
         let epoch = req_i64(call, "epoch").map_err(fault_of_xml)?;
         if epoch < 0 {
             return Err(fault_of_xml(XmlError::Shape("epoch must be >= 0".into())));
         }
-        mcs.wait_for_epoch(epoch as u64).map_err(fault_of)?;
-        Ok(wrap(vec![text_el("durableEpoch", mcs.durable_epoch().to_string())]))
+        // Epochs are per shard: an async write's echoed `mcs:shard` comes
+        // back here. Absent (a single-shard catalog, or a legacy client)
+        // it defaults to shard 0.
+        let shard = match opt_text(call, "shard") {
+            None => 0,
+            Some(s) => s.parse::<usize>().map_err(|_| {
+                fault_of_xml(XmlError::Shape("shard must be a non-negative integer".into()))
+            })?,
+        };
+        if shard >= mcs.shards() {
+            return Err(fault_of_xml(XmlError::Shape(format!(
+                "shard {shard} out of range (catalog has {})",
+                mcs.shards()
+            ))));
+        }
+        mcs.wait_for_epoch(shard, epoch as u64).map_err(fault_of)?;
+        let durable = mcs.durable_epoch(shard).map_err(fault_of)?;
+        Ok(wrap(vec![text_el("durableEpoch", durable.to_string())]))
     });
     reg(d, mcs, "syncNow", |mcs, call| {
         let _cred = credential_from(call).map_err(fault_of_xml)?;
-        let epoch = mcs.sync_now().map_err(fault_of)?;
-        Ok(wrap(vec![text_el("durableEpoch", epoch.to_string())]))
+        let epochs = mcs.sync_now().map_err(fault_of)?;
+        let mut children = vec![text_el("durableEpoch", epochs[0].to_string())];
+        if mcs.shards() > 1 {
+            children.push(text_el("shards", mcs.shards().to_string()));
+            children.push(text_el("shardEpochs", epoch_list(&epochs)));
+        }
+        Ok(wrap(children))
     });
 
-    // --- read cache (DESIGN.md §7.3) ---
+    // --- read cache (DESIGN.md §7.3; aggregated across shards) ---
     reg(d, mcs, "cacheStats", |mcs, call| {
         let _cred = credential_from(call).map_err(fault_of_xml)?;
         let stats = mcs.cache_stats().unwrap_or_default();
-        Ok(wrap(vec![
+        let mut children = vec![
             text_el("enabled", mcs.cache_enabled().to_string()),
             text_el("hits", stats.hits.to_string()),
             text_el("misses", stats.misses.to_string()),
             text_el("stale", stats.stale.to_string()),
             text_el("evictions", stats.evictions.to_string()),
-        ]))
+        ];
+        if mcs.shards() > 1 {
+            children.push(text_el("shards", mcs.shards().to_string()));
+        }
+        Ok(wrap(children))
     });
 
     // --- files ---
@@ -452,8 +494,18 @@ impl McsServer {
     /// Expose `mcs` at `http://{bind_addr}/mcs` with `workers` pool
     /// threads (the paper's Tomcat deployment).
     pub fn start(mcs: Arc<Mcs>, bind_addr: &str, workers: usize) -> std::io::Result<McsServer> {
+        Self::start_sharded(Arc::new(ShardedCatalog::from_single(mcs)), bind_addr, workers)
+    }
+
+    /// Expose a hash-partitioned catalog ([mcs::ShardedCatalog]) over the
+    /// same wire surface. With one shard this is identical to [Self::start].
+    pub fn start_sharded(
+        catalog: Arc<ShardedCatalog>,
+        bind_addr: &str,
+        workers: usize,
+    ) -> std::io::Result<McsServer> {
         let mut dispatcher = SoapDispatcher::new();
-        register_methods(&mut dispatcher, mcs);
+        register_methods(&mut dispatcher, catalog);
         let wsdl = crate::wsdl::describe(&dispatcher);
         let handler = Arc::new(McsHandler { dispatcher, wsdl });
         let http = HttpServer::start(bind_addr, handler, workers)?;

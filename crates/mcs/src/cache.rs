@@ -284,6 +284,14 @@ thread_local! {
     static CACHE_BYPASS: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
 }
 
+/// Whether this thread is inside a [`Mcs::with_cache_bypass`] scope. The
+/// scatter-gather planner ([`crate::shard`]) reads this before handing
+/// per-shard work to pool threads so a request-scoped bypass follows the
+/// query onto every shard it touches.
+pub(crate) fn bypass_active() -> bool {
+    CACHE_BYPASS.get()
+}
+
 impl Mcs {
     /// The cache handle, unless caching is disabled or this thread is
     /// inside a [`Mcs::with_cache_bypass`] scope. Every cached read path

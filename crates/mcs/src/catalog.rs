@@ -130,6 +130,12 @@ pub struct StoreConfig {
     /// [`crate::cache`]. Off by default so the 2003 figures reproduce
     /// byte-identical behavior.
     pub cache: Option<crate::cache::CacheConfig>,
+    /// Number of hash-partitioned relstore backends ([`crate::shard`]).
+    /// The default of 1 keeps today's single-database layout —
+    /// byte-identical on disk; `> 1` makes [`Mcs::open_sharded`] lay the
+    /// catalog out as `shard-0/..shard-N-1/` subdirectories, each with
+    /// its own WAL, commit queue and epoch gate.
+    pub shards: usize,
 }
 
 impl Default for StoreConfig {
@@ -138,6 +144,7 @@ impl Default for StoreConfig {
             sync: relstore::SyncPolicy::EveryWrite,
             durability: relstore::Durability::Always,
             cache: None,
+            shards: 1,
         }
     }
 }
@@ -155,6 +162,13 @@ impl StoreConfig {
     /// sizing.
     pub fn with_cache(mut self, cache: crate::cache::CacheConfig) -> StoreConfig {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Builder: partition the catalog across `n` relstore backends by a
+    /// stable hash of the logical-file name (see [`crate::shard`]).
+    pub fn sharded(mut self, n: usize) -> StoreConfig {
+        self.shards = n.max(1);
         self
     }
 
@@ -232,6 +246,22 @@ impl Mcs {
     ) -> Result<Mcs> {
         let db = relstore::Database::open_durable_with(dir, cfg.sync, cfg.durability)?;
         Mcs::with_database_cached(db, admin, profile, clock, cfg.cache)
+    }
+
+    /// Open a hash-partitioned catalog rooted at `dir` honoring
+    /// [`StoreConfig::shards`]: `shards = 1` produces exactly the layout
+    /// [`Mcs::open_durable`] would (the database lives at `dir` itself);
+    /// `shards = N > 1` opens N independent databases under
+    /// `dir/shard-0 .. dir/shard-N-1` and reconciles the mirrored global
+    /// tables on open. See [`crate::shard`].
+    pub fn open_sharded(
+        dir: &std::path::Path,
+        admin: &Credential,
+        profile: IndexProfile,
+        clock: Arc<dyn Clock>,
+        cfg: StoreConfig,
+    ) -> Result<crate::shard::ShardedCatalog> {
+        crate::shard::ShardedCatalog::open(dir, admin, profile, clock, cfg)
     }
 
     /// Open a catalog on an existing database — e.g. one opened durably

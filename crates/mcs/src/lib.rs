@@ -51,6 +51,7 @@ pub mod model;
 pub mod query;
 pub mod replication;
 pub mod schema;
+pub mod shard;
 pub mod users;
 pub mod views;
 pub mod xmlshred;
@@ -70,6 +71,7 @@ pub use model::{
 pub use general_query::{QueryExpr, StaticPredicate};
 pub use query::CollectionContents;
 pub use replication::{ReplicatedMcs, WriteOp};
+pub use shard::{shard_of_name, ShardedCatalog};
 pub use relstore::{Durability, SyncPolicy};
 pub use schema::IndexProfile;
 pub use views::ViewContents;

@@ -1,0 +1,1299 @@
+//! Hash-partitioned catalog: N independent relstore backends behind one
+//! `Mcs`-shaped surface (DESIGN.md §7.4).
+//!
+//! The paper scales *reads* with stateless service replicas in front of
+//! one MySQL instance (§6, figures 10–11); every write still funnels
+//! through a single backend. [`ShardedCatalog`] removes that wall the way
+//! AMGA and the ALICE global catalogue did: partition the namespace by a
+//! stable hash of the logical-file name across N [`Mcs`] instances, each
+//! with its own WAL, group/async commit queue and epoch gate, so fsync
+//! streams — the write bottleneck — multiply with shards.
+//!
+//! ## Placement
+//!
+//! * **Per-file state** lives on the shard owning the file's *name*
+//!   (all versions of a name colocate, so version resolution and
+//!   [`McsError::VersionConflict`] semantics are unchanged):
+//!   `logical_files`, `user_attributes` / `annotations` /
+//!   `transformation_history` / `audit_log` rows about files, file ACEs,
+//!   and `view_members` rows whose member is a file.
+//! * **Global state** is authoritative on shard 0: collections, views,
+//!   users, attribute definitions, external catalogs, service ACLs,
+//!   non-file `view_members`. The four tables per-file operations read
+//!   for authorization, type-checking and collection resolution —
+//!   `logical_collections`, `logical_views`, `attribute_definitions` and
+//!   the non-file rows of `acl_entries` — are *mirrored* onto every
+//!   shard (same primary keys, relstore inserts honor explicit
+//!   AUTO_INCREMENT ids), so a routed operation runs entirely on its
+//!   owning shard with plain [`Mcs`] code.
+//!
+//! ## Two-phase global writes
+//!
+//! Operations that change mirrored state (create/delete collection or
+//! view, define_attribute, service/collection/view ACL changes) take the
+//! catalog-wide write lock, commit on shard 0 first — the authoritative
+//! copy — then diff-sync the mirrors. Per-file membership writes
+//! (create_file into a collection, assign_collection, add_to_view with a
+//! file member) take the read side, so a membership row can never be
+//! written concurrently with the deletion of its target. Crash recovery
+//! ([`ShardedCatalog::open`]) replays the same diff: mirrors are forced
+//! to shard 0's content and membership rows whose target no longer
+//! exists on shard 0 are swept, which is what makes replaying an
+//! interrupted `add_to_collection` idempotent (the crash-matrix test
+//! `shard_crash.rs` truncates either WAL at every byte offset to prove
+//! it).
+//!
+//! ## Scatter-gather queries
+//!
+//! Name-equality lookups (`get_file`, `get_attributes` on a file, …)
+//! route to the owning shard. Attribute queries
+//! ([`ShardedCatalog::query_by_attributes`], `general_query`) fan out on
+//! a [`soapstack::threadpool::ThreadPool`] — shard 0's slice runs on the
+//! caller's thread — and merge with stable ordering (per-shard result
+//! sets are disjoint by name, concatenated in shard order, then sorted
+//! exactly like the single-shard path sorts its output). A thread-local
+//! cache bypass on the caller is re-established on every pool thread, so
+//! the PR 4 cache contract holds per shard; epochs stay per shard too:
+//! [`ShardedCatalog::wait_for_epoch`] takes a shard index and
+//! [`ShardedCatalog::sync_now`] / [`ShardedCatalog::cache_stats`]
+//! aggregate.
+
+use std::cell::Cell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+use std::sync::{mpsc, Arc};
+
+use relstore::{Access, Database, Durability, Value};
+use soapstack::threadpool::ThreadPool;
+
+use crate::cache::{CacheConfig, CacheStats};
+use crate::catalog::{FileUpdate, Mcs, StoreConfig};
+use crate::clock::Clock;
+use crate::error::{McsError, Result};
+use crate::general_query::QueryExpr;
+use crate::model::*;
+use crate::query::CollectionContents;
+use crate::schema::IndexProfile;
+use crate::views::ViewContents;
+
+/// FNV-1a, 64 bit. Chosen over `DefaultHasher` because the shard map is
+/// *on-disk state*: the routing hash must stay stable across rustc
+/// versions and process restarts, or a reopened catalog would look up
+/// files on the wrong shard.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The shard owning logical-file `name` in an `n_shards`-way catalog.
+/// Stable across processes and architectures (FNV-1a over the raw name
+/// bytes, modulo the shard count); hashing only the *name* keeps every
+/// version of a file on one shard.
+pub fn shard_of_name(name: &str, n_shards: usize) -> usize {
+    if n_shards <= 1 {
+        return 0;
+    }
+    (fnv1a64(name.as_bytes()) % n_shards as u64) as usize
+}
+
+/// The global tables mirrored from shard 0 onto every shard, with the
+/// column lists used for diff-sync (`id` first). `acl_entries` mirrors
+/// only non-file rows — file ACEs are per-file state.
+const MIRRORED: &[(&str, &[&str])] = &[
+    (
+        "logical_collections",
+        &[
+            "id",
+            "name",
+            "description",
+            "parent_id",
+            "creator",
+            "created",
+            "last_modifier",
+            "last_modified",
+            "audit_enabled",
+        ],
+    ),
+    (
+        "logical_views",
+        &[
+            "id",
+            "name",
+            "description",
+            "creator",
+            "created",
+            "last_modifier",
+            "last_modified",
+            "audit_enabled",
+        ],
+    ),
+    ("attribute_definitions", &["id", "name", "attr_type", "description", "creator", "created"]),
+    ("acl_entries", &["id", "object_type", "object_id", "principal", "permission"]),
+];
+
+thread_local! {
+    /// (shard, epoch) of the last commit this thread produced through the
+    /// sharded surface — the per-shard analogue of
+    /// [`relstore::Database::last_commit_epoch`], set by the routing
+    /// wrappers so the network layer can echo `mcs:epoch`/`mcs:shard`.
+    static LAST_WRITE: Cell<(usize, u64)> = const { Cell::new((0, 0)) };
+}
+
+/// A catalog hash-partitioned across N independent [`Mcs`] backends.
+///
+/// Exposes the same operation surface as [`Mcs`] (same names, same
+/// signatures, same error behavior), so the network layer and the
+/// workload driver run against either. With one shard every call
+/// delegates directly — no locking, no mirroring, no pool — keeping
+/// `shards = 1` a strict no-op.
+pub struct ShardedCatalog {
+    shards: Vec<Arc<Mcs>>,
+    /// Scatter workers (`None` with a single shard). Sized N-1: shard
+    /// 0's slice of a fan-out runs on the calling thread.
+    pool: Option<ThreadPool>,
+    /// Orders global-state writes (write side) against per-file
+    /// membership writes (read side); see the module docs.
+    global: parking_lot::RwLock<()>,
+}
+
+impl ShardedCatalog {
+    // ---------- construction ----------
+
+    /// Wrap an existing single catalog; every operation delegates
+    /// directly. This is how [`crate::Mcs`]-based servers adopt the
+    /// sharded surface without changing behavior.
+    pub fn from_single(mcs: Arc<Mcs>) -> ShardedCatalog {
+        ShardedCatalog::assemble(vec![mcs])
+    }
+
+    fn assemble(shards: Vec<Arc<Mcs>>) -> ShardedCatalog {
+        let pool =
+            if shards.len() > 1 { Some(ThreadPool::new(shards.len() - 1)) } else { None };
+        ShardedCatalog { shards, pool, global: parking_lot::RwLock::new(()) }
+    }
+
+    /// A fresh in-memory sharded catalog (the twin-test constructor):
+    /// every shard bootstraps the schema and the admin's service ACL —
+    /// identically, so the mirrored tables start in sync.
+    pub fn in_memory(
+        n_shards: usize,
+        admin: &Credential,
+        profile: IndexProfile,
+        clock: Arc<dyn Clock>,
+    ) -> Result<ShardedCatalog> {
+        Self::in_memory_cached(n_shards, admin, profile, clock, None)
+    }
+
+    /// [`ShardedCatalog::in_memory`] with a per-shard read cache.
+    pub fn in_memory_cached(
+        n_shards: usize,
+        admin: &Credential,
+        profile: IndexProfile,
+        clock: Arc<dyn Clock>,
+        cache: Option<CacheConfig>,
+    ) -> Result<ShardedCatalog> {
+        let n = n_shards.max(1);
+        let mut shards = Vec::with_capacity(n);
+        for _ in 0..n {
+            shards.push(Arc::new(Mcs::with_database_cached(
+                Arc::new(Database::new()),
+                admin,
+                profile,
+                Arc::clone(&clock),
+                cache.clone(),
+            )?));
+        }
+        let sc = ShardedCatalog::assemble(shards);
+        sc.reconcile()?;
+        Ok(sc)
+    }
+
+    /// Open (or recover) a durable sharded catalog rooted at `dir`.
+    ///
+    /// `cfg.shards = 1` opens the database at `dir` itself — exactly what
+    /// [`Mcs::open_durable`] produces, byte-identical on disk. With N > 1
+    /// each shard lives in `dir/shard-k` with its own WAL and durability
+    /// policy from `cfg`, and recovery runs [`reconcile`]: mirrors are
+    /// diffed against shard 0 and dangling membership rows swept, which
+    /// restores the two-phase invariants after a crash anywhere in a
+    /// global write.
+    ///
+    /// [`reconcile`]: ShardedCatalog::open
+    pub fn open(
+        dir: &Path,
+        admin: &Credential,
+        profile: IndexProfile,
+        clock: Arc<dyn Clock>,
+        cfg: StoreConfig,
+    ) -> Result<ShardedCatalog> {
+        if cfg.shards <= 1 {
+            let mcs = Mcs::open_durable(dir, admin, profile, clock, cfg)?;
+            return Ok(ShardedCatalog::from_single(Arc::new(mcs)));
+        }
+        let mut shards = Vec::with_capacity(cfg.shards);
+        for k in 0..cfg.shards {
+            let sub = dir.join(format!("shard-{k}"));
+            std::fs::create_dir_all(&sub)
+                .map_err(|e| McsError::Internal(format!("create {}: {e}", sub.display())))?;
+            shards.push(Arc::new(Mcs::open_durable(
+                &sub,
+                admin,
+                profile,
+                Arc::clone(&clock),
+                cfg,
+            )?));
+        }
+        let sc = ShardedCatalog::assemble(shards);
+        sc.reconcile()?;
+        Ok(sc)
+    }
+
+    // ---------- topology ----------
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning logical-file `name`.
+    pub fn shard_for(&self, name: &str) -> usize {
+        shard_of_name(name, self.shards.len())
+    }
+
+    /// Direct access to one shard's catalog (populate and benchmark
+    /// plumbing; regular clients go through the routed operations).
+    pub fn shard(&self, k: usize) -> &Arc<Mcs> {
+        &self.shards[k]
+    }
+
+    /// The index profile the shards were created with.
+    pub fn index_profile(&self) -> IndexProfile {
+        self.shards[0].index_profile()
+    }
+
+    fn single(&self) -> bool {
+        self.shards.len() == 1
+    }
+
+    // ---------- routing primitives ----------
+
+    /// Run `f` against shard `k`, recording `(shard, epoch)` in the
+    /// thread-local if it committed anything.
+    fn record<R>(&self, k: usize, f: impl FnOnce(&Mcs) -> R) -> R {
+        // Zero the thread's epoch marker first: epoch counters are per
+        // shard, so "changed" is not detectable by value comparison —
+        // shard 0's next epoch can equal the one shard 3 just left here.
+        let before = Database::swap_last_commit_epoch(0);
+        let r = f(&self.shards[k]);
+        let after = Database::last_commit_epoch();
+        if after != 0 {
+            LAST_WRITE.set((k, after));
+        } else {
+            Database::swap_last_commit_epoch(before);
+        }
+        r
+    }
+
+    /// A read or a shard-local write on the shard owning `name`.
+    fn on_owner<R>(&self, name: &str, f: impl FnOnce(&Mcs) -> R) -> R {
+        self.record(self.shard_for(name), f)
+    }
+
+    /// A per-file write that installs a reference to global state (file
+    /// creation/membership): holds the read side of the catalog lock so
+    /// the referenced collection/view cannot be concurrently deleted.
+    fn member_write<R>(&self, name: &str, f: impl FnOnce(&Mcs) -> R) -> R {
+        if self.single() {
+            return self.record(0, f);
+        }
+        let _g = self.global.read();
+        self.record(self.shard_for(name), f)
+    }
+
+    /// Shard-0-only state (users, external catalogs, non-file
+    /// annotations/attributes/audit — nothing mirrored).
+    fn on_zero<R>(&self, f: impl FnOnce(&Mcs) -> R) -> R {
+        self.record(0, f)
+    }
+
+    /// A write to mirrored global state: write lock, shard 0 first
+    /// (authoritative), then diff-sync every mirror. On error the
+    /// mirrors are left untouched — shard 0 rolled back, so there is
+    /// nothing to sync.
+    fn global_write<R>(&self, f: impl FnOnce(&Mcs) -> Result<R>) -> Result<R> {
+        if self.single() {
+            return self.record(0, f);
+        }
+        let _g = self.global.write();
+        let r = self.record(0, f)?;
+        self.sync_mirrors()?;
+        Ok(r)
+    }
+
+    // ---------- mirror maintenance ----------
+
+    /// Snapshot a mirrored table keyed by id (file ACEs excluded).
+    fn mirror_rows(
+        db: &Database,
+        table: &str,
+        cols: &[&str],
+    ) -> Result<BTreeMap<i64, Vec<Value>>> {
+        let sql = format!("SELECT {} FROM {table}", cols.join(", "));
+        let rs = db.query(&sql, &[])?;
+        let mut out = BTreeMap::new();
+        for row in rs.rows {
+            if table == "acl_entries"
+                && matches!(&row[1], Value::Int(c) if *c == ObjectType::File.code())
+            {
+                continue;
+            }
+            out.insert(row[0].as_int()?, row);
+        }
+        Ok(out)
+    }
+
+    /// Force one replica's copy of `table` to `want` (shard 0's rows):
+    /// delete extra or changed rows, insert missing ones with their
+    /// shard-0 primary keys, atomically per table.
+    fn sync_mirror_table(
+        replica: &Mcs,
+        table: &str,
+        cols: &[&str],
+        want: &BTreeMap<i64, Vec<Value>>,
+    ) -> Result<()> {
+        let have = Self::mirror_rows(replica.database(), table, cols)?;
+        let dels: Vec<i64> = have
+            .iter()
+            .filter(|(id, row)| want.get(id) != Some(row))
+            .map(|(id, _)| *id)
+            .collect();
+        let ins: Vec<&Vec<Value>> = want
+            .iter()
+            .filter(|(id, row)| have.get(id) != Some(*row))
+            .map(|(_, row)| row)
+            .collect();
+        if dels.is_empty() && ins.is_empty() {
+            return Ok(());
+        }
+        let del_sql = format!("DELETE FROM {table} WHERE id = ?");
+        let ins_sql = format!(
+            "INSERT INTO {table} ({}) VALUES ({})",
+            cols.join(", "),
+            vec!["?"; cols.len()].join(", ")
+        );
+        replica.database().transaction(&[(table, Access::Write)], |s| {
+            for id in &dels {
+                s.execute(&del_sql, &[(*id).into()])?;
+            }
+            for row in &ins {
+                s.execute(&ins_sql, row)?;
+            }
+            Ok::<_, McsError>(())
+        })?;
+        Ok(())
+    }
+
+    /// Phase two of every global write: push shard 0's mirrored tables to
+    /// all replicas. Also the first half of crash recovery.
+    fn sync_mirrors(&self) -> Result<()> {
+        for (table, cols) in MIRRORED {
+            let want = Self::mirror_rows(self.shards[0].database(), table, cols)?;
+            for replica in &self.shards[1..] {
+                Self::sync_mirror_table(replica, table, cols, &want)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Crash recovery for the two-phase protocol: force mirrors to shard
+    /// 0's state, then sweep membership rows whose target no longer
+    /// exists there — a file pointing at a collection that lost its
+    /// authoritative row is detached, a `view_members` row for a dead
+    /// view is dropped. After the sweep, replaying the interrupted
+    /// operation is idempotent: it either succeeds afresh or fails with
+    /// the same `AlreadyExists`/`AlreadyInCollection` a completed run
+    /// would produce.
+    fn reconcile(&self) -> Result<()> {
+        if self.single() {
+            return Ok(());
+        }
+        self.sync_mirrors()?;
+        let ids_of = |table: &str| -> Result<BTreeSet<i64>> {
+            let rs = self.shards[0].database().query(&format!("SELECT id FROM {table}"), &[])?;
+            rs.rows.iter().map(|r| Ok(r[0].as_int()?)).collect()
+        };
+        let colls = ids_of("logical_collections")?;
+        let views = ids_of("logical_views")?;
+        for shard in &self.shards {
+            let db = shard.database();
+            let rs = db.query("SELECT id, collection_id FROM logical_files", &[])?;
+            for row in rs.rows {
+                if let Value::Int(cid) = row[1] {
+                    if !colls.contains(&cid) {
+                        db.execute(
+                            "UPDATE logical_files SET collection_id = ? WHERE id = ?",
+                            &[Value::Null, row[0].clone()],
+                        )?;
+                    }
+                }
+            }
+            let rs = db.query("SELECT id, view_id FROM view_members", &[])?;
+            for row in rs.rows {
+                if !views.contains(&row[1].as_int()?) {
+                    db.execute("DELETE FROM view_members WHERE id = ?", &[row[0].clone()])?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---------- scatter-gather ----------
+
+    /// Run `f` on every shard — shard 0 on the calling thread, the rest
+    /// on the pool — and return the results in shard order. The caller's
+    /// cache-bypass scope is re-established on every worker.
+    fn scatter<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(&Mcs) -> R + Send + Sync + 'static,
+    {
+        let n = self.shards.len();
+        if n == 1 {
+            return vec![f(&self.shards[0])];
+        }
+        let f = Arc::new(f);
+        let bypass = crate::cache::bypass_active();
+        let (tx, rx) = mpsc::channel();
+        let pool = self.pool.as_ref().expect("multi-shard catalogs have a pool");
+        for k in 1..n {
+            let shard = Arc::clone(&self.shards[k]);
+            let f = Arc::clone(&f);
+            let tx = tx.clone();
+            pool.execute(move || {
+                let r = if bypass { shard.with_cache_bypass(|m| f(m)) } else { f(&shard) };
+                let _ = tx.send((k, r));
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        out[0] = Some(f(&self.shards[0]));
+        for (k, r) in rx.iter() {
+            out[k] = Some(r);
+        }
+        out.into_iter()
+            .map(|r| r.expect("every scatter worker reports"))
+            .collect()
+    }
+
+    /// Merge fan-out results: first error in shard order wins (shard 0
+    /// evaluates the same permission/type checks the single-shard path
+    /// would, against the same mirrored state, so the surfaced error is
+    /// identical); otherwise concatenate and sort like the single-shard
+    /// query paths sort their output.
+    fn merge_name_hits(results: Vec<Result<Vec<(String, i64)>>>) -> Result<Vec<(String, i64)>> {
+        let mut out = Vec::new();
+        for r in results {
+            out.extend(r?);
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    // ---------- epochs / durability (per shard) ----------
+
+    /// Run `f` with `durability` overriding every commit it makes on
+    /// this thread — on any shard; the override is thread-local, not
+    /// per-database — and return `f`'s result with the `(epoch, shard)`
+    /// of the last routed commit (epoch 0 if `f` wrote nothing).
+    pub fn with_durability<R>(
+        &self,
+        durability: Durability,
+        f: impl FnOnce(&ShardedCatalog) -> R,
+    ) -> (R, u64, usize) {
+        self.track_epoch(|sc| sc.shards[0].database().with_durability(durability, || f(sc)))
+    }
+
+    /// Like [`ShardedCatalog::with_durability`] without the override:
+    /// just report which shard (if any) `f`'s last commit landed on.
+    pub fn track_epoch<R>(&self, f: impl FnOnce(&ShardedCatalog) -> R) -> (R, u64, usize) {
+        LAST_WRITE.set((0, 0));
+        let r = f(self);
+        let (shard, epoch) = LAST_WRITE.get();
+        (r, epoch, shard)
+    }
+
+    /// Park until shard `shard`'s durable watermark covers `epoch`.
+    /// Epochs are per shard — a `(shard, epoch)` pair echoed by an
+    /// async-acknowledged write is only meaningful against that shard's
+    /// gate.
+    pub fn wait_for_epoch(&self, shard: usize, epoch: u64) -> Result<()> {
+        self.shard_checked(shard)?.wait_for_epoch(epoch)
+    }
+
+    /// Shard `shard`'s durable-epoch watermark.
+    pub fn durable_epoch(&self, shard: usize) -> Result<u64> {
+        Ok(self.shard_checked(shard)?.durable_epoch())
+    }
+
+    /// Every shard's durable-epoch watermark, in shard order.
+    pub fn durable_epochs(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.durable_epoch()).collect()
+    }
+
+    /// Every shard's most recently allocated commit epoch — the
+    /// combined epoch vector a client can later wait on per shard.
+    pub fn commit_epochs(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.commit_epoch()).collect()
+    }
+
+    /// Make every acknowledged write on every shard durable now; returns
+    /// the per-shard epochs the barrier covered, in shard order.
+    pub fn sync_now(&self) -> Result<Vec<u64>> {
+        self.shards.iter().map(|s| s.sync_now()).collect()
+    }
+
+    fn shard_checked(&self, k: usize) -> Result<&Mcs> {
+        self.shards.get(k).map(|s| s.as_ref()).ok_or_else(|| {
+            McsError::Internal(format!("shard {k} out of range (catalog has {})", self.shards.len()))
+        })
+    }
+
+    // ---------- cache (per shard, aggregated) ----------
+
+    /// True when the shards were opened with a read cache.
+    pub fn cache_enabled(&self) -> bool {
+        self.shards.iter().any(|s| s.cache_enabled())
+    }
+
+    /// Aggregate counter snapshot across every shard's cache (each shard
+    /// keys its own cache — the shard id is implicit in the partition),
+    /// `None` when caching is disabled.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        let mut agg: Option<CacheStats> = None;
+        for s in &self.shards {
+            if let Some(cs) = s.cache_stats() {
+                let a = agg.get_or_insert(CacheStats::default());
+                a.hits += cs.hits;
+                a.misses += cs.misses;
+                a.stale += cs.stale;
+                a.evictions += cs.evictions;
+            }
+        }
+        agg
+    }
+
+    /// Per-shard counter snapshots, in shard order.
+    pub fn cache_stats_per_shard(&self) -> Vec<Option<CacheStats>> {
+        self.shards.iter().map(|s| s.cache_stats()).collect()
+    }
+
+    /// Run `f` with the read cache bypassed on this thread — and, via
+    /// [`ShardedCatalog::scatter`]'s bypass propagation, on every pool
+    /// thread a fan-out inside `f` touches.
+    ///
+    /// [`ShardedCatalog::scatter`]: ShardedCatalog::query_by_attributes
+    pub fn with_cache_bypass<R>(&self, f: impl FnOnce(&ShardedCatalog) -> R) -> R {
+        self.shards[0].with_cache_bypass(|_| f(self))
+    }
+
+    // ---------- files (routed by name) ----------
+
+    /// See [`Mcs::create_file`].
+    pub fn create_file(&self, cred: &Credential, spec: &FileSpec) -> Result<LogicalFile> {
+        self.member_write(&spec.name, |m| m.create_file(cred, spec))
+    }
+
+    /// See [`Mcs::get_file`].
+    pub fn get_file(&self, cred: &Credential, name: &str) -> Result<LogicalFile> {
+        self.on_owner(name, |m| m.get_file(cred, name))
+    }
+
+    /// See [`Mcs::get_file_version`].
+    pub fn get_file_version(
+        &self,
+        cred: &Credential,
+        name: &str,
+        version: i64,
+    ) -> Result<LogicalFile> {
+        self.on_owner(name, |m| m.get_file_version(cred, name, version))
+    }
+
+    /// See [`Mcs::get_file_versions`].
+    pub fn get_file_versions(&self, cred: &Credential, name: &str) -> Result<Vec<LogicalFile>> {
+        self.on_owner(name, |m| m.get_file_versions(cred, name))
+    }
+
+    /// See [`Mcs::update_file`].
+    pub fn update_file(
+        &self,
+        cred: &Credential,
+        name: &str,
+        update: &FileUpdate,
+    ) -> Result<LogicalFile> {
+        self.on_owner(name, |m| m.update_file(cred, name, update))
+    }
+
+    /// See [`Mcs::invalidate_file`].
+    pub fn invalidate_file(&self, cred: &Credential, name: &str) -> Result<()> {
+        self.on_owner(name, |m| m.invalidate_file(cred, name))
+    }
+
+    /// See [`Mcs::delete_file`].
+    pub fn delete_file(&self, cred: &Credential, name: &str) -> Result<()> {
+        self.member_write(name, |m| m.delete_file(cred, name))
+    }
+
+    /// See [`Mcs::delete_file_version`].
+    pub fn delete_file_version(&self, cred: &Credential, name: &str, version: i64) -> Result<()> {
+        self.member_write(name, |m| m.delete_file_version(cred, name, version))
+    }
+
+    /// See [`Mcs::assign_collection`]: the file side runs on the owning
+    /// shard under the membership lock; the collection it references is
+    /// resolved from that shard's mirror.
+    pub fn assign_collection(
+        &self,
+        cred: &Credential,
+        file: &str,
+        collection: Option<&str>,
+    ) -> Result<()> {
+        self.member_write(file, |m| m.assign_collection(cred, file, collection))
+    }
+
+    /// See [`Mcs::add_history`].
+    pub fn add_history(&self, cred: &Credential, file: &str, description: &str) -> Result<()> {
+        self.on_owner(file, |m| m.add_history(cred, file, description))
+    }
+
+    /// See [`Mcs::get_history`].
+    pub fn get_history(&self, cred: &Credential, file: &str) -> Result<Vec<HistoryRecord>> {
+        self.on_owner(file, |m| m.get_history(cred, file))
+    }
+
+    // ---------- collections (global, two-phase) ----------
+
+    /// See [`Mcs::create_collection`] — phase one on shard 0, phase two
+    /// mirrors the new row everywhere.
+    pub fn create_collection(
+        &self,
+        cred: &Credential,
+        name: &str,
+        parent: Option<&str>,
+        description: &str,
+    ) -> Result<Collection> {
+        self.global_write(|m| m.create_collection(cred, name, parent, description))
+    }
+
+    /// See [`Mcs::delete_collection`]. Two-phase with a cross-shard
+    /// emptiness check: under the write lock (no membership write can
+    /// race), every shard is checked for files still assigned to the
+    /// collection — matching the single-shard
+    /// [`McsError::CollectionNotEmpty`] contract — before shard 0
+    /// cascades and the mirrors drop their copy.
+    pub fn delete_collection(&self, cred: &Credential, name: &str) -> Result<()> {
+        if self.single() {
+            return self.record(0, |m| m.delete_collection(cred, name));
+        }
+        let _g = self.global.write();
+        let c = self.shards[0].resolve_collection(name)?;
+        for shard in &self.shards[1..] {
+            if !files_in_collection_local(shard, c.id)?.is_empty() {
+                // Same check order as the single-shard path: resolve,
+                // authorize, then emptiness.
+                self.shards[0].require_collection_perm(cred, &c, Permission::Delete)?;
+                return Err(McsError::CollectionNotEmpty(name.to_owned()));
+            }
+        }
+        self.record(0, |m| m.delete_collection(cred, name))?;
+        self.sync_mirrors()
+    }
+
+    /// See [`Mcs::get_collection`].
+    pub fn get_collection(&self, cred: &Credential, name: &str) -> Result<Collection> {
+        self.on_zero(|m| m.get_collection(cred, name))
+    }
+
+    /// See [`Mcs::list_collection`]: resolution, authorization, auditing
+    /// and subcollections come from shard 0; member files are gathered
+    /// from every shard and merged in name order (ties — versions of one
+    /// name — colocate, so their relative order is the owning shard's
+    /// insertion order, same as a single shard's).
+    pub fn list_collection(&self, cred: &Credential, name: &str) -> Result<CollectionContents> {
+        if self.single() {
+            return self.record(0, |m| m.list_collection(cred, name));
+        }
+        let mut base = self.record(0, |m| m.list_collection(cred, name))?;
+        let cid = self.shards[0].resolve_collection(name)?.id;
+        let gathered = self.scatter(move |m| files_in_collection_local(m, cid));
+        let mut files = Vec::new();
+        for r in gathered {
+            files.extend(r?);
+        }
+        files.sort_by(|a, b| a.0.cmp(&b.0));
+        base.files = files;
+        Ok(base)
+    }
+
+    // ---------- views ----------
+
+    /// See [`Mcs::create_view`].
+    pub fn create_view(&self, cred: &Credential, name: &str, description: &str) -> Result<View> {
+        self.global_write(|m| m.create_view(cred, name, description))
+    }
+
+    /// See [`Mcs::delete_view`]. Phase one cascades on shard 0; phase
+    /// two drops the per-shard file-membership rows and the mirrored
+    /// view row. A crash between the phases leaves orphans that
+    /// [`ShardedCatalog::open`]'s sweep removes.
+    pub fn delete_view(&self, cred: &Credential, name: &str) -> Result<()> {
+        if self.single() {
+            return self.record(0, |m| m.delete_view(cred, name));
+        }
+        let _g = self.global.write();
+        let vid = self.shards[0].resolve_view(name)?.id;
+        self.record(0, |m| m.delete_view(cred, name))?;
+        for replica in &self.shards[1..] {
+            replica
+                .database()
+                .execute("DELETE FROM view_members WHERE view_id = ?", &[vid.into()])?;
+        }
+        self.sync_mirrors()
+    }
+
+    /// See [`Mcs::get_view`].
+    pub fn get_view(&self, cred: &Credential, name: &str) -> Result<View> {
+        self.on_zero(|m| m.get_view(cred, name))
+    }
+
+    /// See [`Mcs::add_to_view`]: file members land on the file's shard
+    /// (membership lock held); collection/view members are global state
+    /// on shard 0, where the cycle check sees every view edge.
+    pub fn add_to_view(&self, cred: &Credential, view: &str, member: &ObjectRef) -> Result<()> {
+        match member {
+            ObjectRef::File(n) | ObjectRef::FileVersion(n, _) => {
+                let name = n.clone();
+                self.member_write(&name, |m| m.add_to_view(cred, view, member))
+            }
+            _ => self.on_zero(|m| m.add_to_view(cred, view, member)),
+        }
+    }
+
+    /// See [`Mcs::remove_from_view`].
+    pub fn remove_from_view(
+        &self,
+        cred: &Credential,
+        view: &str,
+        member: &ObjectRef,
+    ) -> Result<bool> {
+        match member {
+            ObjectRef::File(n) | ObjectRef::FileVersion(n, _) => {
+                self.on_owner(&n.clone(), |m| m.remove_from_view(cred, view, member))
+            }
+            _ => self.on_zero(|m| m.remove_from_view(cred, view, member)),
+        }
+    }
+
+    /// See [`Mcs::list_view`]: shard 0 resolves, authorizes, audits and
+    /// contributes its members; file members on other shards are
+    /// gathered and merged (all three lists come back sorted, as on a
+    /// single shard).
+    pub fn list_view(&self, cred: &Credential, name: &str) -> Result<ViewContents> {
+        if self.single() {
+            return self.record(0, |m| m.list_view(cred, name));
+        }
+        let mut base = self.record(0, |m| m.list_view(cred, name))?;
+        let vid = self.shards[0].resolve_view(name)?.id;
+        let gathered = self.scatter(move |m| view_files_local(m, vid));
+        for (k, r) in gathered.into_iter().enumerate() {
+            if k == 0 {
+                continue; // shard 0's files are already in `base`
+            }
+            base.files.extend(r?);
+        }
+        base.files.sort();
+        Ok(base)
+    }
+
+    // ---------- attributes ----------
+
+    /// See [`Mcs::define_attribute`] (mirrored to every shard so routed
+    /// operations type-check locally).
+    pub fn define_attribute(
+        &self,
+        cred: &Credential,
+        name: &str,
+        attr_type: AttrType,
+        description: &str,
+    ) -> Result<AttributeDefinition> {
+        self.global_write(|m| m.define_attribute(cred, name, attr_type, description))
+    }
+
+    /// See [`Mcs::attribute_definition`].
+    pub fn attribute_definition(&self, name: &str) -> Result<Option<AttributeDefinition>> {
+        self.shards[0].attribute_definition(name)
+    }
+
+    /// See [`Mcs::attribute_definitions`].
+    pub fn attribute_definitions(&self) -> Result<Vec<AttributeDefinition>> {
+        self.shards[0].attribute_definitions()
+    }
+
+    /// See [`Mcs::set_attribute`] — file attributes live with the file,
+    /// collection/view attributes with the authoritative row on shard 0.
+    pub fn set_attribute(
+        &self,
+        cred: &Credential,
+        object: &ObjectRef,
+        attr: &Attribute,
+    ) -> Result<()> {
+        match ref_file_name(object) {
+            Some(n) => self.on_owner(&n.to_owned(), |m| m.set_attribute(cred, object, attr)),
+            None => self.on_zero(|m| m.set_attribute(cred, object, attr)),
+        }
+    }
+
+    /// See [`Mcs::remove_attribute`].
+    pub fn remove_attribute(
+        &self,
+        cred: &Credential,
+        object: &ObjectRef,
+        attr_name: &str,
+    ) -> Result<bool> {
+        match ref_file_name(object) {
+            Some(n) => {
+                self.on_owner(&n.to_owned(), |m| m.remove_attribute(cred, object, attr_name))
+            }
+            None => self.on_zero(|m| m.remove_attribute(cred, object, attr_name)),
+        }
+    }
+
+    /// See [`Mcs::get_attributes`].
+    pub fn get_attributes(&self, cred: &Credential, object: &ObjectRef) -> Result<Vec<Attribute>> {
+        match ref_file_name(object) {
+            Some(n) => self.on_owner(&n.to_owned(), |m| m.get_attributes(cred, object)),
+            None => self.on_zero(|m| m.get_attributes(cred, object)),
+        }
+    }
+
+    /// See [`Mcs::get_attribute`].
+    pub fn get_attribute(
+        &self,
+        cred: &Credential,
+        object: &ObjectRef,
+        attr_name: &str,
+    ) -> Result<Option<Attribute>> {
+        Ok(self.get_attributes(cred, object)?.into_iter().find(|a| a.name == attr_name))
+    }
+
+    // ---------- queries (scatter-gather) ----------
+
+    /// See [`Mcs::query_by_attributes`]: the fan-out arm of the planner.
+    /// Every shard evaluates the full predicate list over its partition
+    /// (permission and type checks run against mirrored state, so any
+    /// error matches the single-shard one); results merge sorted, and
+    /// per-shard disjointness by name makes the merged answer identical
+    /// to a single shard's.
+    pub fn query_by_attributes(
+        &self,
+        cred: &Credential,
+        preds: &[AttrPredicate],
+    ) -> Result<Vec<(String, i64)>> {
+        if self.single() {
+            return self.shards[0].query_by_attributes(cred, preds);
+        }
+        let cred = cred.clone();
+        let preds = preds.to_vec();
+        Self::merge_name_hits(self.scatter(move |m| m.query_by_attributes(&cred, &preds)))
+    }
+
+    /// See [`Mcs::general_query`]. `Not` nodes complement against the
+    /// local partition on each shard; because partitions are disjoint
+    /// and exhaustive, the union of local complements equals the global
+    /// complement.
+    pub fn general_query(&self, cred: &Credential, expr: &QueryExpr) -> Result<Vec<(String, i64)>> {
+        if self.single() {
+            return self.shards[0].general_query(cred, expr);
+        }
+        let cred = cred.clone();
+        let expr = expr.clone();
+        Self::merge_name_hits(self.scatter(move |m| m.general_query(&cred, &expr)))
+    }
+
+    /// See [`Mcs::file_count`]: the sum over every shard's partition.
+    pub fn file_count(&self) -> Result<usize> {
+        let mut total = 0;
+        for r in self.scatter(|m| m.file_count()) {
+            total += r?;
+        }
+        Ok(total)
+    }
+
+    // ---------- annotations / audit ----------
+
+    /// See [`Mcs::annotate`].
+    pub fn annotate(&self, cred: &Credential, object: &ObjectRef, text: &str) -> Result<()> {
+        match ref_file_name(object) {
+            Some(n) => self.on_owner(&n.to_owned(), |m| m.annotate(cred, object, text)),
+            None => self.on_zero(|m| m.annotate(cred, object, text)),
+        }
+    }
+
+    /// See [`Mcs::get_annotations`].
+    pub fn get_annotations(
+        &self,
+        cred: &Credential,
+        object: &ObjectRef,
+    ) -> Result<Vec<Annotation>> {
+        match ref_file_name(object) {
+            Some(n) => self.on_owner(&n.to_owned(), |m| m.get_annotations(cred, object)),
+            None => self.on_zero(|m| m.get_annotations(cred, object)),
+        }
+    }
+
+    /// See [`Mcs::get_audit_trail`]. File trails live on the owning
+    /// shard. Collection/view/service trails are authoritative on shard
+    /// 0 but routed per-file operations audit on *their* shard (e.g. a
+    /// file listed out of an audited collection), so the trail gathers
+    /// every shard's rows for the object, ordered by timestamp with
+    /// shard-order ties.
+    pub fn get_audit_trail(
+        &self,
+        cred: &Credential,
+        object: &ObjectRef,
+    ) -> Result<Vec<AuditRecord>> {
+        match ref_file_name(object) {
+            Some(n) => {
+                return self.on_owner(&n.to_owned(), |m| m.get_audit_trail(cred, object));
+            }
+            None => {}
+        }
+        if self.single() {
+            return self.record(0, |m| m.get_audit_trail(cred, object));
+        }
+        // Resolve + authorize (and learn the object's identity) on the
+        // authoritative shard, then gather the per-shard rows.
+        let mut out = self.record(0, |m| m.get_audit_trail(cred, object))?;
+        let (ot, id, _, _) = self.shards[0].resolve_ref(object)?;
+        let gathered = self.scatter(move |m| audit_rows_local(m, ot, id));
+        for (k, r) in gathered.into_iter().enumerate() {
+            if k == 0 {
+                continue; // already in `out`
+            }
+            out.extend(r?);
+        }
+        out.sort_by(|a, b| a.at.cmp(&b.at));
+        Ok(out)
+    }
+
+    /// See [`Mcs::set_audit`] — flips mirrored state for collections and
+    /// views, per-file state for files.
+    pub fn set_audit(&self, cred: &Credential, object: &ObjectRef, enabled: bool) -> Result<()> {
+        match object {
+            ObjectRef::File(n) | ObjectRef::FileVersion(n, _) => {
+                let name = n.clone();
+                self.on_owner(&name, |m| m.set_audit(cred, object, enabled))
+            }
+            _ => self.global_write(|m| m.set_audit(cred, object, enabled)),
+        }
+    }
+
+    // ---------- authorization ----------
+
+    /// See [`Mcs::grant`]: file ACEs are per-file state; everything else
+    /// is mirrored so routed operations authorize locally.
+    pub fn grant(
+        &self,
+        cred: &Credential,
+        object: &ObjectRef,
+        principal: &str,
+        perm: Permission,
+    ) -> Result<()> {
+        match object {
+            ObjectRef::File(n) | ObjectRef::FileVersion(n, _) => {
+                let name = n.clone();
+                self.member_write(&name, |m| m.grant(cred, object, principal, perm))
+            }
+            _ => self.global_write(|m| m.grant(cred, object, principal, perm)),
+        }
+    }
+
+    /// See [`Mcs::revoke`].
+    pub fn revoke(
+        &self,
+        cred: &Credential,
+        object: &ObjectRef,
+        principal: &str,
+        perm: Permission,
+    ) -> Result<()> {
+        match object {
+            ObjectRef::File(n) | ObjectRef::FileVersion(n, _) => {
+                let name = n.clone();
+                self.member_write(&name, |m| m.revoke(cred, object, principal, perm))
+            }
+            _ => self.global_write(|m| m.revoke(cred, object, principal, perm)),
+        }
+    }
+
+    /// See [`Mcs::acl`].
+    pub fn acl(&self, cred: &Credential, object: &ObjectRef) -> Result<Vec<(String, Permission)>> {
+        match ref_file_name(object) {
+            Some(n) => self.on_owner(&n.to_owned(), |m| m.acl(cred, object)),
+            None => self.on_zero(|m| m.acl(cred, object)),
+        }
+    }
+
+    /// See [`Mcs::is_service_admin`].
+    pub fn is_service_admin(&self, cred: &Credential) -> Result<bool> {
+        self.shards[0].is_service_admin(cred)
+    }
+
+    /// See [`Mcs::allow_anyone`] (service ACEs are mirrored).
+    pub fn allow_anyone(&self, cred: &Credential) -> Result<()> {
+        self.global_write(|m| m.allow_anyone(cred))
+    }
+
+    // ---------- users / external catalogs / CAS (shard 0) ----------
+
+    /// See [`Mcs::register_user`].
+    pub fn register_user(&self, cred: &Credential, user: &UserRecord) -> Result<()> {
+        self.on_zero(|m| m.register_user(cred, user))
+    }
+
+    /// See [`Mcs::get_user`].
+    pub fn get_user(&self, cred: &Credential, dn: &str) -> Result<UserRecord> {
+        self.on_zero(|m| m.get_user(cred, dn))
+    }
+
+    /// See [`Mcs::list_users`].
+    pub fn list_users(&self, cred: &Credential) -> Result<Vec<UserRecord>> {
+        self.on_zero(|m| m.list_users(cred))
+    }
+
+    /// See [`Mcs::register_external_catalog`].
+    pub fn register_external_catalog(
+        &self,
+        cred: &Credential,
+        cat: &ExternalCatalog,
+    ) -> Result<()> {
+        self.on_zero(|m| m.register_external_catalog(cred, cat))
+    }
+
+    /// See [`Mcs::list_external_catalogs`].
+    pub fn list_external_catalogs(&self, cred: &Credential) -> Result<Vec<ExternalCatalog>> {
+        self.on_zero(|m| m.list_external_catalogs(cred))
+    }
+
+    /// See [`Mcs::trust_community`].
+    pub fn trust_community(&self, cred: &Credential, community: &str, secret: u64) -> Result<()> {
+        self.shards[0].trust_community(cred, community, secret)
+    }
+
+    /// See [`Mcs::revoke_community_trust`].
+    pub fn revoke_community_trust(&self, cred: &Credential, community: &str) -> Result<()> {
+        self.shards[0].revoke_community_trust(cred, community)
+    }
+
+    /// See [`Mcs::credential_from_assertion`].
+    pub fn credential_from_assertion(&self, assertion: &crate::CasAssertion) -> Result<Credential> {
+        self.shards[0].credential_from_assertion(assertion)
+    }
+}
+
+/// The routed name of a file reference, `None` for global objects.
+fn ref_file_name(object: &ObjectRef) -> Option<&str> {
+    match object {
+        ObjectRef::File(n) | ObjectRef::FileVersion(n, _) => Some(n),
+        _ => None,
+    }
+}
+
+/// One shard's `(name, version)` rows for a collection, in name order —
+/// the gather leg of [`ShardedCatalog::list_collection`]; no
+/// authorization or auditing (the authoritative shard already did both).
+fn files_in_collection_local(m: &Mcs, coll_id: i64) -> Result<Vec<(String, i64)>> {
+    let rs = m.database().execute_prepared(&m.stmts.files_in_coll, &[coll_id.into()])?;
+    let rows = rs.rows.expect("select");
+    rows.rows
+        .iter()
+        .map(|r| Ok((r[1].as_str()?.to_owned(), r[2].as_int()?)))
+        .collect()
+}
+
+/// One shard's file members of a view, resolved to `(name, version)` —
+/// the gather leg of [`ShardedCatalog::list_view`].
+fn view_files_local(m: &Mcs, view_id: i64) -> Result<Vec<(String, i64)>> {
+    let mut out = Vec::new();
+    for member in m.view_members(view_id)? {
+        if member.member_type == ObjectType::File {
+            let f = m.resolve_file_by_id(member.member_id)?;
+            out.push((f.name, f.version));
+        }
+    }
+    Ok(out)
+}
+
+/// One shard's audit rows for `(ot, id)`, oldest first — the gather leg
+/// of [`ShardedCatalog::get_audit_trail`].
+fn audit_rows_local(m: &Mcs, ot: ObjectType, id: i64) -> Result<Vec<AuditRecord>> {
+    let rs = m.database().query(
+        "SELECT action, actor, at, details FROM audit_log \
+         WHERE object_type = ? AND object_id = ? ORDER BY id",
+        &[ot.code().into(), id.into()],
+    )?;
+    rs.rows
+        .iter()
+        .map(|r| {
+            Ok(AuditRecord {
+                object_type: ot,
+                object_id: id,
+                action: r[0].as_str()?.to_owned(),
+                actor: r[1].as_str()?.to_owned(),
+                at: match &r[2] {
+                    Value::DateTime(dt) => *dt,
+                    _ => return Err(McsError::Internal("bad at column".into())),
+                },
+                details: match &r[3] {
+                    Value::Str(s) => s.to_string(),
+                    _ => String::new(),
+                },
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    fn admin() -> Credential {
+        Credential::new("/O=Grid/CN=admin")
+    }
+
+    fn catalog(n: usize) -> ShardedCatalog {
+        ShardedCatalog::in_memory(
+            n,
+            &admin(),
+            IndexProfile::Paper2003,
+            Arc::new(ManualClock::default()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hash_is_stable() {
+        // Pinned values: the shard map is on-disk state, so the router
+        // must produce these exact assignments forever.
+        assert_eq!(fnv1a64(b"lfn.000000000.dat"), 0xb36d_a383_2a11_5592);
+        assert_eq!(shard_of_name("lfn.000000000.dat", 4), 2);
+        assert_eq!(shard_of_name("lfn.000000001.dat", 4), 1);
+        assert_eq!(shard_of_name("anything", 1), 0);
+    }
+
+    #[test]
+    fn routed_ops_spread_and_queries_merge() {
+        let a = admin();
+        let sc = catalog(4);
+        sc.define_attribute(&a, "site", AttrType::Str, "").unwrap();
+        for i in 0..40 {
+            sc.create_file(&a, &FileSpec::named(format!("f{i:03}.dat")).attr("site", "isi"))
+                .unwrap();
+        }
+        assert_eq!(sc.file_count().unwrap(), 40);
+        let per_shard: Vec<usize> =
+            (0..4).map(|k| sc.shard(k).file_count().unwrap()).collect();
+        assert_eq!(per_shard.iter().sum::<usize>(), 40);
+        assert!(per_shard.iter().filter(|&&n| n > 0).count() >= 2, "{per_shard:?}");
+        let hits = sc.query_by_attributes(&a, &[AttrPredicate::eq("site", "isi")]).unwrap();
+        assert_eq!(hits.len(), 40);
+        let mut sorted = hits.clone();
+        sorted.sort();
+        assert_eq!(hits, sorted, "merged results are sorted");
+    }
+
+    #[test]
+    fn collections_mirror_and_membership_routes() {
+        let a = admin();
+        let sc = catalog(3);
+        sc.create_collection(&a, "run-a", None, "").unwrap();
+        // The mirrored row exists on every shard, same id.
+        for k in 0..3 {
+            let c = sc.shard(k).get_collection(&a, "run-a").unwrap();
+            assert_eq!(c.id, 1);
+        }
+        for i in 0..12 {
+            let spec = FileSpec::named(format!("m{i:03}.dat")).in_collection("run-a");
+            sc.create_file(&a, &spec).unwrap();
+        }
+        let listing = sc.list_collection(&a, "run-a").unwrap();
+        assert_eq!(listing.files.len(), 12);
+        assert!(listing.files.windows(2).all(|w| w[0].0 <= w[1].0));
+        // Non-empty spans shards -> delete refuses like a single shard.
+        assert_eq!(
+            sc.delete_collection(&a, "run-a"),
+            Err(McsError::CollectionNotEmpty("run-a".into()))
+        );
+        for i in 0..12 {
+            sc.delete_file(&a, &format!("m{i:03}.dat")).unwrap();
+        }
+        sc.delete_collection(&a, "run-a").unwrap();
+        for k in 0..3 {
+            assert!(matches!(
+                sc.shard(k).get_collection(&a, "run-a"),
+                Err(McsError::NotFound(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn acl_changes_mirror_to_replicas() {
+        let a = admin();
+        let sc = catalog(2);
+        sc.create_collection(&a, "locked", None, "").unwrap();
+        let user = Credential::new("/O=Grid/CN=user");
+        let spec = FileSpec::named("denied.dat").in_collection("locked");
+        // No grant yet: the owning shard's mirrored ACLs deny the write.
+        assert!(matches!(
+            sc.create_file(&user, &spec),
+            Err(McsError::PermissionDenied { .. })
+        ));
+        sc.grant(&a, &ObjectRef::Collection("locked".into()), &user.dn, Permission::Write)
+            .unwrap();
+        sc.create_file(&user, &spec).unwrap();
+    }
+
+    #[test]
+    fn single_shard_is_plain_delegation() {
+        let a = admin();
+        let sc = catalog(1);
+        assert_eq!(sc.shards(), 1);
+        assert!(sc.pool.is_none());
+        sc.create_file(&a, &FileSpec::named("solo.dat")).unwrap();
+        assert_eq!(sc.file_count().unwrap(), 1);
+        assert_eq!(sc.get_file(&a, "solo.dat").unwrap().name, "solo.dat");
+    }
+
+    #[test]
+    fn views_gather_file_members_across_shards() {
+        let a = admin();
+        let sc = catalog(4);
+        sc.create_view(&a, "everything", "").unwrap();
+        for i in 0..10 {
+            let name = format!("v{i:03}.dat");
+            sc.create_file(&a, &FileSpec::named(&name)).unwrap();
+            sc.add_to_view(&a, "everything", &ObjectRef::File(name)).unwrap();
+        }
+        let contents = sc.list_view(&a, "everything").unwrap();
+        assert_eq!(contents.files.len(), 10);
+        assert!(contents.files.windows(2).all(|w| w[0] <= w[1]));
+        sc.delete_view(&a, "everything").unwrap();
+        for k in 0..4 {
+            let rs = sc.shard(k).database().query("SELECT id FROM view_members", &[]).unwrap();
+            assert!(rs.rows.is_empty(), "shard {k} kept membership rows");
+        }
+    }
+}

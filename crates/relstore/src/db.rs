@@ -253,6 +253,16 @@ impl Database {
         LAST_COMMIT_EPOCH.get()
     }
 
+    /// Replace this thread's last-commit-epoch marker, returning the old
+    /// value. Epoch counters are per database, so a router over several
+    /// databases (the sharded MCS catalog) cannot tell "no commit" from
+    /// "a commit whose epoch happens to equal another shard's last one"
+    /// by comparing [`Database::last_commit_epoch`] before and after; it
+    /// zeroes the marker first and restores it when nothing committed.
+    pub fn swap_last_commit_epoch(epoch: u64) -> u64 {
+        LAST_COMMIT_EPOCH.replace(epoch)
+    }
+
     pub(crate) fn commit_epochs(&self) -> &AtomicU64 {
         &self.commit_epochs
     }

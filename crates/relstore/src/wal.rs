@@ -513,11 +513,14 @@ enum WalEntry {
 }
 
 /// Read all intact records from a log; a torn tail ends replay cleanly.
-/// Returns the entries plus whether the file used the pre-v2 format (no
-/// magic, untagged statement payloads).
-fn read_wal(path: &Path) -> Result<(Vec<WalEntry>, bool)> {
+/// Returns the entries, whether the file used the pre-v2 format (no
+/// magic, untagged statement payloads), and the byte length of the
+/// intact prefix — everything past it is a torn or corrupt tail that
+/// replay can never reach, so the opener truncates it away before
+/// appending anything new behind it.
+fn read_wal(path: &Path) -> Result<(Vec<WalEntry>, bool, u64)> {
     let mut out = Vec::new();
-    let Ok(file) = File::open(path) else { return Ok((out, false)) };
+    let Ok(file) = File::open(path) else { return Ok((out, false, 0)) };
     let mut r = BufReader::new(file);
     let mut magic = [0u8; 8];
     let legacy = match r.read_exact(&mut magic) {
@@ -530,8 +533,9 @@ fn read_wal(path: &Path) -> Result<(Vec<WalEntry>, bool)> {
         }
         // shorter than a magic: an (empty or torn) v2 file has nothing to
         // replay; a v1 file this short holds no complete record either
-        Err(_) => return Ok((out, false)),
+        Err(_) => return Ok((out, false, 0)),
     };
+    let mut valid_len: u64 = if legacy { 0 } else { WAL_MAGIC.len() as u64 };
     let mut header = [0u8; 12];
     loop {
         match r.read_exact(&mut header) {
@@ -553,16 +557,17 @@ fn read_wal(path: &Path) -> Result<(Vec<WalEntry>, bool)> {
         let mut c = Cursor::new(&payload);
         if legacy {
             out.push(decode_stmt(&mut c)?);
-            continue;
+        } else {
+            match c.u8()? {
+                TAG_STMT => out.push(decode_stmt(&mut c)?),
+                TAG_BEGIN => out.push(WalEntry::Begin(c.u64()?)),
+                TAG_COMMIT => out.push(WalEntry::Commit(c.u64()?)),
+                _ => return Err(Cursor::corrupt("unknown wal record tag")),
+            }
         }
-        match c.u8()? {
-            TAG_STMT => out.push(decode_stmt(&mut c)?),
-            TAG_BEGIN => out.push(WalEntry::Begin(c.u64()?)),
-            TAG_COMMIT => out.push(WalEntry::Commit(c.u64()?)),
-            _ => return Err(Cursor::corrupt("unknown wal record tag")),
-        }
+        valid_len += (header.len() + len) as u64;
     }
-    Ok((out, legacy))
+    Ok((out, legacy, valid_len))
 }
 
 fn decode_stmt(c: &mut Cursor<'_>) -> Result<WalEntry> {
@@ -727,7 +732,21 @@ impl Database {
         if let Ok(bytes) = std::fs::read(&snap_path) {
             load_snapshot(&db, &bytes)?;
         }
-        let (entries, legacy) = read_wal(&dir.join(WAL_FILE))?;
+        let wal_path = dir.join(WAL_FILE);
+        let (entries, legacy, valid_len) = read_wal(&wal_path)?;
+        // A torn or corrupt tail ends replay for good: no future recovery
+        // reads past it. Appending new commits *behind* it would durably
+        // write data that is already unreachable, so cut the log back to
+        // its intact prefix before attaching the writer.
+        if let Ok(md) = std::fs::metadata(&wal_path) {
+            if md.len() > valid_len {
+                std::fs::OpenOptions::new()
+                    .write(true)
+                    .open(&wal_path)
+                    .and_then(|f| f.set_len(valid_len))
+                    .map_err(|e| Error::ExecError(format!("wal truncate torn tail: {e}")))?;
+            }
+        }
         // Statements inside a Begin..Commit group apply only once the
         // Commit frame is seen; a group cut off by the end of the log is
         // discarded as a unit. Bare statements apply immediately.

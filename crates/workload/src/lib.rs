@@ -15,4 +15,7 @@ pub mod spec;
 
 pub use driver::{run_closed_loop, Measurement, RunConfig, Workload};
 pub use ops::{driver_credential, make_worker, Access, OpKind};
-pub use populate::{build_catalog, build_catalog_with, BuiltCatalog, ADMIN_DN};
+pub use populate::{
+    build_catalog, build_catalog_with, build_sharded_catalog, BuiltCatalog, BuiltShardedCatalog,
+    ADMIN_DN,
+};

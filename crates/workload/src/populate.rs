@@ -7,11 +7,16 @@
 //! batched multi-row prepared inserts. The resulting database is
 //! byte-for-byte what the per-file API would have produced (asserted by
 //! `tests/populate_equiv.rs`).
+//!
+//! [`build_sharded_catalog`] loads a hash-partitioned catalog
+//! (DESIGN.md §7.4) the same way, with one writer thread per shard:
+//! collections (global state) are written identically to every shard,
+//! per-file rows only to the shard `mcs::shard_of_name` assigns them.
 
 use std::sync::Arc;
 
-use mcs::{Credential, IndexProfile, ManualClock, Mcs};
-use relstore::Value;
+use mcs::{Credential, IndexProfile, ManualClock, Mcs, ShardedCatalog};
+use relstore::{Database, Value};
 
 use crate::spec::{self, ATTR_NAMES, ATTR_TYPES, FILES_PER_COLLECTION};
 
@@ -19,6 +24,17 @@ use crate::spec::{self, ATTR_NAMES, ATTR_TYPES, FILES_PER_COLLECTION};
 pub struct BuiltCatalog {
     /// The catalog.
     pub mcs: Arc<Mcs>,
+    /// Superuser credential.
+    pub admin: Credential,
+    /// Number of logical files loaded.
+    pub n_files: u64,
+}
+
+/// A populated hash-partitioned catalog (or a single-shard one wrapped in
+/// the same interface).
+pub struct BuiltShardedCatalog {
+    /// The catalog.
+    pub catalog: Arc<ShardedCatalog>,
     /// Superuser credential.
     pub admin: Credential,
     /// Number of logical files loaded.
@@ -52,6 +68,106 @@ fn typed_null_row(name: &str, a: usize, v: Value) -> [Value; 8] {
     row
 }
 
+/// Batched insert of collection rows `0..n_colls` (auto-increment ids
+/// from 1 in creation order).
+fn insert_collections(db: &Arc<Database>, n_colls: u64, created: &Value) {
+    let batch = 500usize;
+    let one = "(?, ?, ?)";
+    let sql_batch = format!(
+        "INSERT INTO logical_collections (name, creator, created) VALUES {}",
+        vec![one; batch].join(", ")
+    );
+    let prepared = db.prepare(&sql_batch).expect("prepare");
+    let single = db
+        .prepare("INSERT INTO logical_collections (name, creator, created) VALUES (?, ?, ?)")
+        .expect("prepare");
+    let mut params: Vec<Value> = Vec::with_capacity(batch * 3);
+    let mut in_batch = 0usize;
+    for c in 0..n_colls {
+        params.push(spec::collection_name(c).into());
+        params.push(ADMIN_DN.into());
+        params.push(created.clone());
+        in_batch += 1;
+        if in_batch == batch {
+            db.execute_prepared(&prepared, &params).expect("insert collections");
+            params.clear();
+            in_batch = 0;
+        }
+    }
+    for chunk in params.chunks(3) {
+        db.execute_prepared(&single, chunk).expect("insert collection");
+    }
+}
+
+/// Batched insert of the file rows for the global indices yielded by
+/// `files` (auto-increment ids from 1 in yield order).
+fn insert_files(db: &Arc<Database>, files: impl Iterator<Item = u64>, created: &Value) {
+    let batch = 500usize;
+    let one = "(?, ?, ?, ?)";
+    let sql_batch = format!(
+        "INSERT INTO logical_files (name, collection_id, creator, created) VALUES {}",
+        vec![one; batch].join(", ")
+    );
+    let prepared = db.prepare(&sql_batch).expect("prepare");
+    let single = db
+        .prepare(
+            "INSERT INTO logical_files (name, collection_id, creator, created) \
+             VALUES (?, ?, ?, ?)",
+        )
+        .expect("prepare");
+    let mut params: Vec<Value> = Vec::with_capacity(batch * 4);
+    let mut in_batch = 0usize;
+    for i in files {
+        params.push(spec::file_name(i).into());
+        // collections auto-increment from 1 in creation order
+        params.push(Value::Int(spec::collection_of(i) as i64 + 1));
+        params.push(ADMIN_DN.into());
+        params.push(created.clone());
+        in_batch += 1;
+        if in_batch == batch {
+            db.execute_prepared(&prepared, &params).expect("insert files");
+            params.clear();
+            in_batch = 0;
+        }
+    }
+    for chunk in params.chunks(4) {
+        db.execute_prepared(&single, chunk).expect("insert file");
+    }
+}
+
+/// Batched insert of the ten workload attributes for each
+/// `(object_type, object_id, spec_index)` yielded by `objects`.
+fn insert_attributes(db: &Arc<Database>, objects: impl Iterator<Item = (i64, i64, u64)>) {
+    let batch = 100usize; // 100 × 10 attrs × 10 cols = 10k params
+    let one = "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?)";
+    let cols = "object_type, object_id, name, attr_type, str_value, int_value, \
+                float_value, date_value, time_value, datetime_value";
+    let sql_batch =
+        format!("INSERT INTO user_attributes ({cols}) VALUES {}", vec![one; batch * 10].join(", "));
+    let prepared = db.prepare(&sql_batch).expect("prepare");
+    let sql_one = format!("INSERT INTO user_attributes ({cols}) VALUES {one}");
+    let single = db.prepare(&sql_one).expect("prepare");
+    let mut params: Vec<Value> = Vec::with_capacity(batch * 100);
+    let mut in_batch = 0usize;
+    for (object_type, object_id, idx) in objects {
+        for a in 0..10usize {
+            params.push(Value::Int(object_type));
+            params.push(Value::Int(object_id));
+            let row = typed_null_row(ATTR_NAMES[a], a, spec::attr_value(a, idx));
+            params.extend(row);
+        }
+        in_batch += 1;
+        if in_batch == batch {
+            db.execute_prepared(&prepared, &params).expect("insert attributes");
+            params.clear();
+            in_batch = 0;
+        }
+    }
+    for chunk in params.chunks(10) {
+        db.execute_prepared(&single, chunk).expect("insert attribute");
+    }
+}
+
 /// Build and load a catalog with `n_files` logical files per the paper's
 /// workload (§7): collections of 1000 files, ten typed attributes per
 /// file and per collection, service opened to everyone.
@@ -80,119 +196,87 @@ pub fn build_catalog_with(
     }
     let db = mcs.database();
     let created = Value::DateTime(spec::load_timestamp());
-
-    // --- collections ---
     let n_colls = n_files.div_ceil(FILES_PER_COLLECTION).max(1);
-    {
-        let batch = 500usize;
-        let one = "(?, ?, ?)";
-        let sql_batch = format!(
-            "INSERT INTO logical_collections (name, creator, created) VALUES {}",
-            vec![one; batch].join(", ")
-        );
-        let prepared = db.prepare(&sql_batch).expect("prepare");
-        let single = db
-            .prepare("INSERT INTO logical_collections (name, creator, created) VALUES (?, ?, ?)")
-            .expect("prepare");
-        let mut params: Vec<Value> = Vec::with_capacity(batch * 3);
-        let mut in_batch = 0usize;
-        for c in 0..n_colls {
-            params.push(spec::collection_name(c).into());
-            params.push(ADMIN_DN.into());
-            params.push(created.clone());
-            in_batch += 1;
-            if in_batch == batch {
-                db.execute_prepared(&prepared, &params).expect("insert collections");
-                params.clear();
-                in_batch = 0;
-            }
-        }
-        for chunk in params.chunks(3) {
-            db.execute_prepared(&single, chunk).expect("insert collection");
-        }
-    }
 
-    // --- files ---
-    {
-        let batch = 500usize;
-        let one = "(?, ?, ?, ?)";
-        let sql_batch = format!(
-            "INSERT INTO logical_files (name, collection_id, creator, created) VALUES {}",
-            vec![one; batch].join(", ")
-        );
-        let prepared = db.prepare(&sql_batch).expect("prepare");
-        let single = db
-            .prepare(
-                "INSERT INTO logical_files (name, collection_id, creator, created) \
-                 VALUES (?, ?, ?, ?)",
-            )
-            .expect("prepare");
-        let mut params: Vec<Value> = Vec::with_capacity(batch * 4);
-        let mut in_batch = 0usize;
-        for i in 0..n_files {
-            params.push(spec::file_name(i).into());
-            // collections auto-increment from 1 in creation order
-            params.push(Value::Int(spec::collection_of(i) as i64 + 1));
-            params.push(ADMIN_DN.into());
-            params.push(created.clone());
-            in_batch += 1;
-            if in_batch == batch {
-                db.execute_prepared(&prepared, &params).expect("insert files");
-                params.clear();
-                in_batch = 0;
-            }
-        }
-        for chunk in params.chunks(4) {
-            db.execute_prepared(&single, chunk).expect("insert file");
-        }
-    }
-
-    // --- attributes: ten per file and ten per collection ---
-    {
-        let batch = 100usize; // 100 × 10 attrs × 10 cols = 10k params
-        let one = "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?)";
-        let cols = "object_type, object_id, name, attr_type, str_value, int_value, \
-                    float_value, date_value, time_value, datetime_value";
-        let sql_batch = format!(
-            "INSERT INTO user_attributes ({cols}) VALUES {}",
-            vec![one; batch * 10].join(", ")
-        );
-        let prepared = db.prepare(&sql_batch).expect("prepare");
-        let sql_one = format!("INSERT INTO user_attributes ({cols}) VALUES {one}");
-        let single = db.prepare(&sql_one).expect("prepare");
-        let mut params: Vec<Value> = Vec::with_capacity(batch * 100);
-        let mut in_batch = 0usize;
-        let push_object = |params: &mut Vec<Value>,
-                               in_batch: &mut usize,
-                               object_type: i64,
-                               object_id: i64,
-                               idx: u64| {
-            for a in 0..10usize {
-                params.push(Value::Int(object_type));
-                params.push(Value::Int(object_id));
-                let row = typed_null_row(ATTR_NAMES[a], a, spec::attr_value(a, idx));
-                params.extend(row);
-            }
-            *in_batch += 1;
-            if *in_batch == batch {
-                db.execute_prepared(&prepared, params).expect("insert attributes");
-                params.clear();
-                *in_batch = 0;
-            }
-        };
-        for i in 0..n_files {
-            // files auto-increment from 1 in creation order
-            push_object(&mut params, &mut in_batch, 0, i as i64 + 1, i);
-        }
-        for c in 0..n_colls {
-            push_object(&mut params, &mut in_batch, 1, c as i64 + 1, c);
-        }
-        for chunk in params.chunks(10) {
-            db.execute_prepared(&single, chunk).expect("insert attribute");
-        }
-    }
+    insert_collections(db, n_colls, &created);
+    insert_files(db, 0..n_files, &created);
+    // files auto-increment from 1 in creation order
+    insert_attributes(
+        db,
+        (0..n_files)
+            .map(|i| (0i64, i as i64 + 1, i))
+            .chain((0..n_colls).map(|c| (1i64, c as i64 + 1, c))),
+    );
 
     BuiltCatalog { mcs, admin, n_files }
+}
+
+/// [`build_catalog_with`] for a hash-partitioned catalog, loading all
+/// shards **in parallel** (one writer thread per shard — shards have
+/// independent storage engines, so the load scales with the partition
+/// count). With `shards <= 1` this is exactly the single-shard loader
+/// wrapped in the [ShardedCatalog] interface.
+pub fn build_sharded_catalog(
+    n_files: u64,
+    profile: IndexProfile,
+    shards: usize,
+    cache: Option<mcs::CacheConfig>,
+) -> BuiltShardedCatalog {
+    if shards <= 1 {
+        let built = build_catalog_with(n_files, profile, cache);
+        return BuiltShardedCatalog {
+            catalog: Arc::new(ShardedCatalog::from_single(built.mcs)),
+            admin: built.admin,
+            n_files,
+        };
+    }
+    let admin = Credential::new(ADMIN_DN);
+    let clock = Arc::new(ManualClock::default());
+    let catalog = Arc::new(
+        ShardedCatalog::in_memory_cached(shards, &admin, profile, clock, cache)
+            .expect("bootstrap"),
+    );
+    catalog.allow_anyone(&admin).expect("open service");
+    for (a, name) in ATTR_NAMES.iter().enumerate() {
+        catalog
+            .define_attribute(&admin, name, ATTR_TYPES[a], "evaluation workload attribute")
+            .expect("define attribute");
+    }
+    let created = Value::DateTime(spec::load_timestamp());
+    let n_colls = n_files.div_ceil(FILES_PER_COLLECTION).max(1);
+
+    std::thread::scope(|s| {
+        for k in 0..shards {
+            let catalog = Arc::clone(&catalog);
+            let created = created.clone();
+            s.spawn(move || {
+                let db = catalog.shard(k).database();
+                // Collections are global state: identical rows — and
+                // therefore identical ids — on every shard, exactly the
+                // mirror the router maintains after each global write.
+                insert_collections(db, n_colls, &created);
+                // Per-file state lives only on the owning shard. Local
+                // file ids auto-increment from 1 in insertion order.
+                let owned = (0..n_files).filter(|i| {
+                    mcs::shard_of_name(&spec::file_name(*i), shards) == k
+                });
+                insert_files(db, owned.clone(), &created);
+                let file_attrs =
+                    owned.enumerate().map(|(local, i)| (0i64, local as i64 + 1, i));
+                if k == 0 {
+                    // Collection attributes are global state on shard 0.
+                    insert_attributes(
+                        db,
+                        file_attrs.chain((0..n_colls).map(|c| (1i64, c as i64 + 1, c))),
+                    );
+                } else {
+                    insert_attributes(db, file_attrs);
+                }
+            });
+        }
+    });
+
+    BuiltShardedCatalog { catalog, admin, n_files }
 }
 
 #[cfg(test)]
@@ -243,5 +327,42 @@ mod tests {
         assert!(wide.contains(&(spec::file_name(42), 1)));
         let preds: Vec<AttrPredicate> = spec::complex_query(42, 10);
         assert_eq!(preds.len(), 10);
+    }
+
+    /// The sharded loader must answer exactly like the single-shard one.
+    #[test]
+    fn sharded_load_matches_single_shard_answers() {
+        let single = build_sharded_catalog(2_500, IndexProfile::Paper2003, 1, None);
+        let sharded = build_sharded_catalog(2_500, IndexProfile::Paper2003, 4, None);
+        let cred = Credential::new("/CN=anyone-at-all");
+        assert_eq!(single.catalog.file_count().unwrap(), 2_500);
+        assert_eq!(sharded.catalog.file_count().unwrap(), 2_500);
+        for i in [0u64, 777, 2_499] {
+            let q = spec::complex_query(i, 10);
+            assert_eq!(
+                single.catalog.query_by_attributes(&cred, &q).unwrap(),
+                sharded.catalog.query_by_attributes(&cred, &q).unwrap(),
+            );
+        }
+        let wide = spec::complex_query(42, 1);
+        assert_eq!(
+            single.catalog.query_by_attributes(&cred, &wide).unwrap(),
+            sharded.catalog.query_by_attributes(&cred, &wide).unwrap(),
+        );
+        for c in [0u64, 2] {
+            assert_eq!(
+                single.catalog.list_collection(&cred, &spec::collection_name(c)).unwrap(),
+                sharded.catalog.list_collection(&cred, &spec::collection_name(c)).unwrap(),
+            );
+        }
+        // collection attributes live on shard 0 and resolve globally
+        assert_eq!(
+            sharded
+                .catalog
+                .get_attributes(&cred, &mcs::ObjectRef::Collection(spec::collection_name(0)))
+                .unwrap()
+                .len(),
+            10
+        );
     }
 }

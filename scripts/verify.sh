@@ -19,6 +19,11 @@
 #                      tests, the seeded cached-vs-uncached twin
 #                      property test, and the SOAP bypass/stats
 #                      round-trip
+#   verify.sh shard    the sharded-catalog contract (DESIGN.md §7.4):
+#                      the seeded 1-shard-vs-4-shard twin property
+#                      test, the two-phase membership crash matrix,
+#                      the parallel loader equivalence test, and the
+#                      SOAP shard-routing round-trip
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -69,8 +74,21 @@ case "$lane" in
     cargo test -q -p soapstack --test keep_alive
     echo "cache lane: $(($(date +%s) - start))s elapsed"
     ;;
+  shard)
+    start=$(date +%s)
+    if ! cargo test -q -p mcs --test shard_twin; then
+      echo "shard lane failed." >&2
+      echo "To replay a twin-divergence failure, rerun with the seed printed above:" >&2
+      echo "  MCS_SHARD_SEED=<seed> cargo test -p mcs --test shard_twin -- --nocapture" >&2
+      exit 1
+    fi
+    cargo test -q -p mcs --test shard_crash
+    cargo test -q -p workload sharded
+    cargo test -q -p mcs-net --test sharded_over_net
+    echo "shard lane: $(($(date +%s) - start))s elapsed"
+    ;;
   *)
-    echo "usage: verify.sh [unit|crash|stress|async-durability|cache]" >&2
+    echo "usage: verify.sh [unit|crash|stress|async-durability|cache|shard]" >&2
     exit 2
     ;;
 esac
