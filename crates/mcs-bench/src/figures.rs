@@ -685,6 +685,244 @@ pub fn fig15(cfg: &Config, _deployments: &[Deployment]) -> Figure {
     }
 }
 
+/// Figure 16 (beyond the paper): the MVCC snapshot-read A/B
+/// (DESIGN.md §7.5). Two experiments:
+///
+/// * **mixed read/write throughput** — equal reader and writer thread
+///   counts (2/4/8 per class) against ONE durable catalog, barrier
+///   engine vs `StoreConfig::with_mvcc`. Both sides commit with
+///   per-transaction fsync (`Durability::Always`, the default): the
+///   fsync cadence paces writers identically on both engines, so the
+///   write series compare like-for-like — and on the barrier engine
+///   every committing writer holds its exclusive table barriers
+///   *across its commit fsync*, which is precisely the reader stall
+///   the MVCC refactor retires. Readers drive the paper's
+///   simple-query shape (indexed file and attribute lookups); writers
+///   mix ten-attribute `create_file` transactions (the paper's ingest
+///   shape) with `set_attribute` updates, both classes paced with
+///   client think times. The acceptance bar is ≥2× read throughput at
+///   8r+8w with ≤10% write regression.
+/// * **the fig15 shard curve re-run under MVCC** — the scatter-gather
+///   complex-query experiment on parallel-loaded catalogs with every
+///   shard on the MVCC engine (snapshot-vector reads), every answer
+///   verified, at the middle workload size.
+pub fn fig16(cfg: &Config, _deployments: &[Deployment]) -> Figure {
+    use mcs::{AttrType, Credential, FileSpec, ManualClock, Mcs, ObjectRef, StoreConfig};
+    use workload::{build_sharded_catalog_opts, run_closed_loop, run_mixed, spec, MixedConfig};
+
+    const CLASS_COUNTS: [usize; 4] = [1, 2, 4, 8];
+    const PRELOAD: u64 = 512;
+    const COLLS: u64 = 4;
+
+    let admin = Credential::new("/O=Grid/CN=bench");
+
+    // --- (a) mixed read/write A/B on one durable catalog per engine ---
+    let mut read_series = Vec::new();
+    let mut write_series = Vec::new();
+    for (engine, mvcc) in [("barrier", false), ("mvcc", true)] {
+        let dir = std::env::temp_dir()
+            .join(format!("mcs-fig16-{engine}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let base = StoreConfig::default();
+        let store = if mvcc { base.with_mvcc() } else { base };
+        let catalog = Arc::new(
+            Mcs::open_durable(
+                &dir,
+                &admin,
+                IndexProfile::Paper2003,
+                Arc::new(ManualClock::default()),
+                store,
+            )
+            .expect("open durable catalog"),
+        );
+        assert_eq!(catalog.database().is_mvcc(), mvcc);
+        catalog.allow_anyone(&admin).unwrap();
+        catalog.define_attribute(&admin, "experiment", AttrType::Str, "").unwrap();
+        catalog.define_attribute(&admin, "run", AttrType::Int, "").unwrap();
+        for a in 0..10 {
+            catalog.define_attribute(&admin, &format!("run{a}"), AttrType::Int, "").unwrap();
+        }
+        for c in 0..COLLS {
+            catalog.create_collection(&admin, &format!("c{c}"), None, "").unwrap();
+        }
+        for i in 0..PRELOAD {
+            let spec = FileSpec::named(format!("pre-{i:05}.dat"))
+                .in_collection(format!("c{}", i % COLLS))
+                .attr("experiment", "bench")
+                .attr("run", i as i64);
+            catalog.create_file(&admin, &spec).unwrap();
+        }
+
+        // One monotone name counter per engine: warm-up and every sweep
+        // share it, so writers never trip over their own earlier files.
+        let next_id = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let mut rpoints = Vec::new();
+        let mut wpoints = Vec::new();
+        for &threads in &CLASS_COUNTS {
+            let run = MixedConfig {
+                readers: threads,
+                writers: threads,
+                duration: cfg.scale.point_duration(),
+                warmup: cfg.scale.warmup(),
+                min_ops: cfg.scale.min_ops(),
+                max_extension: cfg.scale.max_extension(),
+            };
+            let m = run_mixed(
+                &run,
+                |t| {
+                    // Reader: the paper's simple-query shape — indexed
+                    // point lookups of files and their attributes. On
+                    // the barrier engine each SELECT takes the shared
+                    // statement barrier of its table, so it queues
+                    // (writer-priority) whenever a committing writer
+                    // holds that barrier across its fsync; under MVCC
+                    // it pins a snapshot epoch and never waits.
+                    let catalog = Arc::clone(&catalog);
+                    let cred = workload::driver_credential(0, t);
+                    let mut k = t as u64;
+                    Box::new(move || {
+                        // Short think time: readers stay demanding but
+                        // the runqueue drains often enough that woken
+                        // writers schedule promptly on a small host.
+                        std::thread::sleep(Duration::from_micros(200));
+                        k += 1;
+                        let pre = format!("pre-{:05}.dat", k % PRELOAD);
+                        if k % 2 == 0 {
+                            catalog.get_file(&cred, &pre).is_ok()
+                        } else {
+                            catalog
+                                .get_attributes(&cred, &ObjectRef::File(pre))
+                                .is_ok()
+                        }
+                    })
+                },
+                |w| {
+                    // Writer: create transactions + attribute updates.
+                    // Per-commit fsync paces both engines' writers to
+                    // the same cadence (the write series compare
+                    // like-for-like); the read series isolates what
+                    // that load costs concurrent readers.
+                    let catalog = Arc::clone(&catalog);
+                    let admin = admin.clone();
+                    let next_id = Arc::clone(&next_id);
+                    let mut k = w as u64;
+                    Box::new(move || {
+                        // Client think time: the offered write load grows
+                        // with the writer count instead of saturating the
+                        // commit path outright, so the sweep walks the
+                        // exclusive-barrier utilization up point by point.
+                        std::thread::sleep(Duration::from_micros(2_500));
+                        k += 1;
+                        if k % 2 == 0 {
+                            let i =
+                                next_id.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            // Ten typed attributes per new file, like
+                            // the paper's ingest workload — one
+                            // transaction, one WAL group, one fsync.
+                            let mut spec = FileSpec::named(format!("new-{i:07}.dat"))
+                                .attr("experiment", "bench");
+                            for a in 0..10i64 {
+                                spec = spec.attr(format!("run{a}"), i as i64 + a);
+                            }
+                            catalog.create_file(&admin, &spec).is_ok()
+                        } else {
+                            let attr = mcs::Attribute {
+                                name: "run".into(),
+                                value: (k as i64).into(),
+                            };
+                            let obj = ObjectRef::File(format!("pre-{:05}.dat", k % PRELOAD));
+                            catalog.set_attribute(&admin, &obj, &attr).is_ok()
+                        }
+                    })
+                },
+            );
+            eprintln!(
+                "[fig16] {engine} {threads}r+{threads}w: reads {:.0}/s ({} errors), \
+                 writes {:.0}/s ({} errors)",
+                m.reads.rate(),
+                m.reads.errors,
+                m.writes.rate(),
+                m.writes.errors,
+            );
+            rpoints.push(Point {
+                x: threads as u64,
+                rate: m.reads.rate(),
+                ops: m.reads.ops,
+                errors: m.reads.errors,
+            });
+            wpoints.push(Point {
+                x: threads as u64,
+                rate: m.writes.rate(),
+                ops: m.writes.ops,
+                errors: m.writes.errors,
+            });
+        }
+        read_series.push(Series { label: format!("reads, {engine}"), points: rpoints });
+        write_series.push(Series { label: format!("writes, {engine}"), points: wpoints });
+        drop(catalog);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // --- (b) the fig15 scatter-gather query curve, every shard MVCC ---
+    const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+    const WORKING_SET: u64 = 16;
+    let run = RunConfig {
+        hosts: 1,
+        threads_per_host: 4,
+        duration: cfg.scale.point_duration(),
+        warmup: cfg.scale.warmup(),
+        min_ops: cfg.scale.min_ops(),
+        max_extension: cfg.scale.max_extension(),
+    };
+    let n = cfg.scale.sizes()[1];
+    let mut points = Vec::new();
+    for &shards in &SHARD_COUNTS {
+        eprintln!("[fig16] populating {} files across {shards} MVCC shard(s)...", size_label(n));
+        let t0 = std::time::Instant::now();
+        let built = build_sharded_catalog_opts(n, IndexProfile::Paper2003, shards, None, true);
+        eprintln!("[fig16] loaded in {:.1}s", t0.elapsed().as_secs_f64());
+        assert!(built.catalog.shard(0).database().is_mvcc());
+        let targets: Vec<u64> = (0..WORKING_SET).map(|j| j * (n / WORKING_SET).max(1)).collect();
+        let queries: Arc<Vec<(u64, Vec<mcs::AttrPredicate>)>> =
+            Arc::new(targets.iter().map(|&i| (i, spec::complex_query(i, 10))).collect());
+        let catalog = &built.catalog;
+        let m = run_closed_loop(&run, |_h, t| -> Box<dyn workload::Workload> {
+            let catalog = Arc::clone(catalog);
+            let queries = Arc::clone(&queries);
+            let mut at = t; // stagger threads across the set
+            let cred = workload::driver_credential(0, t);
+            Box::new(move || {
+                let (i, preds) = &queries[at % queries.len()];
+                at += 1;
+                let r = catalog.query_by_attributes(&cred, preds);
+                matches!(r, Ok(hits) if hits == [(spec::file_name(*i), 1)])
+            })
+        });
+        eprintln!(
+            "[fig16] complex query (mvcc), {} files, {shards} shard(s): {:.1}/s",
+            size_label(n),
+            m.rate()
+        );
+        points.push(Point { x: shards as u64, rate: m.rate(), ops: m.ops, errors: m.errors });
+    }
+
+    let mut series = read_series;
+    series.extend(write_series);
+    series.push(Series {
+        label: format!("complex query, {} (mvcc shards)", size_label(n)),
+        points,
+    });
+    Figure {
+        id: "fig16".into(),
+        title: "Mixed Read/Write Throughput and Shard Scaling: MVCC Snapshot Reads vs \
+                Barrier Engine"
+            .into(),
+        x_label: "threads per class / shards".into(),
+        y_label: "ops/sec".into(),
+        series,
+    }
+}
+
 /// Run one figure by number.
 pub fn run_figure(n: u8, cfg: &Config, deployments: &[Deployment]) -> Figure {
     match n {
@@ -699,9 +937,11 @@ pub fn run_figure(n: u8, cfg: &Config, deployments: &[Deployment]) -> Figure {
         13 => fig13(cfg, deployments),
         14 => fig14(cfg, deployments),
         15 => fig15(cfg, deployments),
+        16 => fig16(cfg, deployments),
         other => panic!(
             "no figure {other}: 5–11 reproduce the paper, 12/13 the durability A/Bs, \
-             14 the read-cache A/B, 15 the sharded-catalog scaling A/B"
+             14 the read-cache A/B, 15 the sharded-catalog scaling A/B, 16 the MVCC \
+             snapshot-read A/B"
         ),
     }
 }

@@ -102,15 +102,28 @@ pub(crate) enum CacheValue {
     AttrDef(Option<AttributeDefinition>),
 }
 
+/// What an entry is validated against: the write-version vector of its
+/// input tables, plus — on an MVCC store — the visibility watermark
+/// ([`Database::visible_epoch`]) at probe time. An entry is served when
+/// its vector still matches, *or* when the watermark has not moved since
+/// the entry's fill was probed (no commit became visible in between, so a
+/// fresh compute would read the identical snapshot). The epoch is 0 and
+/// ignored on the barrier engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct FillStamp {
+    pub(crate) versions: Vec<u64>,
+    pub(crate) epoch: u64,
+}
+
 /// Outcome of a cache probe.
 pub(crate) enum Lookup {
-    /// Entry present and its stamp equals the tables' current versions.
+    /// Entry present and still valid (version vector match, or snapshot
+    /// epoch unchanged on an MVCC store).
     Hit(CacheValue),
-    /// No valid entry. Carries the version vector read *before* the
-    /// caller recomputes, which is the only stamp safe to fill with (a
-    /// vector taken after the read could mask a write that landed
-    /// mid-read).
-    Miss(Vec<u64>),
+    /// No valid entry. Carries the stamp read *before* the caller
+    /// recomputes, which is the only stamp safe to fill with (a stamp
+    /// taken after the read could mask a write that landed mid-read).
+    Miss(FillStamp),
 }
 
 /// Canonical byte encoding of a predicate comparison value. `Value` has
@@ -161,7 +174,7 @@ pub(crate) fn query_key(preds: &[AttrPredicate], profile: IndexProfile) -> Cache
 /// `recency` index maps tick → key so eviction pops the oldest in
 /// `O(log n)` and a hit re-ticks in `O(log n)`.
 struct Shard {
-    map: HashMap<CacheKey, (CacheValue, Vec<u64>, u64)>,
+    map: HashMap<CacheKey, (CacheValue, FillStamp, u64)>,
     recency: BTreeMap<u64, CacheKey>,
     next_tick: u64,
     cap: usize,
@@ -189,7 +202,7 @@ impl Shard {
     }
 
     /// Insert or replace; returns how many entries were evicted.
-    fn insert(&mut self, key: CacheKey, value: CacheValue, stamp: Vec<u64>) -> u64 {
+    fn insert(&mut self, key: CacheKey, value: CacheValue, stamp: FillStamp) -> u64 {
         self.remove(&key);
         let mut evicted = 0;
         while self.map.len() >= self.cap {
@@ -235,13 +248,22 @@ impl McsCache {
     }
 
     /// Probe for `key`, validating any entry against the *current* write
-    /// versions of its input tables. Stale entries are dropped on the
-    /// spot (lazy revalidation — the follow-up fill re-stamps them).
+    /// versions of its input tables — and, on an MVCC store, against the
+    /// visibility watermark (either check passing serves the entry).
+    /// Stale entries are dropped on the spot (lazy revalidation — the
+    /// follow-up fill re-stamps them).
     pub(crate) fn lookup(&self, db: &Database, key: &CacheKey) -> Lookup {
-        let current = db.version_vector(key.tables());
+        let mvcc = db.is_mvcc();
+        let current = FillStamp {
+            versions: db.version_vector(key.tables()),
+            epoch: if mvcc { db.visible_epoch() } else { 0 },
+        };
         let mut shard = self.shard(key).lock();
         match shard.map.get(key) {
-            Some((value, stamp, _)) if *stamp == current => {
+            Some((value, stamp, _))
+                if stamp.versions == current.versions
+                    || (mvcc && stamp.epoch == current.epoch) =>
+            {
                 let value = value.clone();
                 shard.touch(key);
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -261,8 +283,8 @@ impl McsCache {
     }
 
     /// Store a freshly computed result under `key`. `stamp` must be the
-    /// vector returned by the [`Lookup::Miss`] that preceded the compute.
-    pub(crate) fn insert(&self, key: CacheKey, value: CacheValue, stamp: Vec<u64>) {
+    /// one returned by the [`Lookup::Miss`] that preceded the compute.
+    pub(crate) fn insert(&self, key: CacheKey, value: CacheValue, stamp: FillStamp) {
         let evicted = self.shard(&key).lock().insert(key, value, stamp);
         if evicted > 0 {
             self.evictions.fetch_add(evicted, Ordering::Relaxed);
@@ -338,13 +360,17 @@ mod tests {
         CacheKey::AttrDef(format!("k{n}"))
     }
 
+    fn stamp(versions: Vec<u64>) -> FillStamp {
+        FillStamp { versions, epoch: 0 }
+    }
+
     #[test]
     fn lru_evicts_oldest_first() {
         let mut s = Shard::new(2);
-        assert_eq!(s.insert(key(1), CacheValue::AttrDef(None), vec![0]), 0);
-        assert_eq!(s.insert(key(2), CacheValue::AttrDef(None), vec![0]), 0);
+        assert_eq!(s.insert(key(1), CacheValue::AttrDef(None), stamp(vec![0])), 0);
+        assert_eq!(s.insert(key(2), CacheValue::AttrDef(None), stamp(vec![0])), 0);
         s.touch(&key(1)); // 2 is now the oldest
-        assert_eq!(s.insert(key(3), CacheValue::AttrDef(None), vec![0]), 1);
+        assert_eq!(s.insert(key(3), CacheValue::AttrDef(None), stamp(vec![0])), 1);
         assert!(s.map.contains_key(&key(1)));
         assert!(!s.map.contains_key(&key(2)));
         assert!(s.map.contains_key(&key(3)));
@@ -354,11 +380,11 @@ mod tests {
     #[test]
     fn reinsert_replaces_without_eviction() {
         let mut s = Shard::new(2);
-        s.insert(key(1), CacheValue::AttrDef(None), vec![0]);
-        s.insert(key(2), CacheValue::AttrDef(None), vec![0]);
-        assert_eq!(s.insert(key(1), CacheValue::AttrDef(None), vec![9]), 0);
+        s.insert(key(1), CacheValue::AttrDef(None), stamp(vec![0]));
+        s.insert(key(2), CacheValue::AttrDef(None), stamp(vec![0]));
+        assert_eq!(s.insert(key(1), CacheValue::AttrDef(None), stamp(vec![9])), 0);
         assert_eq!(s.map.len(), 2);
-        assert_eq!(s.map.get(&key(1)).unwrap().1, vec![9]);
+        assert_eq!(s.map.get(&key(1)).unwrap().1.versions, vec![9]);
     }
 
     #[test]

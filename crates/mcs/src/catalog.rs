@@ -136,6 +136,13 @@ pub struct StoreConfig {
     /// catalog out as `shard-0/..shard-N-1/` subdirectories, each with
     /// its own WAL, commit queue and epoch gate.
     pub shards: usize,
+    /// Run the storage engine in MVCC mode: reads pin a snapshot epoch
+    /// and traverse row version chains instead of taking shared table
+    /// barriers, so readers never block behind writers (DESIGN.md §7.5).
+    /// Off by default — the barrier engine's behavior is byte-identical
+    /// to previous releases, and the WAL/snapshot formats are the same
+    /// either way, so a catalog can be reopened with the flag flipped.
+    pub mvcc: bool,
 }
 
 impl Default for StoreConfig {
@@ -145,6 +152,7 @@ impl Default for StoreConfig {
             durability: relstore::Durability::Always,
             cache: None,
             shards: 1,
+            mvcc: false,
         }
     }
 }
@@ -184,6 +192,13 @@ impl StoreConfig {
             durability: relstore::Durability::Async { max_wait, max_batch },
             ..StoreConfig::default()
         }
+    }
+
+    /// Builder: run the storage engine in MVCC mode (snapshot reads, no
+    /// reader barriers). See [`StoreConfig::mvcc`] and DESIGN.md §7.5.
+    pub fn with_mvcc(mut self) -> StoreConfig {
+        self.mvcc = true;
+        self
     }
 }
 
@@ -244,7 +259,10 @@ impl Mcs {
         clock: Arc<dyn Clock>,
         cfg: StoreConfig,
     ) -> Result<Mcs> {
-        let db = relstore::Database::open_durable_with(dir, cfg.sync, cfg.durability)?;
+        let db = relstore::Database::open_durable_opts(dir, cfg.sync, cfg.durability, cfg.mvcc)?;
+        if cfg.mvcc {
+            db.start_vacuum(std::time::Duration::from_millis(100));
+        }
         Mcs::with_database_cached(db, admin, profile, clock, cfg.cache)
     }
 

@@ -95,6 +95,21 @@ impl QueryExpr {
 /// Evaluation limit: queries with more leaves than this are rejected.
 const MAX_LEAVES: usize = 64;
 
+/// Iterate the rows a reader should see: on the barrier engine, the live
+/// latest images ([`relstore::Table::scan`]); under MVCC, every slot
+/// filtered through this thread's snapshot — a slot whose latest image is
+/// deleted or uncommitted may still carry a version the snapshot sees.
+fn snapshot_scan(t: &relstore::Table) -> Box<dyn Iterator<Item = &relstore::Row> + '_> {
+    if t.is_mvcc() {
+        Box::new(
+            (0..t.slot_count() as u64)
+                .filter_map(move |i| relstore::snapshot_row(t, relstore::RowId(i))),
+        )
+    } else {
+        Box::new(t.scan().map(|(_, r)| r))
+    }
+}
+
 impl Mcs {
     /// Evaluate a general boolean query; returns matching **valid**
     /// (name, version) pairs, sorted (§9's general query model).
@@ -110,7 +125,10 @@ impl Mcs {
                 expr.leaf_count()
             )));
         }
-        let ids = self.eval_expr(expr)?;
+        // One snapshot scope for the whole boolean tree: every leaf (and
+        // the NOT complement's full scan) reads the same consistent cut.
+        // No-op on the barrier engine.
+        let ids = self.db.with_snapshot(|| self.eval_expr(expr))?;
         let mut out = Vec::with_capacity(ids.len());
         for id in ids {
             match self.resolve_file_by_id(id) {
@@ -162,8 +180,8 @@ impl Mcs {
                 let exclude = self.eval_expr(sub)?;
                 let handle = self.db.table("logical_files")?;
                 let t = handle.read();
-                t.scan()
-                    .filter_map(|(_, row)| row[0].as_int().ok())
+                snapshot_scan(&t)
+                    .filter_map(|row| row[0].as_int().ok())
                     .filter(|id| !exclude.contains(id))
                     .collect()
             }
@@ -182,15 +200,21 @@ impl Mcs {
                     .index("lf_collection")
                     .ok_or_else(|| McsError::Internal("missing lf_collection index".into()))?;
                 for id in ix.get_eq(&relstore::IndexKey(vec![Value::Int(c.id)])) {
-                    if let Some(row) = t.get(id) {
-                        out.insert(row[0].as_int()?);
+                    if let Some(row) = relstore::snapshot_row(&t, id) {
+                        // MVCC keeps superseded keys in the index until
+                        // vacuum; confirm the visible image is still in
+                        // this collection (always true on the barrier
+                        // engine).
+                        if row[5] == Value::Int(c.id) {
+                            out.insert(row[0].as_int()?);
+                        }
                     }
                 }
             }
             other => {
                 // full scan over predefined columns (these are the paper's
                 // "static attributes"; only names are indexed)
-                for (_, row) in t.scan() {
+                for row in snapshot_scan(&t) {
                     let matches = match other {
                         StaticPredicate::NameLike(pat) => like_match(row[1].as_str()?, pat),
                         StaticPredicate::DataTypeIs(dt) => {

@@ -84,8 +84,12 @@ impl Mcs {
             checked.push((p, def.attr_type));
         }
 
-        let mut candidates: Option<HashSet<i64>> = None;
-        {
+        // Under MVCC the whole predicate evaluation runs inside one
+        // snapshot scope, so every posting list is read from the same
+        // consistent cut; on the barrier engine `with_snapshot` is a no-op
+        // and the table read lock provides per-statement isolation.
+        let candidates: Option<HashSet<i64>> = self.db.with_snapshot(|| {
+            let mut candidates: Option<HashSet<i64>> = None;
             let handle = self.db.table("user_attributes")?;
             let t = handle.read();
             let intersect = |acc: Option<HashSet<i64>>, ids: HashSet<i64>| {
@@ -134,7 +138,8 @@ impl Mcs {
                     }
                 }
             }
-        } // release the attribute-table lock before touching logical_files
+            Ok::<_, McsError>(candidates)
+        })?; // release the attribute-table lock before touching logical_files
         let ids = candidates.unwrap_or_default();
         let mut out = Vec::with_capacity(ids.len());
         for id in ids {
@@ -218,10 +223,39 @@ impl Mcs {
                 AttrOp::Like => unreachable!("handled above"),
             }
             for id in ids {
-                let row = t.get(id).ok_or_else(|| McsError::Internal("dangling index".into()))?;
-                if row[1] == Value::Int(ObjectType::File.code()) {
-                    out.insert(row[2].as_int()?);
+                // Under MVCC a deleted row's index entries linger until
+                // vacuum, and a pending row from another transaction is
+                // not yet visible — both read back as `None` here and are
+                // simply skipped. On the barrier engine a dangling entry
+                // is still a corruption signal.
+                let Some(row) = relstore::snapshot_row(t, id) else {
+                    if t.is_mvcc() {
+                        continue;
+                    }
+                    return Err(McsError::Internal("dangling index".into()));
+                };
+                if row[1] != Value::Int(ObjectType::File.code()) {
+                    continue;
                 }
+                // MVCC index entries may describe a superseded version of
+                // the row until vacuum — re-check the predicate against
+                // the image this snapshot actually sees.
+                if t.is_mvcc() {
+                    let name_ok = matches!(&row[3], Value::Str(s) if s.as_ref() == p.name);
+                    let val_ok = row[val_col].sql_cmp(&value).is_some_and(|ord| match p.op {
+                        AttrOp::Eq => ord.is_eq(),
+                        AttrOp::Ne => ord.is_ne(),
+                        AttrOp::Lt => ord.is_lt(),
+                        AttrOp::Le => ord.is_le(),
+                        AttrOp::Gt => ord.is_gt(),
+                        AttrOp::Ge => ord.is_ge(),
+                        AttrOp::Like => false,
+                    });
+                    if !name_ok || !val_ok {
+                        continue;
+                    }
+                }
+                out.insert(row[2].as_int()?);
             }
             return Ok(out);
         }
@@ -247,8 +281,18 @@ impl Mcs {
         let key = IndexKey(vec![Value::from(p.name.as_str())]);
         let mut out = HashSet::new();
         for id in ix.get_eq(&key) {
-            let row = t.get(id).ok_or_else(|| McsError::Internal("dangling index".into()))?;
+            let Some(row) = relstore::snapshot_row(t, id) else {
+                if t.is_mvcc() {
+                    continue; // dangling entry awaiting vacuum, or invisible version
+                }
+                return Err(McsError::Internal("dangling index".into()));
+            };
             if row[1] != Value::Int(ObjectType::File.code()) {
+                continue;
+            }
+            // Stale-entry guard for MVCC (see eval_predicate): the visible
+            // image may no longer carry this attribute name.
+            if t.is_mvcc() && !matches!(&row[3], Value::Str(s) if s.as_ref() == p.name) {
                 continue;
             }
             let stored = &row[val_col];
@@ -297,6 +341,17 @@ impl Mcs {
 
     /// Total number of logical files in the catalog (harness helper).
     pub fn file_count(&self) -> Result<usize> {
-        Ok(self.db.table("logical_files")?.read().len())
+        let handle = self.db.table("logical_files")?;
+        let t = handle.read();
+        if t.is_mvcc() {
+            // `Table::len` counts latest images including other threads'
+            // uncommitted inserts; count what a snapshot actually sees.
+            return Ok(self.db.with_snapshot(|| {
+                (0..t.slot_count() as u64)
+                    .filter(|&i| relstore::snapshot_row(&t, relstore::RowId(i)).is_some())
+                    .count()
+            }));
+        }
+        Ok(t.len())
     }
 }

@@ -196,11 +196,27 @@ impl ShardedCatalog {
         clock: Arc<dyn Clock>,
         cache: Option<CacheConfig>,
     ) -> Result<ShardedCatalog> {
+        Self::in_memory_opts(n_shards, admin, profile, clock, cache, false)
+    }
+
+    /// [`ShardedCatalog::in_memory_cached`] with the storage engine
+    /// selectable: with `mvcc` every shard runs on an MVCC database, so
+    /// scatter-gather reads pin per-shard snapshots instead of taking
+    /// shared barriers (DESIGN.md §7.5).
+    pub fn in_memory_opts(
+        n_shards: usize,
+        admin: &Credential,
+        profile: IndexProfile,
+        clock: Arc<dyn Clock>,
+        cache: Option<CacheConfig>,
+        mvcc: bool,
+    ) -> Result<ShardedCatalog> {
         let n = n_shards.max(1);
         let mut shards = Vec::with_capacity(n);
         for _ in 0..n {
+            let db = if mvcc { Database::new_mvcc() } else { Database::new() };
             shards.push(Arc::new(Mcs::with_database_cached(
-                Arc::new(Database::new()),
+                Arc::new(db),
                 admin,
                 profile,
                 Arc::clone(&clock),
@@ -455,7 +471,12 @@ impl ShardedCatalog {
 
     /// Run `f` on every shard — shard 0 on the calling thread, the rest
     /// on the pool — and return the results in shard order. The caller's
-    /// cache-bypass scope is re-established on every worker.
+    /// cache-bypass scope is re-established on every worker. On MVCC
+    /// shards the coordinator pins a per-shard snapshot *vector* before
+    /// dispatching: each worker reads its shard at the pinned epoch
+    /// (holding the vacuum horizon there for the scatter's duration), so
+    /// a fan-out observes one consistent cut per shard even while
+    /// writers commit underneath it.
     fn scatter<R, F>(&self, f: F) -> Vec<R>
     where
         R: Send + 'static,
@@ -463,8 +484,16 @@ impl ShardedCatalog {
     {
         let n = self.shards.len();
         if n == 1 {
-            return vec![f(&self.shards[0])];
+            let m = &self.shards[0];
+            return vec![m.database().with_snapshot(|| f(m))];
         }
+        // The pins must outlive every worker: `with_snapshot_at` only
+        // sets the reading thread's epoch, the coordinator's pin is what
+        // keeps vacuum from reclaiming the versions being read.
+        let pins: Vec<Option<relstore::SnapshotPin>> =
+            self.shards.iter().map(|s| s.database().pin_snapshot()).collect();
+        let epochs: Vec<Option<u64>> =
+            pins.iter().map(|p| p.as_ref().map(|p| p.epoch())).collect();
         let f = Arc::new(f);
         let bypass = crate::cache::bypass_active();
         let (tx, rx) = mpsc::channel();
@@ -473,17 +502,32 @@ impl ShardedCatalog {
             let shard = Arc::clone(&self.shards[k]);
             let f = Arc::clone(&f);
             let tx = tx.clone();
+            let epoch = epochs[k];
             pool.execute(move || {
-                let r = if bypass { shard.with_cache_bypass(|m| f(m)) } else { f(&shard) };
+                let run = || {
+                    if bypass {
+                        shard.with_cache_bypass(|m| f(m))
+                    } else {
+                        f(&shard)
+                    }
+                };
+                let r = match epoch {
+                    Some(e) => shard.database().with_snapshot_at(e, run),
+                    None => run(),
+                };
                 let _ = tx.send((k, r));
             });
         }
         drop(tx);
         let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        out[0] = Some(f(&self.shards[0]));
+        out[0] = Some(match epochs[0] {
+            Some(e) => self.shards[0].database().with_snapshot_at(e, || f(&self.shards[0])),
+            None => f(&self.shards[0]),
+        });
         for (k, r) in rx.iter() {
             out[k] = Some(r);
         }
+        drop(pins); // every worker has reported; release the horizons
         out.into_iter()
             .map(|r| r.expect("every scatter worker reports"))
             .collect()

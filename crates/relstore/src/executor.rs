@@ -228,7 +228,7 @@ fn exec_insert(
         Err(e) => {
             // Multi-row INSERT is atomic: roll back rows already inserted.
             for id in inserted.into_iter().rev() {
-                let _ = t.delete(id);
+                let _ = t.rollback_insert(id);
             }
             Err(e)
         }
@@ -287,7 +287,7 @@ fn exec_update(
         }
         Err(e) => {
             for (id, old) in changed.into_iter().rev() {
-                let _ = t.update(id, old);
+                let _ = t.rollback_update(id, old);
             }
             Err(e)
         }
@@ -578,7 +578,10 @@ fn join_level(
     let path = plan_table(t, combined.as_ref(), base);
     let ids = candidates(t, &path);
     'rows: for id in ids {
-        let Some(row) = t.get(id) else { continue };
+        // Snapshot-filtered when this thread has a pinned MVCC snapshot
+        // (index candidates can be dangling or too new); plain latest-image
+        // fetch otherwise.
+        let Some(row) = crate::db::snapshot_row(t, id) else { continue };
         buf[base..base + row.len()].clone_from_slice(row);
         for f in &level_filters {
             if !f.matches(buf)? {

@@ -323,7 +323,15 @@ impl Database {
                     self.wal_stats().acked_not_durable.fetch_sub(asyncs, Ordering::Relaxed);
                 }
             }
-            Err(e) => self.epoch_gate().fail(&e.to_string()),
+            Err(e) => {
+                self.epoch_gate().fail(&e.to_string());
+                // The caller only learns the epoch on Ok; publish its
+                // visibility here (MVCC) or the watermark would stall on
+                // the gap. No row stamps convert under this epoch:
+                // autocommit appends run before execution, and a failed
+                // transaction commit re-stamps under a fresh epoch.
+                self.mvcc_publish(epoch);
+            }
         }
         if !drained.is_empty() {
             let err = result.as_ref().err().map(|e| e.to_string());

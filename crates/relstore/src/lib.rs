@@ -39,6 +39,7 @@ pub mod executor;
 pub mod group_commit;
 pub mod index;
 pub mod lock;
+pub mod mvcc;
 pub mod planner;
 pub mod predicate;
 pub mod row;
@@ -49,11 +50,15 @@ pub mod txn;
 pub mod value;
 pub mod wal;
 
-pub use db::{Database, Durability, Prepared, Session, Stats};
+pub use db::{
+    current_snapshot, snapshot_row, Database, Durability, Prepared, Session, SnapshotGuard,
+    Stats,
+};
 pub use error::{Error, Result};
 pub use executor::{ExecResult, ResultSet};
 pub use index::{Index, IndexDef, IndexKey};
 pub use lock::Access;
+pub use mvcc::{MvccState, SnapshotPin};
 pub use predicate::{CmpOp, Expr};
 pub use row::{Row, RowId, StoredRow};
 pub use schema::{ColumnDef, TableSchema};

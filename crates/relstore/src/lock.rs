@@ -3,7 +3,11 @@
 //! The table `RwLock`s in [`crate::db`] are statement-scoped: the executor
 //! takes them per statement, so a multi-statement transaction's in-flight
 //! writes would be visible between its statements. Barriers add the missing
-//! transaction-scope layer *above* those locks:
+//! transaction-scope layer *above* those locks. How much of it a database
+//! uses depends on its engine:
+//!
+//! **Barrier engine** (the default) — barriers are the only isolation
+//! mechanism, on reads and writes alike:
 //!
 //! * A transaction acquires the barriers of every table it declared, in one
 //!   global order (sorted lowercase name) — exclusive for tables it writes,
@@ -14,6 +18,21 @@
 //!   barrier of each table it references (again in sorted order) for the
 //!   statement's duration, which is what makes in-flight transactions
 //!   invisible to it.
+//!
+//! **MVCC engine** ([`crate::Database::new_mvcc`]; see [`crate::mvcc`] and
+//! DESIGN.md §7.5) — readers are isolated by snapshot, not by barrier, so
+//! only the writer-vs-writer half of the above remains:
+//!
+//! * SELECT statements and pure-read transactions acquire **no** barrier at
+//!   all; they pin a snapshot epoch and visibility-filter version chains.
+//! * A transaction with any `Write` claim upgrades every claim to
+//!   exclusive, and write statements outside transactions keep the shared
+//!   statement acquisition — barriers still serialize writers against each
+//!   other (and against checkpoint quiesce), which keeps commit stamping
+//!   single-writer per table.
+//!
+//! Shared acquisition common to both engines:
+//!
 //! * Acquisition is re-entrant per thread: a statement running inside a
 //!   transaction's closure skips barriers its transaction already holds.
 //!   That lets catalog code issue reads through the plain [`crate::Database`]

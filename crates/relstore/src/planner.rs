@@ -181,7 +181,16 @@ pub fn plan_table(table: &Table, pred: Option<&BoundExpr>, base: usize) -> Acces
 /// Materialize the candidate row ids for an access path.
 pub fn candidates(table: &Table, path: &AccessPath) -> Vec<crate::row::RowId> {
     match path {
-        AccessPath::FullScan => table.scan().map(|(id, _)| id).collect(),
+        AccessPath::FullScan => {
+            // Under a pinned MVCC snapshot a full scan must visit every
+            // heap slot: a tombstoned slot can still hold the version
+            // visible to this snapshot. The visibility filter happens at
+            // row-fetch time (`crate::db::snapshot_row`).
+            if table.is_mvcc() && crate::db::current_snapshot().is_some() {
+                return (0..table.slot_count() as u64).map(crate::row::RowId).collect();
+            }
+            table.scan().map(|(id, _)| id).collect()
+        }
         AccessPath::Index { index, prefix, low, high } => {
             let ix = &table.indexes()[*index];
             if prefix.len() == ix.def.columns.len()

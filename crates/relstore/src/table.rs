@@ -1,10 +1,57 @@
 //! Heap storage for one table plus its indexes.
+//!
+//! With MVCC enabled (see [`crate::mvcc`] and DESIGN.md §7.5) each slot
+//! additionally carries a version chain: the heap keeps the *latest*
+//! physical image (so the non-MVCC fast paths are untouched), a parallel
+//! `meta` vector stamps that image with the commit epoch that created it,
+//! and superseded images move into per-slot history, stamped with the
+//! `(begin, end)` epochs that bound their visibility. Index entries are
+//! **not** removed on update/delete while MVCC is on — an old snapshot
+//! still needs the old keys — so readers visibility-filter candidates and
+//! vacuum removes entries once no snapshot can reach them.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::{self, ThreadId};
 
 use crate::error::{Error, Result};
 use crate::index::{Index, IndexDef, IndexKey};
 use crate::row::{Row, RowId};
 use crate::schema::TableSchema;
 use crate::value::Value;
+use crate::wal::WalStats;
+
+/// Visibility stamp on a row image: either the commit epoch that made it,
+/// or the thread of the uncommitted writer that produced it (pending
+/// images are visible only to their own thread — read-your-writes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Stamp {
+    /// Created/ended by the commit with this epoch.
+    Committed(u64),
+    /// Produced by an in-flight write on this thread; converted to
+    /// `Committed` when its transaction's epoch is allocated.
+    Pending(ThreadId),
+}
+
+impl Stamp {
+    /// Is an image bearing this *begin* stamp (or lacking this *end*
+    /// stamp) part of snapshot `snapshot` as seen by thread `me`?
+    fn visible(self, snapshot: u64, me: ThreadId) -> bool {
+        match self {
+            Stamp::Committed(e) => e <= snapshot,
+            Stamp::Pending(t) => t == me,
+        }
+    }
+}
+
+/// A superseded row image: valid for snapshots in `[begin, end)`.
+#[derive(Debug)]
+pub(crate) struct Version {
+    begin: Stamp,
+    end: Stamp,
+    row: Row,
+}
 
 /// A table: schema, row heap, and indexes. Row ids are slot numbers in the
 /// heap and are never reused, so deleted rows leave `None` tombstones
@@ -21,6 +68,19 @@ pub struct Table {
     /// position; non-auto columns keep 0).
     auto_next: Vec<i64>,
     last_auto: Option<i64>,
+    /// Version chains enabled (set once by the database at registration;
+    /// never flips at runtime). All fields below stay empty when off.
+    mvcc: bool,
+    /// Begin stamp of the latest image, parallel to `rows` (meaningless
+    /// for tombstoned slots).
+    meta: Vec<Stamp>,
+    /// Superseded images per slot, oldest first.
+    history: BTreeMap<usize, Vec<Version>>,
+    /// Slots carrying at least one `Pending` stamp (may hold duplicates
+    /// and stale entries; pruned at stamp/rollback time).
+    pending_slots: Vec<RowId>,
+    /// Version/vacuum gauges shared with the owning database.
+    mvcc_stats: Option<Arc<WalStats>>,
 }
 
 impl Table {
@@ -35,6 +95,11 @@ impl Table {
             auto_next,
             last_auto: None,
             schema,
+            mvcc: false,
+            meta: Vec::new(),
+            history: BTreeMap::new(),
+            pending_slots: Vec::new(),
+            mvcc_stats: None,
         };
         if !t.schema.primary_key.is_empty() {
             let def = IndexDef {
@@ -60,6 +125,150 @@ impl Table {
     /// The value assigned by the most recent AUTO_INCREMENT insert.
     pub fn last_auto_value(&self) -> Option<i64> {
         self.last_auto
+    }
+
+    /// Enable version chains on this table (done once, at registration
+    /// with an MVCC database). Rows already present — snapshot load
+    /// happens before registration — are backfilled as committed at
+    /// epoch 0, i.e. visible to every snapshot.
+    pub(crate) fn set_mvcc(&mut self, stats: Arc<WalStats>) {
+        self.mvcc = true;
+        self.meta = vec![Stamp::Committed(0); self.rows.len()];
+        self.mvcc_stats = Some(stats);
+    }
+
+    /// True if this table keeps version chains.
+    pub fn is_mvcc(&self) -> bool {
+        self.mvcc
+    }
+
+    /// Number of heap slots (live rows + tombstones). Snapshot scans must
+    /// visit every slot: a tombstoned slot can still hold history-visible
+    /// versions.
+    pub fn slot_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Fetch the row image visible to `snapshot` (MVCC only): the latest
+    /// image if its begin stamp is visible, else the newest history
+    /// version whose `[begin, end)` range covers the snapshot. A thread's
+    /// own pending writes are always visible to it (read-your-writes).
+    pub fn get_visible(&self, id: RowId, snapshot: u64) -> Option<&Row> {
+        debug_assert!(self.mvcc);
+        let me = thread::current().id();
+        let slot = id.0 as usize;
+        if let Some(row) = self.rows.get(slot).and_then(Option::as_ref) {
+            if self.meta[slot].visible(snapshot, me) {
+                return Some(row);
+            }
+        }
+        self.history
+            .get(&slot)?
+            .iter()
+            .rev()
+            .find(|v| v.begin.visible(snapshot, me) && !v.end.visible(snapshot, me))
+            .map(|v| &v.row)
+    }
+
+    /// Convert this thread's pending stamps to `Committed(epoch)`. Called
+    /// at commit, after the epoch is allocated and before it is published
+    /// to the visibility watermark. Intermediate images a multi-statement
+    /// transaction superseded within itself get `begin == end == epoch` —
+    /// an empty visibility range, reclaimed by the next vacuum.
+    pub(crate) fn stamp_pending(&mut self, epoch: u64) {
+        let me = thread::current().id();
+        let pending = std::mem::take(&mut self.pending_slots);
+        for id in pending {
+            let slot = id.0 as usize;
+            let mut still_pending = false;
+            if self.rows.get(slot).is_some_and(Option::is_some) {
+                if self.meta[slot] == Stamp::Pending(me) {
+                    self.meta[slot] = Stamp::Committed(epoch);
+                } else if matches!(self.meta[slot], Stamp::Pending(_)) {
+                    still_pending = true;
+                }
+            }
+            if let Some(versions) = self.history.get_mut(&slot) {
+                for v in versions {
+                    if v.begin == Stamp::Pending(me) {
+                        v.begin = Stamp::Committed(epoch);
+                    } else if matches!(v.begin, Stamp::Pending(_)) {
+                        still_pending = true;
+                    }
+                    if v.end == Stamp::Pending(me) {
+                        v.end = Stamp::Committed(epoch);
+                    } else if matches!(v.end, Stamp::Pending(_)) {
+                        still_pending = true;
+                    }
+                }
+            }
+            if still_pending {
+                self.pending_slots.push(id);
+            }
+        }
+    }
+
+    /// Drop history versions no snapshot at or after `horizon` can reach,
+    /// removing index entries that no surviving image needs. Returns the
+    /// number of versions reclaimed.
+    pub(crate) fn vacuum(&mut self, horizon: u64) -> u64 {
+        if !self.mvcc {
+            return 0;
+        }
+        let mut reclaimed = 0u64;
+        let slots: Vec<usize> = self.history.keys().copied().collect();
+        for slot in slots {
+            let versions = self.history.get_mut(&slot).expect("slot key just listed");
+            // A version is dead once its end epoch is committed at or
+            // below the horizon: every current and future snapshot sees a
+            // newer image (or the deletion). Pending stamps always survive.
+            let (dead, keep): (Vec<Version>, Vec<Version>) = versions
+                .drain(..)
+                .partition(|v| matches!(v.end, Stamp::Committed(e) if e <= horizon));
+            *versions = keep;
+            if versions.is_empty() {
+                self.history.remove(&slot);
+            }
+            if dead.is_empty() {
+                continue;
+            }
+            reclaimed += dead.len() as u64;
+            let id = RowId(slot as u64);
+            for ix_pos in 0..self.indexes.len() {
+                let mut to_remove: Vec<IndexKey> = Vec::new();
+                {
+                    let ix = &self.indexes[ix_pos];
+                    // Keys the slot still needs: the latest image's plus
+                    // every surviving version's.
+                    let mut needed: BTreeSet<IndexKey> = BTreeSet::new();
+                    if let Some(row) = self.rows.get(slot).and_then(Option::as_ref) {
+                        needed.insert(ix.key_of(row));
+                    }
+                    if let Some(vs) = self.history.get(&slot) {
+                        for v in vs {
+                            needed.insert(ix.key_of(&v.row));
+                        }
+                    }
+                    let mut seen: BTreeSet<IndexKey> = BTreeSet::new();
+                    for v in &dead {
+                        let key = ix.key_of(&v.row);
+                        if !needed.contains(&key) && seen.insert(key.clone()) {
+                            to_remove.push(key);
+                        }
+                    }
+                }
+                for key in to_remove {
+                    self.indexes[ix_pos].remove(&key, id);
+                }
+            }
+        }
+        reclaimed
+    }
+
+    fn bump_versions_created(&self) {
+        if let Some(stats) = &self.mvcc_stats {
+            stats.versions_created.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Add a secondary index, building it from existing rows. Fails (and
@@ -149,8 +358,8 @@ impl Table {
         // Validate all unique indexes before touching any of them, so a
         // failed insert leaves every index unchanged.
         let keys: Vec<IndexKey> = self.indexes.iter().map(|ix| ix.key_of(&row)).collect();
-        for (ix, key) in self.indexes.iter().zip(&keys) {
-            ix.check_unique(key)?;
+        for (i, key) in keys.iter().enumerate() {
+            self.check_unique_live(i, key)?;
         }
         let id = RowId(self.rows.len() as u64);
         for (ix, key) in self.indexes.iter_mut().zip(keys) {
@@ -158,7 +367,37 @@ impl Table {
         }
         self.rows.push(Some(row));
         self.live += 1;
+        if self.mvcc {
+            self.meta.push(Stamp::Pending(thread::current().id()));
+            self.pending_slots.push(id);
+        }
         Ok(id)
+    }
+
+    /// Uniqueness check that tolerates the dangling index entries MVCC's
+    /// deferred cleanup leaves behind: a key conflicts only if some row's
+    /// *latest* image actually carries it. Equivalent to
+    /// [`Index::check_unique`] when MVCC is off (every entry is live).
+    fn check_unique_live(&self, ix_pos: usize, key: &IndexKey) -> Result<()> {
+        let ix = &self.indexes[ix_pos];
+        if !self.mvcc {
+            return ix.check_unique(key);
+        }
+        if !ix.def.unique || key.0.iter().any(Value::is_null) {
+            return Ok(());
+        }
+        for id in ix.get_eq(key) {
+            if self.get(id).is_some_and(|row| &ix.key_of(row) == key) {
+                return Err(Error::UniqueViolation {
+                    index: ix.def.name.clone(),
+                    key: format!(
+                        "({})",
+                        key.0.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+                    ),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Re-insert a previously deleted row at its original id (transaction
@@ -181,6 +420,10 @@ impl Table {
     }
 
     /// Delete a row by id, returning the removed values (for undo logs).
+    ///
+    /// Under MVCC the image moves into the slot's history (ended by this
+    /// writer's pending stamp) and index entries stay put — an older
+    /// snapshot still needs them. Vacuum reclaims both later.
     pub fn delete(&mut self, id: RowId) -> Result<Row> {
         let slot = self
             .rows
@@ -188,6 +431,17 @@ impl Table {
             .ok_or(Error::NoSuchRow(id.0))?;
         let row = slot.take().ok_or(Error::NoSuchRow(id.0))?;
         self.live -= 1;
+        if self.mvcc {
+            let begin = self.meta[id.0 as usize];
+            self.history.entry(id.0 as usize).or_default().push(Version {
+                begin,
+                end: Stamp::Pending(thread::current().id()),
+                row: row.clone(),
+            });
+            self.pending_slots.push(id);
+            self.bump_versions_created();
+            return Ok(row);
+        }
         for ix in &mut self.indexes {
             let key = ix.key_of(&row);
             ix.remove(&key, id);
@@ -216,7 +470,27 @@ impl Table {
             })
             .collect();
         for (i, _, new_key) in &changes {
-            self.indexes[*i].check_unique(new_key)?;
+            self.check_unique_live(*i, new_key)?;
+        }
+        if self.mvcc {
+            // Insert new keys but keep the old ones: snapshots pinned
+            // before this commit still look the old row up by them.
+            // (Index::insert is set-based, so re-acquiring a key the slot
+            // held earlier in its history is a no-op.)
+            for (i, _, new_key) in changes {
+                self.indexes[i].insert(new_key, id);
+            }
+            let slot = id.0 as usize;
+            self.history.entry(slot).or_default().push(Version {
+                begin: self.meta[slot],
+                end: Stamp::Pending(thread::current().id()),
+                row: old.clone(),
+            });
+            self.meta[slot] = Stamp::Pending(thread::current().id());
+            self.rows[slot] = Some(new);
+            self.pending_slots.push(id);
+            self.bump_versions_created();
+            return Ok(old);
         }
         for (i, old_key, new_key) in changes {
             self.indexes[i].remove(&old_key, id);
@@ -224,6 +498,91 @@ impl Table {
         }
         self.rows[id.0 as usize] = Some(new);
         Ok(old)
+    }
+
+    /// Undo an uncommitted INSERT: free the slot and remove its index
+    /// entries. The row was never committed and occupies a fresh slot, so
+    /// under MVCC there is no history to preserve and the removal is safe.
+    pub(crate) fn rollback_insert(&mut self, id: RowId) -> Result<()> {
+        if !self.mvcc {
+            return self.delete(id).map(drop);
+        }
+        let row = self
+            .rows
+            .get_mut(id.0 as usize)
+            .ok_or(Error::NoSuchRow(id.0))?
+            .take()
+            .ok_or(Error::NoSuchRow(id.0))?;
+        self.live -= 1;
+        for ix in &mut self.indexes {
+            let key = ix.key_of(&row);
+            ix.remove(&key, id);
+        }
+        self.pending_slots.retain(|&p| p != id);
+        Ok(())
+    }
+
+    /// Undo an uncommitted DELETE. Under MVCC the image is recovered from
+    /// the history version the delete pushed (its index entries were never
+    /// removed, so none need re-adding).
+    pub(crate) fn rollback_delete(&mut self, id: RowId, row: Row) -> Result<()> {
+        if !self.mvcc {
+            return self.undelete(id, row);
+        }
+        let slot = id.0 as usize;
+        let versions = self.history.get_mut(&slot).ok_or(Error::NoSuchRow(id.0))?;
+        let v = versions.pop().ok_or(Error::NoSuchRow(id.0))?;
+        if versions.is_empty() {
+            self.history.remove(&slot);
+        }
+        self.rows[slot] = Some(v.row);
+        self.meta[slot] = v.begin;
+        self.live += 1;
+        self.pending_slots.retain(|&p| p != id);
+        Ok(())
+    }
+
+    /// Undo an uncommitted UPDATE by popping the history version it
+    /// pushed. Keys the update added are removed again — unless an older
+    /// history version for this slot also carries the key (committed
+    /// `a -> b -> a` within one transaction), in which case the entry
+    /// still backs that older image.
+    pub(crate) fn rollback_update(&mut self, id: RowId, values: Vec<Value>) -> Result<()> {
+        if !self.mvcc {
+            return self.update(id, values).map(drop);
+        }
+        let slot = id.0 as usize;
+        let v = {
+            let versions = self.history.get_mut(&slot).ok_or(Error::NoSuchRow(id.0))?;
+            let v = versions.pop().ok_or(Error::NoSuchRow(id.0))?;
+            if versions.is_empty() {
+                self.history.remove(&slot);
+            }
+            v
+        };
+        let current = self
+            .rows
+            .get_mut(slot)
+            .ok_or(Error::NoSuchRow(id.0))?
+            .take()
+            .ok_or(Error::NoSuchRow(id.0))?;
+        for ix_pos in 0..self.indexes.len() {
+            let new_key = self.indexes[ix_pos].key_of(&current);
+            if new_key == self.indexes[ix_pos].key_of(&v.row) {
+                continue;
+            }
+            let still_needed = self
+                .history
+                .get(&slot)
+                .is_some_and(|vs| vs.iter().any(|sv| self.indexes[ix_pos].key_of(&sv.row) == new_key));
+            if !still_needed {
+                self.indexes[ix_pos].remove(&new_key, id);
+            }
+        }
+        self.rows[slot] = Some(v.row);
+        self.meta[slot] = v.begin;
+        self.pending_slots.retain(|&p| p != id);
+        Ok(())
     }
 
     /// Fetch a row by id.
@@ -241,22 +600,44 @@ impl Table {
 
     /// Internal integrity check used by property tests: every index entry
     /// points at a live row with a matching key, and every live row appears
-    /// exactly once in every index.
+    /// exactly once in every index. Under MVCC an entry may instead be
+    /// backed by a history version (deferred cleanup), but never by
+    /// nothing.
     pub fn check_integrity(&self) -> Result<()> {
         for ix in &self.indexes {
             let mut seen = 0usize;
             for (key, ids) in ix.iter() {
                 for &id in ids {
-                    let row = self
-                        .get(id)
-                        .ok_or_else(|| Error::ExecError(format!("index `{}` points at dead row {}", ix.def.name, id.0)))?;
-                    if &ix.key_of(row) != key {
+                    let latest = self.get(id);
+                    if let Some(row) = latest {
+                        if &ix.key_of(row) == key {
+                            seen += 1;
+                            continue;
+                        }
+                    }
+                    if self.mvcc {
+                        let backed = self
+                            .history
+                            .get(&(id.0 as usize))
+                            .is_some_and(|vs| vs.iter().any(|v| &ix.key_of(&v.row) == key));
+                        if backed {
+                            continue;
+                        }
                         return Err(Error::ExecError(format!(
-                            "index `{}` key mismatch for row {}",
+                            "index `{}` has a dangling entry for row {} backed by no version",
                             ix.def.name, id.0
                         )));
                     }
-                    seen += 1;
+                    if latest.is_none() {
+                        return Err(Error::ExecError(format!(
+                            "index `{}` points at dead row {}",
+                            ix.def.name, id.0
+                        )));
+                    }
+                    return Err(Error::ExecError(format!(
+                        "index `{}` key mismatch for row {}",
+                        ix.def.name, id.0
+                    )));
                 }
             }
             if seen != self.live {
@@ -394,5 +775,121 @@ mod tests {
         let names: Vec<String> =
             t.scan().map(|(_, r)| r[1].to_string()).collect();
         assert_eq!(names, vec!["b"]);
+    }
+
+    fn mvcc_table() -> Table {
+        let mut t = table();
+        t.set_mvcc(Arc::new(WalStats::default()));
+        t
+    }
+
+    #[test]
+    fn mvcc_update_keeps_old_version_visible() {
+        let mut t = mvcc_table();
+        let id = t.insert(vec![Value::Null, "a".into(), Value::Int(1)]).unwrap();
+        t.stamp_pending(1);
+        t.update(id, vec![Value::Int(1), "b".into(), Value::Int(2)]).unwrap();
+        t.stamp_pending(2);
+        assert!(t.get_visible(id, 0).is_none(), "not yet inserted at epoch 0");
+        assert_eq!(t.get_visible(id, 1).unwrap()[1], "a".into());
+        assert_eq!(t.get_visible(id, 2).unwrap()[1], "b".into());
+        // both keys are in the index until vacuum; integrity holds anyway
+        let ix = t.index("by_name").unwrap();
+        assert_eq!(ix.count_eq(&IndexKey(vec!["a".into()])), 1);
+        assert_eq!(ix.count_eq(&IndexKey(vec!["b".into()])), 1);
+        t.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn mvcc_delete_then_vacuum_reclaims_versions_and_keys() {
+        let mut t = mvcc_table();
+        let id = t.insert(vec![Value::Null, "a".into(), Value::Null]).unwrap();
+        t.stamp_pending(1);
+        t.delete(id).unwrap();
+        t.stamp_pending(2);
+        assert_eq!(t.get_visible(id, 1).unwrap()[1], "a".into());
+        assert!(t.get_visible(id, 2).is_none());
+        // a snapshot at 1 is still pinned: nothing reclaimable
+        assert_eq!(t.vacuum(1), 0);
+        assert_eq!(t.get_visible(id, 1).unwrap()[1], "a".into());
+        // horizon passes the delete: version and its index keys go away
+        assert_eq!(t.vacuum(2), 1);
+        assert!(t.get_visible(id, 1).is_none());
+        assert_eq!(t.index("by_name").unwrap().count_eq(&IndexKey(vec!["a".into()])), 0);
+        t.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn mvcc_pending_rows_invisible_to_other_threads() {
+        let mut t = mvcc_table();
+        let id = t.insert(vec![Value::Null, "a".into(), Value::Null]).unwrap();
+        // the writing thread sees its own pending row at any snapshot
+        assert!(t.get_visible(id, 0).is_some());
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                assert!(t.get_visible(id, 0).is_none(), "pending row leaked to another thread");
+                assert!(t.get_visible(id, u64::MAX).is_none());
+            });
+        });
+        t.stamp_pending(3);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                assert!(t.get_visible(id, 2).is_none());
+                assert!(t.get_visible(id, 3).is_some());
+            });
+        });
+    }
+
+    #[test]
+    fn mvcc_rollback_update_restores_index_through_a_b_a() {
+        let mut t = mvcc_table();
+        let id = t.insert(vec![Value::Null, "a".into(), Value::Null]).unwrap();
+        t.stamp_pending(1);
+        // one transaction: a -> b -> a, then roll both updates back
+        let old1 = t.update(id, vec![Value::Int(1), "b".into(), Value::Null]).unwrap();
+        let old2 = t.update(id, vec![Value::Int(1), "a".into(), Value::Null]).unwrap();
+        t.rollback_update(id, old2.clone()).unwrap();
+        t.rollback_update(id, old1.clone()).unwrap();
+        assert_eq!(t.get_visible(id, 1).unwrap()[1], "a".into());
+        let ix = t.index("by_name").unwrap();
+        assert_eq!(ix.count_eq(&IndexKey(vec!["a".into()])), 1);
+        assert_eq!(ix.count_eq(&IndexKey(vec!["b".into()])), 0);
+        t.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn mvcc_rollback_insert_and_delete() {
+        let mut t = mvcc_table();
+        let kept = t.insert(vec![Value::Null, "keep".into(), Value::Null]).unwrap();
+        t.stamp_pending(1);
+        // rolled-back insert leaves no trace
+        let id = t.insert(vec![Value::Null, "x".into(), Value::Null]).unwrap();
+        t.rollback_insert(id).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.index("by_name").unwrap().count_eq(&IndexKey(vec!["x".into()])), 0);
+        // rolled-back delete restores the committed image and stamp
+        let row = t.delete(kept).unwrap();
+        t.rollback_delete(kept, row).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get_visible(kept, 1).unwrap()[1], "keep".into());
+        t.stamp_pending(2); // no-op: nothing left pending
+        assert_eq!(t.get_visible(kept, 1).unwrap()[1], "keep".into());
+        t.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn mvcc_unique_check_ignores_dangling_entries() {
+        let mut t = mvcc_table();
+        let id = t.insert(vec![Value::Null, "a".into(), Value::Null]).unwrap();
+        t.stamp_pending(1);
+        t.update(id, vec![Value::Int(1), "b".into(), Value::Null]).unwrap();
+        t.stamp_pending(2);
+        // "a" is only a dangling entry now: a new row may take it
+        t.insert(vec![Value::Null, "a".into(), Value::Null]).unwrap();
+        t.stamp_pending(3);
+        // "b" is live: still rejected
+        let err = t.insert(vec![Value::Null, "b".into(), Value::Null]);
+        assert!(matches!(err, Err(Error::UniqueViolation { .. })));
+        t.check_integrity().unwrap();
     }
 }

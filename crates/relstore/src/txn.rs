@@ -70,9 +70,9 @@ impl UndoLog {
         for (table, op) in self.entries.into_iter().rev() {
             let mut t = table.write();
             let r = match op {
-                UndoOp::UndoInsert(id) => t.delete(id).map(drop),
-                UndoOp::UndoDelete(id, row) => t.undelete(id, row),
-                UndoOp::UndoUpdate(id, row) => t.update(id, row).map(drop),
+                UndoOp::UndoInsert(id) => t.rollback_insert(id),
+                UndoOp::UndoDelete(id, row) => t.rollback_delete(id, row),
+                UndoOp::UndoUpdate(id, row) => t.rollback_update(id, row),
             };
             if let Err(e) = r {
                 first_err.get_or_insert(e);

@@ -102,6 +102,13 @@ pub struct WalStats {
     /// enqueue time: how far acknowledgement has ever run ahead of
     /// durability on this database. High-water mark; never decreases.
     pub max_epoch_lag: AtomicU64,
+    /// Row versions pushed into MVCC history (updates + deletes while the
+    /// `mvcc` flag is on). Zero on barrier-engine databases.
+    pub versions_created: AtomicU64,
+    /// Row versions reclaimed by vacuum.
+    pub versions_vacuumed: AtomicU64,
+    /// Vacuum passes completed (manual calls and background-thread runs).
+    pub vacuum_runs: AtomicU64,
 }
 
 impl WalStats {
@@ -128,6 +135,21 @@ impl WalStats {
     /// Snapshot of the `max_epoch_lag` high-water mark.
     pub fn max_epoch_lag_seen(&self) -> u64 {
         self.max_epoch_lag.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of `versions_created`.
+    pub fn versions_created_count(&self) -> u64 {
+        self.versions_created.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of `versions_vacuumed`.
+    pub fn versions_vacuumed_count(&self) -> u64 {
+        self.versions_vacuumed.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of `vacuum_runs`.
+    pub fn vacuum_run_count(&self) -> u64 {
+        self.vacuum_runs.load(Ordering::Relaxed)
     }
 }
 
@@ -724,10 +746,26 @@ impl Database {
         policy: SyncPolicy,
         durability: Durability,
     ) -> Result<Arc<Database>> {
+        Self::open_durable_opts(dir, policy, durability, false)
+    }
+
+    /// [`Database::open_durable_with`] with the MVCC engine selectable:
+    /// `mvcc = true` opens the database with version-chain snapshot reads
+    /// ([`Database::new_mvcc`]). The on-disk formats are identical either
+    /// way — replay rebuilds version state in memory (one epoch per
+    /// replayed unit) and a post-replay vacuum collapses every chain back
+    /// to single-version state, so a log written by one engine opens under
+    /// the other.
+    pub fn open_durable_opts(
+        dir: impl AsRef<Path>,
+        policy: SyncPolicy,
+        durability: Durability,
+        mvcc: bool,
+    ) -> Result<Arc<Database>> {
         let dir: PathBuf = dir.as_ref().to_owned();
         std::fs::create_dir_all(&dir)
             .map_err(|e| Error::ExecError(format!("create {dir:?}: {e}")))?;
-        let db = Arc::new(Database::new());
+        let db = Arc::new(if mvcc { Database::new_mvcc() } else { Database::new() });
         let snap_path = dir.join(SNAPSHOT_FILE);
         if let Ok(bytes) = std::fs::read(&snap_path) {
             load_snapshot(&db, &bytes)?;
@@ -779,6 +817,12 @@ impl Database {
                     }
                 }
             }
+        }
+        if mvcc {
+            // Replay built version chains (one epoch per replayed unit);
+            // nothing is pinned yet, so this collapses every chain back to
+            // single-version state and clears dangling index entries.
+            db.vacuum();
         }
         let writer = WalWriter::open_append(&dir.join(WAL_FILE), policy, db.wal_stats_arc())?;
         db.attach_wal(writer, dir);

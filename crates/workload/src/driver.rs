@@ -150,6 +150,123 @@ where
     })
 }
 
+/// Configuration for a mixed read/write run: independent reader and
+/// writer thread counts against one catalog, with per-class counters, so
+/// reader throughput under concurrent writers is measurable directly (the
+/// MVCC A/B experiment of Figure 16).
+#[derive(Debug, Clone)]
+pub struct MixedConfig {
+    /// Closed-loop reader threads.
+    pub readers: usize,
+    /// Closed-loop writer threads.
+    pub writers: usize,
+    /// Measured interval.
+    pub duration: Duration,
+    /// Warm-up before measurement starts.
+    pub warmup: Duration,
+    /// Keep measuring until at least this many operations (both classes
+    /// combined) completed.
+    pub min_ops: u64,
+    /// Hard cap on the measurement extension.
+    pub max_extension: Duration,
+}
+
+impl MixedConfig {
+    /// `readers` + `writers` threads over `duration` with the driver's
+    /// standard 200ms warmup.
+    pub fn new(readers: usize, writers: usize, duration: Duration) -> MixedConfig {
+        MixedConfig {
+            readers,
+            writers,
+            duration,
+            warmup: Duration::from_millis(200),
+            min_ops: 0,
+            max_extension: Duration::ZERO,
+        }
+    }
+}
+
+/// Result of a mixed run: one [`Measurement`] per operation class over
+/// the same measured interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixedMeasurement {
+    /// The reader threads' aggregate measurement.
+    pub reads: Measurement,
+    /// The writer threads' aggregate measurement.
+    pub writes: Measurement,
+}
+
+/// Run `cfg.readers` reader workers (built by `make_reader(i)`) and
+/// `cfg.writers` writer workers (built by `make_writer(i)`) concurrently
+/// against the same store and measure each class's throughput over one
+/// shared interval. Same phase protocol as [`run_closed_loop`].
+pub fn run_mixed<R, W>(cfg: &MixedConfig, make_reader: R, make_writer: W) -> MixedMeasurement
+where
+    R: Fn(usize) -> Box<dyn Workload>,
+    W: Fn(usize) -> Box<dyn Workload>,
+{
+    let phase = Arc::new(AtomicU8::new(WARMUP));
+    // [read_ops, read_errors, write_ops, write_errors]
+    let counters: Arc<[AtomicU64; 4]> = Arc::new(std::array::from_fn(|_| AtomicU64::new(0)));
+    let total_workers = cfg.readers + cfg.writers;
+    let start_barrier = Arc::new(Barrier::new(total_workers + 1));
+
+    std::thread::scope(|scope| {
+        let spawn = |mut worker: Box<dyn Workload>, base: usize| {
+            let phase = Arc::clone(&phase);
+            let counters = Arc::clone(&counters);
+            let barrier = Arc::clone(&start_barrier);
+            scope.spawn(move || {
+                barrier.wait();
+                loop {
+                    match phase.load(Ordering::Acquire) {
+                        STOP => return,
+                        current => {
+                            let success = worker.run_once();
+                            if current == MEASURE {
+                                let slot = base + usize::from(!success);
+                                counters[slot].fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            });
+        };
+        for i in 0..cfg.readers {
+            spawn(make_reader(i), 0);
+        }
+        for i in 0..cfg.writers {
+            spawn(make_writer(i), 2);
+        }
+        start_barrier.wait();
+        std::thread::sleep(cfg.warmup);
+        phase.store(MEASURE, Ordering::Release);
+        let t0 = Instant::now();
+        std::thread::sleep(cfg.duration);
+        let done = |cs: &[AtomicU64; 4]| -> u64 {
+            cs.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+        };
+        while done(&counters) < cfg.min_ops && t0.elapsed() < cfg.duration + cfg.max_extension {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        phase.store(STOP, Ordering::Release);
+        let elapsed = t0.elapsed();
+        // scope joins all workers here
+        MixedMeasurement {
+            reads: Measurement {
+                ops: counters[0].load(Ordering::Relaxed),
+                errors: counters[1].load(Ordering::Relaxed),
+                elapsed,
+            },
+            writes: Measurement {
+                ops: counters[2].load(Ordering::Relaxed),
+                errors: counters[3].load(Ordering::Relaxed),
+                elapsed,
+            },
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,6 +308,34 @@ mod tests {
         });
         assert!(m.ops >= 3, "extension must gather min_ops: got {}", m.ops);
         assert!(m.elapsed > Duration::from_millis(30));
+    }
+
+    #[test]
+    fn mixed_run_counts_classes_separately() {
+        let cfg = MixedConfig::new(2, 1, Duration::from_millis(80));
+        let m = run_mixed(
+            &cfg,
+            |_i| {
+                Box::new(|| {
+                    std::thread::sleep(Duration::from_micros(300));
+                    true
+                })
+            },
+            |_i| {
+                let mut n = 0u64;
+                Box::new(move || {
+                    n += 1;
+                    std::thread::sleep(Duration::from_micros(300));
+                    n % 2 == 0 // half the writes "fail"
+                })
+            },
+        );
+        assert!(m.reads.ops > 0);
+        assert_eq!(m.reads.errors, 0);
+        assert!(m.writes.ops > 0);
+        assert!(m.writes.errors > 0, "writer failures land in the write class");
+        assert_eq!(m.reads.elapsed, m.writes.elapsed);
+        assert!(m.reads.rate() > m.writes.rate(), "2 readers vs 1 writer");
     }
 
     #[test]

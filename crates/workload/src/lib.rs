@@ -13,9 +13,11 @@ pub mod ops;
 pub mod populate;
 pub mod spec;
 
-pub use driver::{run_closed_loop, Measurement, RunConfig, Workload};
+pub use driver::{
+    run_closed_loop, run_mixed, Measurement, MixedConfig, MixedMeasurement, RunConfig, Workload,
+};
 pub use ops::{driver_credential, make_worker, Access, OpKind};
 pub use populate::{
-    build_catalog, build_catalog_with, build_sharded_catalog, BuiltCatalog, BuiltShardedCatalog,
-    ADMIN_DN,
+    build_catalog, build_catalog_opts, build_catalog_with, build_sharded_catalog,
+    build_sharded_catalog_opts, BuiltCatalog, BuiltShardedCatalog, ADMIN_DN,
 };

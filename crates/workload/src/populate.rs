@@ -183,12 +183,23 @@ pub fn build_catalog_with(
     profile: IndexProfile,
     cache: Option<mcs::CacheConfig>,
 ) -> BuiltCatalog {
+    build_catalog_opts(n_files, profile, cache, false)
+}
+
+/// [`build_catalog_with`] with the storage engine selectable: with
+/// `mvcc` the catalog runs on an MVCC database (snapshot reads, no
+/// shared barriers — DESIGN.md §7.5), loaded through the same bulk path.
+pub fn build_catalog_opts(
+    n_files: u64,
+    profile: IndexProfile,
+    cache: Option<mcs::CacheConfig>,
+    mvcc: bool,
+) -> BuiltCatalog {
     let admin = Credential::new(ADMIN_DN);
     let clock = Arc::new(ManualClock::default());
-    let mcs = Arc::new(match cache {
-        Some(c) => Mcs::with_options_cached(&admin, profile, clock, c).expect("bootstrap"),
-        None => Mcs::with_options(&admin, profile, clock).expect("bootstrap"),
-    });
+    let db = Arc::new(if mvcc { Database::new_mvcc() } else { Database::new() });
+    let mcs =
+        Arc::new(Mcs::with_database_cached(db, &admin, profile, clock, cache).expect("bootstrap"));
     mcs.allow_anyone(&admin).expect("open service");
     for (a, name) in ATTR_NAMES.iter().enumerate() {
         mcs.define_attribute(&admin, name, ATTR_TYPES[a], "evaluation workload attribute")
@@ -222,8 +233,21 @@ pub fn build_sharded_catalog(
     shards: usize,
     cache: Option<mcs::CacheConfig>,
 ) -> BuiltShardedCatalog {
+    build_sharded_catalog_opts(n_files, profile, shards, cache, false)
+}
+
+/// [`build_sharded_catalog`] with the storage engine selectable (see
+/// [`build_catalog_opts`]): with `mvcc` every shard serves snapshot
+/// reads, so scatter-gather queries pin a per-shard snapshot vector.
+pub fn build_sharded_catalog_opts(
+    n_files: u64,
+    profile: IndexProfile,
+    shards: usize,
+    cache: Option<mcs::CacheConfig>,
+    mvcc: bool,
+) -> BuiltShardedCatalog {
     if shards <= 1 {
-        let built = build_catalog_with(n_files, profile, cache);
+        let built = build_catalog_opts(n_files, profile, cache, mvcc);
         return BuiltShardedCatalog {
             catalog: Arc::new(ShardedCatalog::from_single(built.mcs)),
             admin: built.admin,
@@ -233,7 +257,7 @@ pub fn build_sharded_catalog(
     let admin = Credential::new(ADMIN_DN);
     let clock = Arc::new(ManualClock::default());
     let catalog = Arc::new(
-        ShardedCatalog::in_memory_cached(shards, &admin, profile, clock, cache)
+        ShardedCatalog::in_memory_opts(shards, &admin, profile, clock, cache, mvcc)
             .expect("bootstrap"),
     );
     catalog.allow_anyone(&admin).expect("open service");

@@ -24,6 +24,11 @@
 #                      test, the two-phase membership crash matrix,
 #                      the parallel loader equivalence test, and the
 #                      SOAP shard-routing round-trip
+#   verify.sh mvcc     the snapshot-read contract (DESIGN.md §7.5):
+#                      relstore version-chain/snapshot/vacuum unit
+#                      tests, the seeded MVCC-vs-barrier twin property
+#                      test, the snapshot-isolation test, and the
+#                      MVCC WAL-truncation crash matrix
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -87,8 +92,22 @@ case "$lane" in
     cargo test -q -p mcs-net --test sharded_over_net
     echo "shard lane: $(($(date +%s) - start))s elapsed"
     ;;
+  mvcc)
+    start=$(date +%s)
+    cargo test -q -p relstore --lib mvcc
+    cargo test -q -p relstore --lib snapshot
+    cargo test -q -p relstore --lib vacuum
+    if ! cargo test -q -p mcs --test mvcc_twin; then
+      echo "mvcc lane failed." >&2
+      echo "To replay a twin-divergence failure, rerun with the seed printed above:" >&2
+      echo "  MCS_MVCC_SEED=<seed> cargo test -p mcs --test mvcc_twin -- --nocapture" >&2
+      exit 1
+    fi
+    cargo test -q -p mcs --test mvcc_truncation
+    echo "mvcc lane: $(($(date +%s) - start))s elapsed"
+    ;;
   *)
-    echo "usage: verify.sh [unit|crash|stress|async-durability|cache|shard]" >&2
+    echo "usage: verify.sh [unit|crash|stress|async-durability|cache|shard|mvcc]" >&2
     exit 2
     ;;
 esac
