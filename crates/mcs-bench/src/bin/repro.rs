@@ -22,7 +22,7 @@ fn main() {
                 let n = args
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| die("--figure needs a number 5..=16"));
+                    .unwrap_or_else(|| die("--figure needs a number 5..=17"));
                 figures.push(n);
             }
             "--out" => out_dir = Some(args.next().unwrap_or_else(|| die("--out needs a path"))),
@@ -37,7 +37,8 @@ fn main() {
                                 13 = async epoch-ack commit latency A/B,\n\
                                 14 = epoch-consistent read-cache A/B,\n\
                                 15 = sharded scatter-gather scaling A/B,\n\
-                                16 = MVCC snapshot-read mixed A/B)\n\
+                                16 = MVCC snapshot-read mixed A/B,\n\
+                                17 = cost-based planner A/B)\n\
                      --out DIR  JSON output directory (default: results)"
                 );
                 return;
@@ -57,7 +58,7 @@ fn main() {
     // Figures 12–16 build their own catalogs; don't populate the big
     // shared in-memory deployments unless a paper figure needs them.
     let deployments =
-        if figures.iter().all(|&n| (12..=16).contains(&n)) { Vec::new() } else { deploy(&cfg) };
+        if figures.iter().all(|&n| (12..=17).contains(&n)) { Vec::new() } else { deploy(&cfg) };
     for n in figures {
         let fig = run_figure(n, &cfg, &deployments);
         println!("\n{}", fig.to_table());

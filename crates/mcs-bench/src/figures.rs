@@ -923,6 +923,144 @@ pub fn fig16(cfg: &Config, _deployments: &[Deployment]) -> Figure {
     }
 }
 
+/// Figure 17 (beyond the paper): **cost-based planner A/B** on the
+/// value-indexed profile, read cache out of the picture.
+///
+/// One uncached `ValueIndexed` catalog per database size answers the
+/// same complex-query working set two ways:
+///
+/// * **planner on** — the default path: composite-index dives pick the
+///   most selective predicate as the seed, the rest intersect or run as
+///   per-candidate `ua_object` probes (DESIGN.md §7.6);
+/// * **planner off** — inside `with_planner_bypass`: every predicate
+///   walks its attribute's full `ua_name` posting list (the 2003
+///   evaluation), so per-query cost grows linearly with database size.
+///
+/// Two query shapes per side: the paper's 10-attribute equality
+/// conjunction (Figures 7/10/11's op) and a mixed shape with a range
+/// and a LIKE prefix, exercising the planner's range and prefix-range
+/// access paths. Every answer is verified. The acceptance bar is ≥5×
+/// planned-over-naive throughput at the largest size; the tentpole goal
+/// is a planned curve that stays roughly flat while the naive curve
+/// decays with n.
+pub fn fig17(cfg: &Config, _deployments: &[Deployment]) -> Figure {
+    use workload::spec;
+
+    const WORKING_SET: u64 = 16;
+
+    let run = RunConfig {
+        hosts: 1,
+        threads_per_host: 4,
+        duration: cfg.scale.point_duration(),
+        warmup: cfg.scale.warmup(),
+        min_ops: cfg.scale.min_ops(),
+        max_extension: cfg.scale.max_extension(),
+    };
+
+    // Eq-conjunction series and range-mix series, each planned + naive.
+    let mut series: Vec<Series> = ["planner on", "planner off", "planner on, range mix", "planner off, range mix"]
+        .iter()
+        .map(|label| Series { label: label.to_string(), points: Vec::new() })
+        .collect();
+    let mut speedup_at_largest = 0.0;
+    for &n in cfg.scale.sizes().iter() {
+        eprintln!("[fig17] populating {} logical files (value-indexed)...", size_label(n));
+        let t0 = std::time::Instant::now();
+        let built = build_catalog(n, IndexProfile::ValueIndexed);
+        // Post-load ANALYZE, as any bulk load would do: the figure measures
+        // query evaluation, not the one-time cold-statistics scan.
+        built.mcs.database().analyze_table("user_attributes").unwrap();
+        eprintln!("[fig17] {} ready in {:.1}s", size_label(n), t0.elapsed().as_secs_f64());
+        let mcs = &built.mcs;
+        let targets: Vec<u64> = (0..WORKING_SET).map(|j| j * (n / WORKING_SET).max(1)).collect();
+
+        // The paper's complex query: equality on all ten attributes.
+        let eq10: Arc<Vec<(u64, Vec<mcs::AttrPredicate>)>> =
+            Arc::new(targets.iter().map(|&i| (i, spec::complex_query(i, 10))).collect());
+        // Mixed shape: the same file pinned by an equality plus a
+        // Ge/Le range pair, with a LIKE literal prefix on top — the
+        // answer is still exactly file `i`, but evaluation goes through
+        // the planner's range and prefix-range access paths.
+        let mixed: Arc<Vec<(u64, Vec<mcs::AttrPredicate>)>> = Arc::new(
+            targets
+                .iter()
+                .map(|&i| {
+                    let mut preds = spec::complex_query(i, 4);
+                    preds[0].op = mcs::AttrOp::Like;
+                    preds[0].value = relstore::Value::from(
+                        format!("{}%", preds[0].value.as_str().unwrap()).as_str(),
+                    );
+                    preds[3].op = mcs::AttrOp::Ge;
+                    let mut le = preds[3].clone();
+                    le.op = mcs::AttrOp::Le;
+                    preds.push(le);
+                    (i, preds)
+                })
+                .collect(),
+        );
+
+        let make_worker = |queries: &Arc<Vec<(u64, Vec<mcs::AttrPredicate>)>>, bypass: bool| {
+            let mcs = Arc::clone(mcs);
+            let queries = Arc::clone(queries);
+            move |_h: usize, t: usize| -> Box<dyn workload::Workload> {
+                let mcs = Arc::clone(&mcs);
+                let queries = Arc::clone(&queries);
+                let mut at = t; // stagger threads across the set
+                let cred = workload::driver_credential(0, t);
+                Box::new(move || {
+                    let (i, preds) = &queries[at % queries.len()];
+                    at += 1;
+                    let r = if bypass {
+                        mcs.with_planner_bypass(|m| m.query_by_attributes(&cred, preds))
+                    } else {
+                        mcs.query_by_attributes(&cred, preds)
+                    };
+                    matches!(r, Ok(hits) if hits == [(spec::file_name(*i), 1)])
+                })
+            }
+        };
+
+        let mut rates = [0.0f64; 4];
+        for (s, (queries, bypass)) in
+            [(&eq10, false), (&eq10, true), (&mixed, false), (&mixed, true)].iter().enumerate()
+        {
+            let m = run_closed_loop(&run, make_worker(queries, *bypass));
+            eprintln!(
+                "[fig17] {} files, {}: {:.1}/s ({} errors)",
+                size_label(n),
+                series[s].label,
+                m.rate(),
+                m.errors
+            );
+            rates[s] = m.rate();
+            series[s].points.push(Point { x: n, rate: m.rate(), ops: m.ops, errors: m.errors });
+        }
+        if rates[1] > 0.0 {
+            speedup_at_largest = rates[0] / rates[1];
+            eprintln!(
+                "[fig17] {} files: planned/naive = {:.1}x (eq), {:.1}x (range mix)",
+                size_label(n),
+                rates[0] / rates[1],
+                if rates[3] > 0.0 { rates[2] / rates[3] } else { f64::INFINITY },
+            );
+        }
+    }
+    eprintln!(
+        "[fig17] acceptance: {:.1}x planned-over-naive at the largest size (bar: >=5x)",
+        speedup_at_largest
+    );
+
+    Figure {
+        id: "fig17".into(),
+        title: "Complex-Query Throughput: Cost-Based Planner vs Posting-Scan Evaluation \
+                (value-indexed, uncached)"
+            .into(),
+        x_label: "database size (logical files)".into(),
+        y_label: "queries/sec".into(),
+        series,
+    }
+}
+
 /// Run one figure by number.
 pub fn run_figure(n: u8, cfg: &Config, deployments: &[Deployment]) -> Figure {
     match n {
@@ -938,10 +1076,11 @@ pub fn run_figure(n: u8, cfg: &Config, deployments: &[Deployment]) -> Figure {
         14 => fig14(cfg, deployments),
         15 => fig15(cfg, deployments),
         16 => fig16(cfg, deployments),
+        17 => fig17(cfg, deployments),
         other => panic!(
             "no figure {other}: 5–11 reproduce the paper, 12/13 the durability A/Bs, \
              14 the read-cache A/B, 15 the sharded-catalog scaling A/B, 16 the MVCC \
-             snapshot-read A/B"
+             snapshot-read A/B, 17 the cost-based planner A/B"
         ),
     }
 }

@@ -548,6 +548,19 @@ impl McsClient {
         Ok(hits_from(r.expect("hits")?)?)
     }
 
+    /// EXPLAIN for [`MetadataCatalogClient::query_by_attributes`]: the
+    /// evaluation plan the server's cost-based planner would choose for
+    /// this conjunction, one human-readable line per step, without
+    /// executing the query.
+    pub fn explain_query(&mut self, preds: &[AttrPredicate]) -> Result<Vec<String>> {
+        let mut a = Element::new("a");
+        for p in preds {
+            a = a.child(predicate_el(p));
+        }
+        let r = self.call("explainQuery", a)?;
+        r.expect("plan")?.find_all("step").map(|s| Ok(s.text_content())).collect()
+    }
+
     // --- annotations, audit, history ---
 
     /// Attach an annotation.

@@ -375,6 +375,20 @@ pub fn register_methods(d: &mut SoapDispatcher, catalog: Arc<ShardedCatalog>) {
         let hits = mcs.query_by_attributes(&cred, &preds).map_err(fault_of)?;
         Ok(wrap(vec![hits_el(&hits)]))
     });
+    reg(d, mcs, "explainQuery", |mcs, call| {
+        let cred = credential_from(call).map_err(fault_of_xml)?;
+        let preds: Vec<_> = call
+            .find_all("predicate")
+            .map(predicate_from)
+            .collect::<crate::wire::Result<_>>()
+            .map_err(fault_of_xml)?;
+        let lines = mcs.explain_query(&cred, &preds).map_err(fault_of)?;
+        let mut plan = Element::new("plan");
+        for l in lines {
+            plan = plan.child(text_el("step", l));
+        }
+        Ok(wrap(vec![plan]))
+    });
 
     // --- annotations, audit, history ---
     reg(d, mcs, "annotate", |mcs, call| {

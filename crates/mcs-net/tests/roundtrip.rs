@@ -248,3 +248,42 @@ fn concurrent_clients() {
         Value::Int(99)
     );
 }
+
+#[test]
+fn explain_query_over_the_wire() {
+    // Paper2003 profile: every predicate reports its posting scan.
+    let (server, _m) = start_server();
+    let mut c = client(&server);
+    c.define_attribute("channel", AttrType::Str, "").unwrap();
+    let plan = c.explain_query(&[AttrPredicate::eq("channel", "H1")]).unwrap();
+    assert_eq!(plan, vec!["posting scan: channel = via ua_name".to_string()]);
+
+    // ValueIndexed profile: the cost-based plan comes back line by line.
+    let a = admin();
+    let clock = Arc::new(ManualClock::default());
+    let m = Arc::new(Mcs::with_options(&a, IndexProfile::ValueIndexed, clock).unwrap());
+    let server = McsServer::start(m, "127.0.0.1:0", 2).unwrap();
+    let mut c = client(&server);
+    c.define_attribute("channel", AttrType::Str, "").unwrap();
+    c.define_attribute("gps", AttrType::Int, "").unwrap();
+    for i in 0..8 {
+        c.create_file(
+            &FileSpec::named(format!("f{i}")).attr("channel", "H1").attr("gps", i as i64),
+        )
+        .unwrap();
+    }
+    let plan = c
+        .explain_query(&[
+            AttrPredicate::eq("channel", "H1"),
+            AttrPredicate { name: "gps".into(), op: mcs::AttrOp::Ge, value: 5i64.into() },
+        ])
+        .unwrap();
+    assert_eq!(plan.len(), 2);
+    // gps >= 5 keeps 3 of 8 rows and seeds; channel = H1 matches all 8,
+    // so walking its index would cost more than probing the 3 survivors.
+    assert!(plan[0].starts_with("seed: gps >= via index ua_name_int range"), "{plan:?}");
+    assert!(plan[1].starts_with("residual: channel = via ua_object probes"), "{plan:?}");
+
+    // Empty predicate lists fault, like the query itself.
+    assert!(c.explain_query(&[]).is_err());
+}

@@ -156,9 +156,49 @@ impl Mcs {
             }
             QueryExpr::Static(sp) => self.eval_static(sp)?,
             QueryExpr::And(subs) => {
+                // Under the value-indexed profile, well-typed Attr
+                // leaves of a conjunction are compiled into one
+                // cost-based plan (crate::plan) instead of evaluating in
+                // syntactic order; the group runs where its first member
+                // stood and every other child still evaluates
+                // sequentially at its own position. Like any cost-based
+                // reorder this may change *which* error a multi-error
+                // expression reports, never a successful answer. Leaves
+                // that fail type-checking stay sequential so they error
+                // (or not) exactly where the naive path would.
+                let planned = self.profile == crate::schema::IndexProfile::ValueIndexed
+                    && !crate::plan::bypass_active();
+                let mut grouped = vec![false; subs.len()];
+                let mut group: Vec<(&AttrPredicate, AttrType)> = Vec::new();
+                if planned {
+                    for (i, s) in subs.iter().enumerate() {
+                        if let QueryExpr::Attr(p) = s {
+                            if let Ok(ty) = self.check_predicate_type(p) {
+                                grouped[i] = true;
+                                group.push((p, ty));
+                            }
+                        }
+                    }
+                    if group.len() < 2 {
+                        grouped.iter_mut().for_each(|g| *g = false);
+                        group.clear();
+                    }
+                }
                 let mut acc: Option<HashSet<i64>> = None;
-                for s in subs {
-                    let ids = self.eval_expr(s)?;
+                let mut group_done = false;
+                for (i, s) in subs.iter().enumerate() {
+                    let ids = if grouped[i] {
+                        if group_done {
+                            continue;
+                        }
+                        group_done = true;
+                        let handle = self.db.table("user_attributes")?;
+                        let t = handle.read();
+                        let plan = crate::plan::plan_conjunction(&t, &group)?;
+                        self.run_attr_plan(&t, &group, &plan)?
+                    } else {
+                        self.eval_expr(s)?
+                    };
                     acc = Some(match acc {
                         None => ids,
                         Some(prev) => prev.intersection(&ids).copied().collect(),

@@ -48,6 +48,7 @@ pub mod error;
 pub mod general_query;
 pub mod history;
 pub mod model;
+pub mod plan;
 pub mod query;
 pub mod replication;
 pub mod schema;

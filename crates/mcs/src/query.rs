@@ -9,9 +9,14 @@
 //!   paper's index profile each predicate scans the posting list of its
 //!   attribute *name* (values are unindexed), so cost grows with both
 //!   database size and predicate count, reproducing the paper's shapes.
+//!   Under [`IndexProfile::ValueIndexed`] the conjunction is compiled by
+//!   the cost-based planner in [`crate::plan`] instead: composite
+//!   `(name, value)` indexes provide point/range access paths, the most
+//!   selective predicate seeds the candidate set, and the rest intersect
+//!   or probe per-candidate — see [`Mcs::explain_query`] for the chosen
+//!   shape and [`Mcs::with_planner_bypass`] for the naive oracle.
 
 use std::collections::HashSet;
-use std::ops::Bound;
 
 use relstore::predicate::like_match;
 use relstore::{IndexKey, Value};
@@ -48,41 +53,22 @@ impl Mcs {
         // is never cached) and take the version vector of the query's
         // input tables before computing, so the fill below can only stamp
         // a state at least as old as what it read — any write landing
-        // mid-compute bumps a version and the entry self-invalidates.
+        // mid-compute bumps a version and the entry self-invalidates. A
+        // planner bypass also skips the cache: its point is to measure
+        // (and twin-test) the actual evaluation, not a memoized answer.
         let mut fill = None;
-        if let Some(cache) = self.read_cache() {
-            let key = crate::cache::query_key(preds, self.profile);
-            match cache.lookup(&self.db, &key) {
-                crate::cache::Lookup::Hit(crate::cache::CacheValue::Hits(h)) => return Ok(h),
-                crate::cache::Lookup::Hit(_) => {}
-                crate::cache::Lookup::Miss(stamp) => fill = Some((cache, key, stamp)),
+        if !crate::plan::bypass_active() {
+            if let Some(cache) = self.read_cache() {
+                let key = crate::cache::query_key(preds, self.profile);
+                match cache.lookup(&self.db, &key) {
+                    crate::cache::Lookup::Hit(crate::cache::CacheValue::Hits(h)) => return Ok(h),
+                    crate::cache::Lookup::Hit(_) => {}
+                    crate::cache::Lookup::Miss(stamp) => fill = Some((cache, key, stamp)),
+                }
             }
         }
         // Resolve definitions and type-check before touching the table.
-        let mut checked: Vec<(&AttrPredicate, AttrType)> = Vec::with_capacity(preds.len());
-        for p in preds {
-            let def = self
-                .attribute_definition(&p.name)?
-                .ok_or_else(|| McsError::BadAttribute(format!("`{}` is not defined", p.name)))?;
-            let given = AttrType::of_value(&p.value).ok_or_else(|| {
-                McsError::BadAttribute(format!("`{}`: unsupported comparison value", p.name))
-            })?;
-            let ok = given == def.attr_type
-                || (given == AttrType::Int && def.attr_type == AttrType::Float);
-            if !ok {
-                return Err(McsError::BadAttribute(format!(
-                    "`{}` is {:?}, got {given:?}",
-                    p.name, def.attr_type
-                )));
-            }
-            if p.op == AttrOp::Like && def.attr_type != AttrType::Str {
-                return Err(McsError::BadAttribute(format!(
-                    "LIKE requires a string attribute, `{}` is {:?}",
-                    p.name, def.attr_type
-                )));
-            }
-            checked.push((p, def.attr_type));
-        }
+        let checked = self.check_predicates(preds)?;
 
         // Under MVCC the whole predicate evaluation runs inside one
         // snapshot scope, so every posting list is read from the same
@@ -98,35 +84,24 @@ impl Mcs {
                     Some(prev) => prev.intersection(&ids).copied().collect(),
                 })
             };
-            if self.profile == IndexProfile::ValueIndexed {
-                // Under value indexes an Eq predicate is a point lookup:
-                // evaluate all of them first and intersect starting from
-                // the smallest set, so the accumulator is never larger
-                // than the most selective equality — ranges (and Ne/Like
-                // scans) then only shrink it further.
-                let mut eq_sets = Vec::new();
+            if self.profile == IndexProfile::ValueIndexed && !crate::plan::bypass_active() {
+                // Compile the conjunction into a cost-based plan: the
+                // most selective predicate (by index dive / statistics)
+                // seeds the candidate set, the rest intersect via their
+                // composite indexes or run as per-candidate residual
+                // probes — see `crate::plan` and `Mcs::explain_query`.
+                let plan = crate::plan::plan_conjunction(&t, &checked)?;
+                candidates = Some(self.run_attr_plan(&t, &checked, &plan)?);
+            } else if self.profile == IndexProfile::ValueIndexed {
+                // Planner bypass: the naive oracle — one `ua_name`
+                // posting scan per predicate, intersected in syntactic
+                // order. Twin tests diff this against the planned path.
                 for (p, ty) in &checked {
-                    if p.op == AttrOp::Eq {
-                        eq_sets.push(self.eval_predicate(&t, p, *ty)?);
-                    }
-                }
-                eq_sets.sort_by_key(HashSet::len);
-                for ids in eq_sets {
+                    let value = crate::plan::coerced_value(p, *ty);
+                    let ids = self.posting_scan(&t, p, *ty, ty.full_row_column(), &value)?;
                     candidates = intersect(candidates, ids);
                     if candidates.as_ref().is_some_and(HashSet::is_empty) {
                         break;
-                    }
-                }
-                if !candidates.as_ref().is_some_and(HashSet::is_empty) {
-                    for (p, ty) in &checked {
-                        if p.op == AttrOp::Eq {
-                            continue;
-                        }
-                        let ids = self.eval_predicate(&t, p, *ty)?;
-                        candidates = intersect(candidates, ids);
-                        if candidates.as_ref().is_some_and(HashSet::is_empty) {
-                            break;
-                        }
                     }
                 }
             } else {
@@ -165,109 +140,29 @@ impl Mcs {
         p: &AttrPredicate,
         ty: AttrType,
     ) -> Result<HashSet<i64>> {
-        let value = match (&p.value, ty) {
-            (Value::Int(i), AttrType::Float) => Value::Float(*i as f64),
-            (v, _) => v.clone(),
-        };
-        let val_col = ty.full_row_column();
-        let mut out = HashSet::new();
+        let value = crate::plan::coerced_value(p, ty);
 
-        // Value-indexed fast path (the §9 "future work" profile).
-        if self.profile == IndexProfile::ValueIndexed && p.op != AttrOp::Like {
-            let ix_name = match ty {
-                AttrType::Str => "ua_name_str",
-                AttrType::Int => "ua_name_int",
-                AttrType::Float => "ua_name_float",
-                AttrType::Date => "ua_name_date",
-                AttrType::Time => "ua_name_time",
-                AttrType::DateTime => "ua_name_datetime",
-            };
-            let ix = t
-                .index(ix_name)
-                .ok_or_else(|| McsError::Internal(format!("missing index {ix_name}")))?;
-            let mut ids = Vec::new();
-            let prefix = [Value::from(p.name.as_str())];
-            match p.op {
-                AttrOp::Eq => {
-                    let key = IndexKey(vec![prefix[0].clone(), value.clone()]);
-                    ids.extend(ix.get_eq(&key));
-                }
-                AttrOp::Ne => {
-                    // no index help for ≠; fall back to the posting scan
-                    return self.posting_scan(t, p, ty, val_col, &value);
-                }
-                AttrOp::Lt => ix.scan_prefix_range(
-                    &prefix,
-                    Bound::Unbounded,
-                    Bound::Excluded(&value),
-                    &mut ids,
-                ),
-                AttrOp::Le => ix.scan_prefix_range(
-                    &prefix,
-                    Bound::Unbounded,
-                    Bound::Included(&value),
-                    &mut ids,
-                ),
-                AttrOp::Gt => ix.scan_prefix_range(
-                    &prefix,
-                    Bound::Excluded(&value),
-                    Bound::Unbounded,
-                    &mut ids,
-                ),
-                AttrOp::Ge => ix.scan_prefix_range(
-                    &prefix,
-                    Bound::Included(&value),
-                    Bound::Unbounded,
-                    &mut ids,
-                ),
-                AttrOp::Like => unreachable!("handled above"),
+        // Value-indexed fast path (the §9 "future work" profile): point
+        // and range lookups on the composite (name, value) index — this
+        // includes LIKE patterns with a literal prefix, which range over
+        // the prefix and re-check the pattern on the survivors. `Ne` has
+        // no useful access path (everything *but* one key) and falls
+        // back to the posting scan; in a conjunction the planner demotes
+        // it to a per-candidate residual probe instead.
+        if self.profile == IndexProfile::ValueIndexed && !crate::plan::bypass_active() {
+            if let Some(access) = crate::plan::access_for(p, ty, &value) {
+                return self.eval_access(t, p, ty, &value, &access);
             }
-            for id in ids {
-                // Under MVCC a deleted row's index entries linger until
-                // vacuum, and a pending row from another transaction is
-                // not yet visible — both read back as `None` here and are
-                // simply skipped. On the barrier engine a dangling entry
-                // is still a corruption signal.
-                let Some(row) = relstore::snapshot_row(t, id) else {
-                    if t.is_mvcc() {
-                        continue;
-                    }
-                    return Err(McsError::Internal("dangling index".into()));
-                };
-                if row[1] != Value::Int(ObjectType::File.code()) {
-                    continue;
-                }
-                // MVCC index entries may describe a superseded version of
-                // the row until vacuum — re-check the predicate against
-                // the image this snapshot actually sees.
-                if t.is_mvcc() {
-                    let name_ok = matches!(&row[3], Value::Str(s) if s.as_ref() == p.name);
-                    let val_ok = row[val_col].sql_cmp(&value).is_some_and(|ord| match p.op {
-                        AttrOp::Eq => ord.is_eq(),
-                        AttrOp::Ne => ord.is_ne(),
-                        AttrOp::Lt => ord.is_lt(),
-                        AttrOp::Le => ord.is_le(),
-                        AttrOp::Gt => ord.is_gt(),
-                        AttrOp::Ge => ord.is_ge(),
-                        AttrOp::Like => false,
-                    });
-                    if !name_ok || !val_ok {
-                        continue;
-                    }
-                }
-                out.insert(row[2].as_int()?);
-            }
-            return Ok(out);
         }
 
-        self.posting_scan(t, p, ty, val_col, &value)
+        self.posting_scan(t, p, ty, ty.full_row_column(), &value)
     }
 
     /// The 2003 evaluation path: walk every attribute row with this name
     /// and compare its value column. Cost ∝ rows-with-this-name ∝
     /// database size (each file carries each workload attribute), which is
     /// the source of the complex-query scaling in Figures 7/10/11.
-    fn posting_scan(
+    pub(crate) fn posting_scan(
         &self,
         t: &relstore::Table,
         p: &AttrPredicate,

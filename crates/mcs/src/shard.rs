@@ -496,6 +496,7 @@ impl ShardedCatalog {
             pins.iter().map(|p| p.as_ref().map(|p| p.epoch())).collect();
         let f = Arc::new(f);
         let bypass = crate::cache::bypass_active();
+        let planner_bypass = crate::plan::bypass_active();
         let (tx, rx) = mpsc::channel();
         let pool = self.pool.as_ref().expect("multi-shard catalogs have a pool");
         for k in 1..n {
@@ -505,10 +506,20 @@ impl ShardedCatalog {
             let epoch = epochs[k];
             pool.execute(move || {
                 let run = || {
+                    // Both bypasses are thread-locals on the caller;
+                    // re-establish whichever were active so the scoped
+                    // request behaves identically on every worker.
+                    let call = |m: &Mcs| {
+                        if planner_bypass {
+                            m.with_planner_bypass(|m| f(m))
+                        } else {
+                            f(m)
+                        }
+                    };
                     if bypass {
-                        shard.with_cache_bypass(|m| f(m))
+                        shard.with_cache_bypass(call)
                     } else {
-                        f(&shard)
+                        call(&shard)
                     }
                 };
                 let r = match epoch {
@@ -642,6 +653,33 @@ impl ShardedCatalog {
     /// [`ShardedCatalog::scatter`]: ShardedCatalog::query_by_attributes
     pub fn with_cache_bypass<R>(&self, f: impl FnOnce(&ShardedCatalog) -> R) -> R {
         self.shards[0].with_cache_bypass(|_| f(self))
+    }
+
+    /// Run `f` with the cost-based attribute planner bypassed on this
+    /// thread — and, via the scatter's bypass propagation, on every pool
+    /// thread a fan-out inside `f` touches. See
+    /// [`Mcs::with_planner_bypass`].
+    pub fn with_planner_bypass<R>(&self, f: impl FnOnce(&ShardedCatalog) -> R) -> R {
+        self.shards[0].with_planner_bypass(|_| f(self))
+    }
+
+    /// See [`Mcs::explain_query`]. Attribute queries scatter the same
+    /// conjunction to every shard, so the plan is shown once (computed
+    /// against shard 0's statistics) with a scatter header when the
+    /// catalog has more than one shard.
+    pub fn explain_query(
+        &self,
+        cred: &Credential,
+        preds: &[AttrPredicate],
+    ) -> Result<Vec<String>> {
+        let mut lines = self.shards[0].explain_query(cred, preds)?;
+        if self.shards.len() > 1 {
+            lines.insert(
+                0,
+                format!("scatter-gather over {} shards; per-shard plan (shard 0):", self.shards.len()),
+            );
+        }
+        Ok(lines)
     }
 
     // ---------- files (routed by name) ----------

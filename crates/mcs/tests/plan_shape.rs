@@ -1,0 +1,252 @@
+//! Plan-shape regression tests: `explain_query` pins the access path the
+//! cost-based planner chooses for canonical conjunctions, so an
+//! accidental cost-model change shows up as a readable string diff — plus
+//! statistics edge cases (empty catalog, all-duplicate and NULL-heavy
+//! columns, staleness after bulk deletes) that the estimates must survive
+//! without panicking or mis-planning.
+
+use std::sync::Arc;
+
+use mcs::{
+    AttrOp, AttrPredicate, AttrType, Credential, FileSpec, IndexProfile, ManualClock, Mcs,
+};
+use relstore::Value;
+
+fn admin() -> Credential {
+    Credential::new("/O=Grid/CN=admin")
+}
+
+fn catalog() -> Mcs {
+    let a = admin();
+    let m =
+        Mcs::with_options(&a, IndexProfile::ValueIndexed, Arc::new(ManualClock::default()))
+            .unwrap();
+    m.define_attribute(&a, "run", AttrType::Int, "").unwrap();
+    m.define_attribute(&a, "site", AttrType::Str, "").unwrap();
+    m
+}
+
+/// `n` files; every file carries site = s<i % sites> and run = i.
+fn load(m: &Mcs, n: usize, sites: usize) {
+    let a = admin();
+    for i in 0..n {
+        m.create_file(
+            &a,
+            &FileSpec::named(format!("f{i:04}"))
+                .attr("site", format!("s{}", i % sites))
+                .attr("run", i as i64),
+        )
+        .unwrap();
+    }
+}
+
+fn pred(name: &str, op: AttrOp, value: impl Into<Value>) -> AttrPredicate {
+    AttrPredicate { name: name.into(), op, value: value.into() }
+}
+
+#[test]
+fn selective_eq_seeds_unselective_eq_probes() {
+    let m = catalog();
+    load(&m, 60, 30); // site: 2 rows per value; run: unique
+    let a = admin();
+    let plan = m
+        .explain_query(&a, &[pred("site", AttrOp::Eq, "s3"), pred("run", AttrOp::Eq, 3i64)])
+        .unwrap();
+    // run = 3 hits exactly one row — it seeds; site = s3 (2 rows) would
+    // still cost an index walk ≥ the single survivor, so it probes.
+    assert_eq!(
+        plan,
+        vec![
+            "seed: run = via index ua_name_int eq (1 rows)".to_string(),
+            "residual: site = via ua_object probes (~1 candidates)".to_string(),
+        ]
+    );
+}
+
+#[test]
+fn broad_range_intersects_when_cheaper_than_probes() {
+    let m = catalog();
+    load(&m, 40, 2); // site: 20 rows per value; run: unique
+    let a = admin();
+    let plan = m
+        .explain_query(
+            &a,
+            &[pred("site", AttrOp::Eq, "s0"), pred("run", AttrOp::Lt, 5i64)],
+        )
+        .unwrap();
+    // run < 5 keeps 5 of 40 and seeds; site = s0 matches 20, dearer than
+    // probing the 5 survivors.
+    assert_eq!(
+        plan,
+        vec![
+            "seed: run < via index ua_name_int range (5 rows)".to_string(),
+            "residual: site = via ua_object probes (~5 candidates)".to_string(),
+        ]
+    );
+    // Flip the selectivities: now the equality seeds and the wide range
+    // is the residual.
+    let plan = m
+        .explain_query(
+            &a,
+            &[pred("site", AttrOp::Eq, "s0"), pred("run", AttrOp::Lt, 1_000i64)],
+        )
+        .unwrap();
+    assert_eq!(
+        plan,
+        vec![
+            "seed: site = via index ua_name_str eq (20 rows)".to_string(),
+            "residual: run < via ua_object probes (~20 candidates)".to_string(),
+        ]
+    );
+}
+
+#[test]
+fn ne_never_seeds_when_an_indexed_predicate_exists() {
+    let m = catalog();
+    load(&m, 50, 25);
+    let a = admin();
+    // Regression for the old behavior of scanning the full posting list
+    // for the negated predicate: `!=` must ride as a residual probe off
+    // the selective equality, not drive the evaluation.
+    let plan = m
+        .explain_query(&a, &[pred("run", AttrOp::Ne, 7i64), pred("site", AttrOp::Eq, "s3")])
+        .unwrap();
+    assert_eq!(
+        plan,
+        vec![
+            "seed: site = via index ua_name_str eq (2 rows)".to_string(),
+            "residual: run != via ua_object probes (~2 candidates)".to_string(),
+        ]
+    );
+    // Alone, `!=` has no access path and falls back to its posting list.
+    let plan = m.explain_query(&a, &[pred("run", AttrOp::Ne, 7i64)]).unwrap();
+    assert_eq!(plan, vec!["seed: run != via posting scan ua_name (50 rows)".to_string()]);
+}
+
+#[test]
+fn like_literal_prefix_ranges_the_composite_index() {
+    let m = catalog();
+    let a = admin();
+    for i in 0..30 {
+        m.create_file(
+            &a,
+            &FileSpec::named(format!("f{i:04}"))
+                .attr("site", if i < 3 { format!("edge{i}") } else { format!("bulk{i}") }),
+        )
+        .unwrap();
+    }
+    // A literal prefix turns LIKE into a bounded range over
+    // (name, value) — 3 rows, not the 30-row posting list.
+    let plan = m.explain_query(&a, &[pred("site", AttrOp::Like, "edge%")]).unwrap();
+    assert_eq!(
+        plan,
+        vec!["seed: site LIKE via index ua_name_str prefix-range (3 rows)".to_string()]
+    );
+    assert_eq!(
+        m.query_by_attributes(&a, &[pred("site", AttrOp::Like, "edge%")]).unwrap().len(),
+        3
+    );
+    // A leading wildcard has no usable prefix: posting scan.
+    let plan = m.explain_query(&a, &[pred("site", AttrOp::Like, "%9")]).unwrap();
+    assert_eq!(plan, vec!["seed: site LIKE via posting scan ua_name (30 rows)".to_string()]);
+    // The pattern tail still filters inside the prefix range.
+    assert_eq!(
+        m.query_by_attributes(&a, &[pred("site", AttrOp::Like, "edge_")]).unwrap().len(),
+        3
+    );
+    assert_eq!(
+        m.query_by_attributes(&a, &[pred("site", AttrOp::Like, "edge1")]).unwrap().len(),
+        1
+    );
+}
+
+#[test]
+fn paper2003_profile_keeps_posting_scans() {
+    let a = admin();
+    let m = Mcs::with_options(&a, IndexProfile::Paper2003, Arc::new(ManualClock::default()))
+        .unwrap();
+    m.define_attribute(&a, "site", AttrType::Str, "").unwrap();
+    let plan = m.explain_query(&a, &[pred("site", AttrOp::Eq, "s1")]).unwrap();
+    assert_eq!(plan, vec!["posting scan: site = via ua_name".to_string()]);
+}
+
+#[test]
+fn empty_catalog_plans_cleanly() {
+    let m = catalog();
+    let a = admin();
+    // No rows anywhere: estimates are 0, nothing panics, the query is
+    // answered (empty) through the same plan.
+    let plan = m
+        .explain_query(&a, &[pred("site", AttrOp::Eq, "s1"), pred("run", AttrOp::Ge, 2i64)])
+        .unwrap();
+    assert_eq!(plan.len(), 2);
+    assert!(plan[0].contains("(0 rows)"), "{plan:?}");
+    assert!(m
+        .query_by_attributes(&a, &[pred("site", AttrOp::Eq, "s1")])
+        .unwrap()
+        .is_empty());
+}
+
+#[test]
+fn all_duplicate_column_estimates_stay_exact() {
+    let m = catalog();
+    let a = admin();
+    for i in 0..80 {
+        m.create_file(
+            &a,
+            &FileSpec::named(format!("f{i:04}")).attr("site", "same").attr("run", i as i64),
+        )
+        .unwrap();
+    }
+    // Every site value identical: the eq dive reports the full 80 and
+    // the planner correctly prefers the unique run attribute.
+    let plan = m
+        .explain_query(&a, &[pred("site", AttrOp::Eq, "same"), pred("run", AttrOp::Eq, 5i64)])
+        .unwrap();
+    assert_eq!(plan[0], "seed: run = via index ua_name_int eq (1 rows)");
+    let hits = m
+        .query_by_attributes(&a, &[pred("site", AttrOp::Eq, "same"), pred("run", AttrOp::Eq, 5i64)])
+        .unwrap();
+    assert_eq!(hits, vec![("f0005".to_string(), 1)]);
+}
+
+#[test]
+fn null_heavy_value_columns_do_not_skew_ranges() {
+    let m = catalog();
+    let a = admin();
+    // 90 string-attribute rows leave int_value NULL; 10 int rows carry
+    // values. A range over `run` must see only the 10 real rows — in the
+    // answer *and* in the estimate (NULLs sort below every value but
+    // never satisfy a range).
+    for i in 0..90 {
+        m.create_file(&a, &FileSpec::named(format!("s{i:04}")).attr("site", format!("v{i}")))
+            .unwrap();
+    }
+    for i in 0..10 {
+        m.create_file(&a, &FileSpec::named(format!("i{i:04}")).attr("run", i as i64)).unwrap();
+    }
+    let plan = m.explain_query(&a, &[pred("run", AttrOp::Ge, 0i64)]).unwrap();
+    assert_eq!(plan, vec!["seed: run >= via index ua_name_int range (10 rows)".to_string()]);
+    assert_eq!(m.query_by_attributes(&a, &[pred("run", AttrOp::Ge, 0i64)]).unwrap().len(), 10);
+}
+
+#[test]
+fn stats_stay_honest_after_bulk_delete() {
+    let m = catalog();
+    let a = admin();
+    load(&m, 300, 3);
+    m.database().analyze_table("user_attributes").unwrap();
+    for i in 0..280 {
+        m.delete_file(&a, &format!("f{i:04}")).unwrap();
+    }
+    // The analyzed snapshot is 280 writes stale, but plans come from
+    // live index dives: estimates reflect the 20 surviving files, and
+    // answers are exact.
+    let plan = m.explain_query(&a, &[pred("site", AttrOp::Eq, "s0")]).unwrap();
+    assert_eq!(plan, vec!["seed: site = via index ua_name_str eq (6 rows)".to_string()]);
+    // The lazy re-analyze threshold has long been crossed; the next
+    // statistics read rebuilds from the surviving rows (2 per file).
+    let handle = m.database().table("user_attributes").unwrap();
+    let stats = handle.read().statistics();
+    assert_eq!(stats.analyzed_rows, 40);
+}

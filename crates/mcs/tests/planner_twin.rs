@@ -1,0 +1,256 @@
+//! Property test for the cost-based planner contract (DESIGN.md §7.6):
+//! under the `ValueIndexed` profile, a conjunctive (or general boolean)
+//! attribute query evaluated through the planner — composite-index
+//! seeds, intersections, residual probes — must return exactly what the
+//! naive per-predicate posting-scan evaluation returns on the same
+//! catalog. Statistics and index dives choose the plan shape; they must
+//! never change the answer.
+//!
+//! Each step either mutates the catalog or runs a random query twice —
+//! once normally (planned) and once inside `with_planner_bypass` (the
+//! posting-scan oracle) — and asserts byte-identical results. The whole
+//! mix runs under three configurations: the default barrier engine, the
+//! MVCC engine (stale index entries + vacuum), and a 4-shard catalog
+//! (scatter-gather with bypass propagation onto pool threads).
+//!
+//! The driver is single-threaded so a seed replays the interleaving.
+//! Deliberately hand-rolled xorshift PRNG: the property must not depend
+//! on a test-only dependency. Reproduce a failure with
+//! `MCS_PLANNER_SEED=<seed> cargo test -p mcs --test planner_twin`.
+
+use std::fmt::Debug;
+use std::sync::Arc;
+
+use mcs::{
+    AttrOp, AttrPredicate, AttrType, Attribute, Credential, FileSpec, IndexProfile, ManualClock,
+    ObjectRef, QueryExpr, ShardedCatalog, StaticPredicate,
+};
+use relstore::Value;
+
+/// xorshift64 — deterministic, seedable, no dependencies.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed })
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn admin() -> Credential {
+    Credential::new("/O=Grid/CN=admin")
+}
+
+fn norm<T: Debug>(r: &mcs::Result<T>) -> String {
+    format!("{r:?}")
+}
+
+fn file_name(i: u64) -> String {
+    format!("f{i:02}.dat")
+}
+
+fn random_value(rng: &mut Rng, ty: AttrType) -> Value {
+    match ty {
+        AttrType::Int => Value::Int(rng.below(6) as i64),
+        AttrType::Str => Value::from(format!("s{}", rng.below(5)).as_str()),
+        AttrType::Float => Value::Float(rng.below(5) as f64 / 2.0),
+        _ => unreachable!("test uses int/str/float only"),
+    }
+}
+
+/// A random predicate over the three defined attributes. LIKE patterns
+/// (string attribute only) cover the planner's prefix-range path, the
+/// posting fallback (leading wildcard), and exact-pattern corner cases.
+fn random_pred(rng: &mut Rng) -> AttrPredicate {
+    let (name, ty) = match rng.below(3) {
+        0 => ("run", AttrType::Int),
+        1 => ("site", AttrType::Str),
+        _ => ("quality", AttrType::Float),
+    };
+    if ty == AttrType::Str && rng.below(4) == 0 {
+        let pat = ["s%", "s1%", "%1", "s_", "s2", "_%"][rng.below(6) as usize];
+        return AttrPredicate { name: name.into(), op: AttrOp::Like, value: pat.into() };
+    }
+    let op = match rng.below(6) {
+        0 => AttrOp::Eq,
+        1 => AttrOp::Ne,
+        2 => AttrOp::Le,
+        3 => AttrOp::Ge,
+        4 => AttrOp::Lt,
+        _ => AttrOp::Gt,
+    };
+    AttrPredicate { name: name.into(), op, value: random_value(rng, ty) }
+}
+
+/// A random boolean tree whose leaves only reference defined attributes
+/// and existing collections, so both evaluation orders succeed and the
+/// comparison is about answers, not error precedence.
+fn random_expr(rng: &mut Rng, depth: u64) -> QueryExpr {
+    match rng.below(if depth == 0 { 4 } else { 6 }) {
+        0..=2 if depth < 2 => {
+            let n = 2 + rng.below(2);
+            let mut subs: Vec<QueryExpr> = (0..n).map(|_| random_expr(rng, depth + 1)).collect();
+            if rng.below(4) == 0 {
+                subs.push(QueryExpr::Static(StaticPredicate::InCollection(
+                    format!("c{}", rng.below(2)),
+                )));
+            }
+            if rng.below(2) == 0 {
+                QueryExpr::And(subs)
+            } else {
+                QueryExpr::Or(subs)
+            }
+        }
+        3 if depth > 0 && rng.below(3) == 0 => {
+            QueryExpr::Not(Box::new(QueryExpr::Attr(random_pred(rng))))
+        }
+        _ => QueryExpr::Attr(random_pred(rng)),
+    }
+}
+
+struct Config {
+    tag: &'static str,
+    shards: usize,
+    mvcc: bool,
+}
+
+const CONFIGS: [Config; 3] = [
+    Config { tag: "default", shards: 1, mvcc: false },
+    Config { tag: "mvcc", shards: 1, mvcc: true },
+    Config { tag: "sharded4", shards: 4, mvcc: false },
+];
+
+fn check_case(cfg: &Config, seed: u64) {
+    eprintln!("planner_twin: config = {}, seed = {seed}", cfg.tag);
+    let a = admin();
+    let m = ShardedCatalog::in_memory_opts(
+        cfg.shards,
+        &a,
+        IndexProfile::ValueIndexed,
+        Arc::new(ManualClock::default()),
+        None,
+        cfg.mvcc,
+    )
+    .unwrap();
+    m.define_attribute(&a, "run", AttrType::Int, "").unwrap();
+    m.define_attribute(&a, "site", AttrType::Str, "").unwrap();
+    m.define_attribute(&a, "quality", AttrType::Float, "").unwrap();
+    m.create_collection(&a, "c0", None, "").unwrap();
+    m.create_collection(&a, "c1", None, "").unwrap();
+
+    let mut rng = Rng::new(seed);
+    let mut queries = 0u32;
+    for step in 0..400 {
+        match rng.below(10) {
+            // 0–2: create a file with random attributes (small name pool
+            // → AlreadyExists churn), sometimes into a collection.
+            0..=2 => {
+                let mut spec = FileSpec::named(file_name(rng.below(40)));
+                for _ in 0..rng.below(4) {
+                    let p = random_pred(&mut rng);
+                    if p.op == AttrOp::Like {
+                        continue; // patterns are query-side only
+                    }
+                    spec = spec.attr(p.name, p.value);
+                }
+                if rng.below(3) == 0 {
+                    spec = spec.in_collection(format!("c{}", rng.below(2)));
+                }
+                let _ = m.create_file(&a, &spec);
+            }
+            // 3: attribute churn — updates create superseded versions
+            // whose stale index entries the planned paths must re-check.
+            3 => {
+                let obj = ObjectRef::File(file_name(rng.below(40)));
+                if rng.below(3) == 0 {
+                    let name = ["run", "site", "quality"][rng.below(3) as usize];
+                    let _ = m.remove_attribute(&a, &obj, name);
+                } else {
+                    let p = random_pred(&mut rng);
+                    if p.op != AttrOp::Like {
+                        let _ = m.set_attribute(&a, &obj, &Attribute { name: p.name, value: p.value });
+                    }
+                }
+            }
+            // 4: delete or invalidate — dangling entries under MVCC.
+            4 => {
+                let f = file_name(rng.below(40));
+                if rng.below(2) == 0 {
+                    let _ = m.delete_file(&a, &f);
+                } else {
+                    let _ = m.invalidate_file(&a, &f);
+                }
+            }
+            // 5: vacuum (MVCC reclamation mid-run; no-op elsewhere).
+            5 => {
+                for k in 0..m.shards() {
+                    m.shard(k).database().vacuum();
+                }
+            }
+            // 6–8: the conjunctive query, planned vs posting-scan twin.
+            6..=8 => {
+                let n = 1 + rng.below(4);
+                let preds: Vec<AttrPredicate> = (0..n).map(|_| random_pred(&mut rng)).collect();
+                let planned = norm(&m.query_by_attributes(&a, &preds));
+                let naive =
+                    m.with_planner_bypass(|m| norm(&m.query_by_attributes(&a, &preds)));
+                assert_eq!(
+                    planned, naive,
+                    "config {} seed {seed} step {step}: planner diverged from \
+                     posting-scan oracle on {preds:?}",
+                    cfg.tag
+                );
+                // The explain surface must describe every predicate of a
+                // well-formed conjunction without executing anything.
+                let plan = m.explain_query(&a, &preds).unwrap();
+                let body_lines = plan.iter().filter(|l| !l.starts_with("scatter")).count();
+                assert_eq!(body_lines, preds.len(), "{plan:?}");
+                queries += 1;
+            }
+            // 9: the general boolean query, same twin comparison.
+            _ => {
+                let q = random_expr(&mut rng, 0);
+                let planned = norm(&m.general_query(&a, &q));
+                let naive = m.with_planner_bypass(|m| norm(&m.general_query(&a, &q)));
+                assert_eq!(
+                    planned, naive,
+                    "config {} seed {seed} step {step}: general query diverged on {q:?}",
+                    cfg.tag
+                );
+                queries += 1;
+            }
+        }
+    }
+    assert!(queries >= 100, "op mix failed to exercise the twin: {queries} queries");
+}
+
+/// Random interleavings under several fixed seeds (or one from
+/// `MCS_PLANNER_SEED`, for replaying a CI failure) across all three
+/// configurations.
+#[test]
+fn planner_equals_posting_scan_oracle() {
+    if let Some(seed) = std::env::var("MCS_PLANNER_SEED").ok().and_then(|s| s.parse::<u64>().ok())
+    {
+        for cfg in &CONFIGS {
+            check_case(cfg, seed);
+        }
+        return;
+    }
+    for cfg in &CONFIGS {
+        for seed in [42, 0xBADC_0DE, 7_777_777] {
+            check_case(cfg, seed);
+        }
+    }
+}

@@ -611,6 +611,23 @@ impl Database {
             .ok_or_else(|| Error::ExecError("statement returned no rows".into()))
     }
 
+    /// Explain the access plan a SELECT would use, without executing it:
+    /// one line per table (chosen index, estimated rows, cost) plus how
+    /// ORDER BY and LIMIT are handled. Only SELECT is explainable.
+    pub fn explain(&self, sql: &str, params: &[Value]) -> Result<Vec<String>> {
+        match parse(sql)? {
+            Statement::Select(sel) => crate::executor::explain_select(self, &sel, params),
+            _ => Err(Error::ExecError("EXPLAIN supports only SELECT".into())),
+        }
+    }
+
+    /// Recompute planner statistics for a table right now (they otherwise
+    /// refresh lazily once enough writes accumulate — see [`crate::stats`]).
+    pub fn analyze_table(&self, name: &str) -> Result<()> {
+        self.table(name)?.read().analyze();
+        Ok(())
+    }
+
     /// Execute a batch of `;`-separated statements (DDL bootstrap helper).
     /// Statements run independently; the first error aborts the rest.
     pub fn execute_script(&self, script: &str) -> Result<()> {

@@ -8,7 +8,7 @@ use parking_lot::RwLock;
 use crate::db::Database;
 use crate::error::{Error, Result};
 use crate::index::IndexDef;
-use crate::planner::{candidates, plan_table};
+use crate::planner::{candidate_iter, candidates, plan_table, plan_table_costed, AccessPath};
 use crate::predicate::{bind, BoundExpr, CmpOp, Expr, Scope, ScopeEntry};
 use crate::row::RowId;
 use crate::schema::{ColumnDef, TableSchema};
@@ -374,32 +374,64 @@ pub(crate) fn exec_select(db: &Database, sel: &Select, params: &[Value]) -> Resu
         .map(|j| bind(&j.on, &scope, params))
         .collect::<Result<_>>()?;
 
-    // Collect matching row buffers with a left-deep nested-loop join.
+    let keys: Vec<(usize, bool)> = sel
+        .order_by
+        .iter()
+        .map(|k| Ok((scope.resolve(k.table.as_deref(), &k.column)?, k.desc)))
+        .collect::<Result<_>>()?;
+
+    // Collect matching row buffers. A single-table SELECT streams straight
+    // off the chosen access path — the candidate iterator is lazy, so a
+    // LIMIT (with no ORDER BY, or an ORDER BY the index already satisfies)
+    // terminates the scan early instead of materializing every match.
+    // Joins go through the left-deep nested loop.
     let mut matched: Vec<Vec<Value>> = Vec::new();
+    let mut pre_sorted = false;
     {
         let tables: Vec<&Table> = all_refs.iter().map(|r| table_for(r)).collect();
         let bases: Vec<usize> = scope.entries.iter().map(|e| e.base).collect();
-        // Predicate availability: ON clause i is checkable once tables
-        // 0..=i+1 are joined; WHERE only at the end (except that the
-        // planner mines it for single-table constraints at every level).
-        join_level(
-            &tables,
-            &bases,
-            0,
-            &mut vec![Value::Null; scope.width()],
-            &on_bound,
-            where_bound.as_ref(),
-            &mut matched,
-        )?;
+        if tables.len() == 1 {
+            let t = tables[0];
+            let plan = plan_table_costed(t, where_bound.as_ref(), 0);
+            pre_sorted = !keys.is_empty() && index_satisfies_order(t, &plan.path, &keys);
+            let cutoff = if keys.is_empty() || pre_sorted {
+                sel.limit.map(|l| l.saturating_add(sel.offset.unwrap_or(0)))
+            } else {
+                None
+            };
+            for id in candidate_iter(t, &plan.path) {
+                // Snapshot-filtered when this thread has a pinned MVCC
+                // snapshot (index candidates can be dangling or too new).
+                let Some(row) = crate::db::snapshot_row(t, id) else { continue };
+                if let Some(w) = &where_bound {
+                    if !w.matches(row)? {
+                        continue;
+                    }
+                }
+                matched.push(row.clone());
+                if cutoff.is_some_and(|c| matched.len() >= c) {
+                    break;
+                }
+            }
+        } else {
+            // Predicate availability: ON clause i is checkable once tables
+            // 0..=i+1 are joined; WHERE only at the end (except that the
+            // planner mines it for single-table constraints at every level).
+            join_level(
+                &tables,
+                &bases,
+                0,
+                &mut vec![Value::Null; scope.width()],
+                &on_bound,
+                where_bound.as_ref(),
+                &mut matched,
+            )?;
+        }
     }
 
-    // ORDER BY on the full row buffers.
-    if !sel.order_by.is_empty() {
-        let keys: Vec<(usize, bool)> = sel
-            .order_by
-            .iter()
-            .map(|k| Ok((scope.resolve(k.table.as_deref(), &k.column)?, k.desc)))
-            .collect::<Result<_>>()?;
+    // ORDER BY on the full row buffers (skipped when the index already
+    // delivered them in key order).
+    if !keys.is_empty() && !pre_sorted {
         matched.sort_by(|a, b| {
             for (slot, desc) in &keys {
                 let ord = a[*slot].index_cmp(&b[*slot]);
@@ -469,6 +501,133 @@ pub(crate) fn exec_select(db: &Database, sel: &Select, params: &[Value]) -> Resu
         .map(|buf| slots.iter().map(|&s| buf[s].clone()).collect())
         .collect();
     Ok(ResultSet { columns, rows })
+}
+
+/// Does walking `path` deliver rows already ordered by `keys`? True when
+/// every sort key is ascending and matches the index column right after
+/// the equality prefix, in order — then the B-tree walk *is* the sort.
+fn index_satisfies_order(t: &Table, path: &AccessPath, keys: &[(usize, bool)]) -> bool {
+    let AccessPath::Index { index, prefix, .. } = path else { return false };
+    let cols = &t.indexes()[*index].def.columns;
+    keys.iter()
+        .enumerate()
+        .all(|(i, (slot, desc))| !desc && cols.get(prefix.len() + i) == Some(slot))
+}
+
+/// Produce EXPLAIN lines for a SELECT without executing it: one line per
+/// table in join order with the chosen access path, then how ORDER BY and
+/// LIMIT will be handled. Join levels beyond the first are planned with
+/// earlier tables' columns stood in by a placeholder value (their real
+/// values exist only per outer row), so those lines show the path shape
+/// without row estimates.
+pub(crate) fn explain_select(db: &Database, sel: &Select, params: &[Value]) -> Result<Vec<String>> {
+    let mut names: Vec<&str> = std::iter::once(sel.from.table.as_str())
+        .chain(sel.joins.iter().map(|j| j.table.table.as_str()))
+        .collect();
+    let handles: Vec<(String, Arc<RwLock<Table>>)> = {
+        let mut hs = Vec::new();
+        for n in &names {
+            hs.push(((*n).to_owned(), db.table(n)?));
+        }
+        hs
+    };
+    names.sort_unstable();
+    names.dedup();
+    let mut guard_map: std::collections::BTreeMap<String, parking_lot::RwLockReadGuard<'_, Table>> =
+        std::collections::BTreeMap::new();
+    for n in &names {
+        let (_, h) = handles.iter().find(|(hn, _)| hn == n).expect("resolved above");
+        guard_map.insert((*n).to_owned(), h.read());
+    }
+    let table_for = |r: &TableRef| -> &Table { &guard_map[&r.table] };
+
+    let mut scope = Scope::default();
+    let mut base = 0usize;
+    let all_refs: Vec<&TableRef> =
+        std::iter::once(&sel.from).chain(sel.joins.iter().map(|j| &j.table)).collect();
+    for r in &all_refs {
+        let t = table_for(r);
+        scope.entries.push(ScopeEntry {
+            alias: r.alias.clone().unwrap_or_else(|| r.table.clone()),
+            schema: &t.schema,
+            base,
+        });
+        base += t.schema.arity();
+    }
+    let where_bound = sel.where_clause.as_ref().map(|w| bind(w, &scope, params)).transpose()?;
+    let on_bound: Vec<BoundExpr> = sel
+        .joins
+        .iter()
+        .map(|j| bind(&j.on, &scope, params))
+        .collect::<Result<_>>()?;
+    let tables: Vec<&Table> = all_refs.iter().map(|r| table_for(r)).collect();
+    let bases: Vec<usize> = scope.entries.iter().map(|e| e.base).collect();
+
+    let mut lines = Vec::new();
+    let mut first_path: Option<AccessPath> = None;
+    for (level, (&t, &lvl_base)) in tables.iter().zip(&bases).enumerate() {
+        let visible = lvl_base + t.schema.arity();
+        let mut sargable: Vec<BoundExpr> = Vec::new();
+        let mut preds: Vec<&BoundExpr> = Vec::new();
+        if let Some(w) = &where_bound {
+            preds.push(w);
+        }
+        for (i, on) in on_bound.iter().enumerate() {
+            if level >= i + 1 {
+                preds.push(on);
+            }
+        }
+        for p in preds {
+            for c in p.conjuncts() {
+                if max_slot(c).is_some_and(|m| m < visible) {
+                    let inlined = inline_placeholder(c, lvl_base);
+                    if min_slot(&inlined).is_none_or(|s| s >= lvl_base) {
+                        sargable.push(inlined);
+                    }
+                }
+            }
+        }
+        let combined = combine_and(sargable);
+        let plan = plan_table_costed(t, combined.as_ref(), lvl_base);
+        if level == 0 {
+            lines.push(plan.describe(t));
+            first_path = Some(plan.path);
+        } else {
+            lines.push(format!("{} [per outer row]", plan.path.shape(t)));
+        }
+    }
+
+    if !sel.order_by.is_empty() {
+        let keys: Vec<(usize, bool)> = sel
+            .order_by
+            .iter()
+            .map(|k| Ok((scope.resolve(k.table.as_deref(), &k.column)?, k.desc)))
+            .collect::<Result<_>>()?;
+        let streamed = tables.len() == 1
+            && first_path.as_ref().is_some_and(|p| index_satisfies_order(tables[0], p, &keys));
+        lines.push(if streamed {
+            "order by: streamed from index".to_owned()
+        } else {
+            "order by: sort".to_owned()
+        });
+    }
+    if let Some(l) = sel.limit {
+        let early = tables.len() == 1
+            && (sel.order_by.is_empty() || lines.iter().any(|s| s.ends_with("streamed from index")));
+        lines.push(format!(
+            "limit: {l}{}",
+            if early { " (early termination)" } else { "" }
+        ));
+    }
+    Ok(lines)
+}
+
+/// Replace slots below `base` with a placeholder literal so explain can
+/// show which index a join level would probe (the real values exist only
+/// per outer row at execution time).
+fn inline_placeholder(e: &BoundExpr, base: usize) -> BoundExpr {
+    let buf: Vec<Value> = vec![Value::Int(0); base];
+    inline_known(e, base, &buf)
 }
 
 fn agg_name(f: AggFunc) -> &'static str {

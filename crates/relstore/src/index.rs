@@ -135,6 +135,109 @@ impl Index {
         self.tree.get(key).map_or(0, BTreeSet::len)
     }
 
+    /// Number of distinct keys currently in the tree (planner statistic:
+    /// for a composite index this is the distinct count of the column
+    /// *tuple*, which per-column stats cannot provide).
+    pub fn distinct_keys(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Key-ordered groups whose key starts with `prefix`, optionally
+    /// range-constrained on the column at position `prefix.len()`.
+    ///
+    /// This is the streaming core all prefix scans are built on: groups
+    /// arrive in index-key order (so a caller whose sort keys are the
+    /// index columns can stream ORDER BY), and the scan terminates as soon
+    /// as a key leaves the prefix or exceeds the high bound — a consumer
+    /// that stops early (LIMIT) never touches the rest of the tree.
+    ///
+    /// A prefix `[p]` with an open low bound starts at key `[p]` itself
+    /// (shortest key sorts first thanks to the length tie-break in
+    /// `IndexKey::cmp`). An `Excluded` low bound starts at the bound value
+    /// and filters out exact matches below, because excluding it from the
+    /// range start would also skip longer keys sharing the component.
+    /// NULLs sort first and never satisfy a range predicate, so ranged
+    /// scans skip them.
+    pub fn iter_prefix_groups(
+        &self,
+        prefix: Vec<Value>,
+        low: Bound<Value>,
+        high: Bound<Value>,
+    ) -> impl Iterator<Item = (&IndexKey, &BTreeSet<RowId>)> {
+        let lo_key: Bound<IndexKey> = match &low {
+            Bound::Unbounded => Bound::Included(IndexKey(prefix.clone())),
+            Bound::Included(v) | Bound::Excluded(v) => {
+                let mut k = prefix.clone();
+                k.push(v.clone());
+                Bound::Included(IndexKey(k))
+            }
+        };
+        let plen = prefix.len();
+        let ranged = !matches!((&low, &high), (Bound::Unbounded, Bound::Unbounded));
+        self.tree
+            .range((lo_key, Bound::Unbounded))
+            .take_while(move |(key, _)| {
+                // Stop once the key no longer begins with the prefix, or
+                // its next component exceeds the high bound.
+                key.0.len() >= plen
+                    && key.0[..plen]
+                        .iter()
+                        .zip(&prefix)
+                        .all(|(a, b)| a.index_cmp(b) == Ordering::Equal)
+                    && match (key.0.get(plen), &high) {
+                        (Some(next), Bound::Included(hi)) => {
+                            next.index_cmp(hi) != Ordering::Greater
+                        }
+                        (Some(next), Bound::Excluded(hi)) => next.index_cmp(hi) == Ordering::Less,
+                        _ => true,
+                    }
+            })
+            .filter(move |(key, _)| match key.0.get(plen) {
+                Some(next) => {
+                    if let Bound::Excluded(lo) = &low {
+                        if next.index_cmp(lo) == Ordering::Equal {
+                            return false;
+                        }
+                    }
+                    !(next.is_null() && ranged)
+                }
+                // Key is exactly the prefix: included only when no range
+                // on the next column was requested.
+                None => !ranged,
+            })
+    }
+
+    /// Streaming variant of [`Index::scan_prefix_range`]: row ids in
+    /// index-key order, produced lazily.
+    pub fn iter_prefix_range(
+        &self,
+        prefix: Vec<Value>,
+        low: Bound<Value>,
+        high: Bound<Value>,
+    ) -> impl Iterator<Item = RowId> + '_ {
+        self.iter_prefix_groups(prefix, low, high).flat_map(|(_, ids)| ids.iter().copied())
+    }
+
+    /// Count the entries a prefix/range scan would visit, giving up once
+    /// `cap` is reached — the planner's "index dive". Returns the count
+    /// and whether it was truncated by the cap.
+    pub fn count_prefix_range(
+        &self,
+        prefix: &[Value],
+        low: Bound<&Value>,
+        high: Bound<&Value>,
+        cap: usize,
+    ) -> (usize, bool) {
+        let mut n = 0usize;
+        for (_, ids) in self.iter_prefix_groups(prefix.to_vec(), low.cloned(), high.cloned()) {
+            n += ids.len();
+            if n >= cap {
+                return (n, true);
+            }
+        }
+        (n, false)
+    }
+
     /// Row ids whose key starts with `prefix` (fewer columns than the
     /// index width), optionally range-constrained on the next column.
     ///
@@ -146,69 +249,7 @@ impl Index {
         high: Bound<&Value>,
         out: &mut Vec<RowId>,
     ) {
-        // Build range endpoints in full-key space. A prefix [p] with an
-        // open low bound starts at key [p] itself (shortest key sorts
-        // first thanks to the length tie-break in `IndexKey::cmp`).
-        let lo_key: Bound<IndexKey> = match low {
-            Bound::Unbounded => Bound::Included(IndexKey(prefix.to_vec())),
-            Bound::Included(v) => {
-                let mut k = prefix.to_vec();
-                k.push(v.clone());
-                Bound::Included(IndexKey(k))
-            }
-            Bound::Excluded(v) => {
-                let mut k = prefix.to_vec();
-                k.push(v.clone());
-                // Excluded on a prefix would also skip longer keys sharing
-                // this component, so filter below instead of here.
-                Bound::Included(IndexKey(k))
-            }
-        };
-        let hi_excl = high; // checked per-key below
-        let iter = self.tree.range((lo_key, Bound::Unbounded));
-        for (key, ids) in iter {
-            // Stop once the key no longer begins with the prefix.
-            if key.0.len() < prefix.len()
-                || key.0[..prefix.len()]
-                    .iter()
-                    .zip(prefix)
-                    .any(|(a, b)| a.index_cmp(b) != Ordering::Equal)
-            {
-                break;
-            }
-            if let Some(next) = key.0.get(prefix.len()) {
-                if let Bound::Excluded(lo) = low {
-                    if next.index_cmp(lo) == Ordering::Equal {
-                        continue;
-                    }
-                }
-                match hi_excl {
-                    Bound::Unbounded => {}
-                    Bound::Included(hi) => {
-                        if next.index_cmp(hi) == Ordering::Greater {
-                            break;
-                        }
-                    }
-                    Bound::Excluded(hi) => {
-                        if next.index_cmp(hi) != Ordering::Less {
-                            break;
-                        }
-                    }
-                }
-                // NULLs sort first; a range predicate is never satisfied
-                // by NULL in SQL semantics, so skip them.
-                if next.is_null()
-                    && !matches!((low, hi_excl), (Bound::Unbounded, Bound::Unbounded))
-                {
-                    continue;
-                }
-            } else if !matches!((low, hi_excl), (Bound::Unbounded, Bound::Unbounded)) {
-                // Key is exactly the prefix but a range on the next column
-                // was requested: no next component to test.
-                continue;
-            }
-            out.extend(ids.iter().copied());
-        }
+        out.extend(self.iter_prefix_range(prefix.to_vec(), low.cloned(), high.cloned()));
     }
 
     /// Iterate all (key, ids) pairs in key order (used by ORDER BY
@@ -276,6 +317,30 @@ mod tests {
         ix.scan_prefix_range(&[], Bound::Included(&Value::Int(2)), Bound::Unbounded, &mut out);
         out.sort();
         assert_eq!(out, vec![RowId(4), RowId(5)]);
+    }
+
+    #[test]
+    fn iter_prefix_range_streams_in_key_order() {
+        let ix = idx2();
+        let got: Vec<RowId> = ix
+            .iter_prefix_range(vec![Value::Int(1)], Bound::Unbounded, Bound::Unbounded)
+            .collect();
+        assert_eq!(got, vec![RowId(1), RowId(2), RowId(3)]);
+        // Early termination: taking one element must not need the rest.
+        let first = ix
+            .iter_prefix_range(vec![], Bound::Unbounded, Bound::Unbounded)
+            .next();
+        assert_eq!(first, Some(RowId(1)));
+    }
+
+    #[test]
+    fn count_prefix_range_caps_the_dive() {
+        let ix = idx2();
+        let all = ix.count_prefix_range(&[Value::Int(1)], Bound::Unbounded, Bound::Unbounded, 100);
+        assert_eq!(all, (3, false));
+        let capped = ix.count_prefix_range(&[Value::Int(1)], Bound::Unbounded, Bound::Unbounded, 2);
+        assert_eq!(capped, (2, true));
+        assert_eq!(ix.distinct_keys(), 5);
     }
 
     #[test]

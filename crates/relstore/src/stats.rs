@@ -1,0 +1,203 @@
+//! Table statistics for the cost-based planner.
+//!
+//! The paper's MySQL deployment leaned on the optimizer's index
+//! statistics to order predicate evaluation; relstore keeps the same
+//! information per table — live row count plus per-column distinct and
+//! NULL counts — so [`crate::planner`] can cost access paths by estimated
+//! selectivity instead of structural heuristics.
+//!
+//! Statistics are *advisory*: they never affect answers, only plan
+//! choice, so they are maintained lazily. Every mutating operation bumps
+//! a modification counter; [`Table::statistics`](crate::table::Table)
+//! re-analyzes (a full scan of live rows) only when the counter says the
+//! cached snapshot has drifted past [`STALE_FRACTION`] of the rows it
+//! described. A bulk delete therefore leaves stats stale until the next
+//! planning call crosses the threshold — the planner guards against that
+//! window by clamping every estimate to the *live* row count, which is
+//! always exact.
+
+use std::cmp::Ordering;
+use std::collections::BTreeSet;
+
+use crate::value::Value;
+
+/// Re-analyze once modifications exceed `max(MIN_STALE_WRITES,
+/// analyzed_rows / STALE_FRACTION)`.
+pub const STALE_FRACTION: u64 = 4;
+
+/// Floor on the staleness threshold so tiny tables don't re-analyze on
+/// every write.
+pub const MIN_STALE_WRITES: u64 = 64;
+
+/// Distribution summary of one column, over the live rows at analyze
+/// time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ColumnStats {
+    /// Number of distinct non-NULL values.
+    pub distinct: u64,
+    /// Number of NULL entries.
+    pub nulls: u64,
+}
+
+/// Snapshot of one table's statistics, produced by
+/// [`Table::analyze`](crate::table::Table::analyze).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TableStatistics {
+    /// Live rows when the snapshot was taken.
+    pub analyzed_rows: u64,
+    /// Per-column summaries, in schema order.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStatistics {
+    /// Estimated fraction of rows matching `col = <literal>`: the
+    /// non-NULL fraction spread evenly over the distinct values (the
+    /// uniform-distribution assumption every System R descendant makes).
+    /// An unanalyzed or empty table estimates 1.0 — the planner's clamp
+    /// to live rows keeps that harmless.
+    pub fn eq_selectivity(&self, col: usize) -> f64 {
+        let Some(c) = self.columns.get(col) else { return 1.0 };
+        if self.analyzed_rows == 0 || c.distinct == 0 {
+            // Empty at analyze time, or every entry NULL: no equality can
+            // match a non-NULL literal, but stay conservative rather than
+            // estimating zero for a possibly-drifted snapshot.
+            return 1.0;
+        }
+        let non_null = (self.analyzed_rows - c.nulls.min(self.analyzed_rows)) as f64;
+        (non_null / self.analyzed_rows as f64 / c.distinct as f64).clamp(0.0, 1.0)
+    }
+
+    /// Estimated fraction of rows a range predicate on `col` keeps.
+    /// Without histograms this is the classic fixed fraction, reduced by
+    /// the NULL share (ranges never match NULL).
+    pub fn range_selectivity(&self, col: usize) -> f64 {
+        const RANGE_FRACTION: f64 = 1.0 / 3.0;
+        let Some(c) = self.columns.get(col) else { return RANGE_FRACTION };
+        if self.analyzed_rows == 0 {
+            return RANGE_FRACTION;
+        }
+        let non_null = (self.analyzed_rows - c.nulls.min(self.analyzed_rows)) as f64
+            / self.analyzed_rows as f64;
+        RANGE_FRACTION * non_null
+    }
+}
+
+/// Total order over `Value` by [`Value::index_cmp`], so distinct counting
+/// can use a `BTreeSet` without requiring `Hash`/`Eq` (floats).
+struct OrdValue<'a>(&'a Value);
+
+impl PartialEq for OrdValue<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.index_cmp(other.0) == Ordering::Equal
+    }
+}
+
+impl Eq for OrdValue<'_> {}
+
+impl PartialOrd for OrdValue<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdValue<'_> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.index_cmp(other.0)
+    }
+}
+
+/// Compute statistics over an iterator of rows (live latest images).
+pub(crate) fn analyze_rows<'a>(
+    arity: usize,
+    rows: impl Iterator<Item = &'a crate::row::Row>,
+) -> TableStatistics {
+    let mut analyzed_rows = 0u64;
+    let mut nulls = vec![0u64; arity];
+    let mut distinct: Vec<BTreeSet<OrdValue<'a>>> = (0..arity).map(|_| BTreeSet::new()).collect();
+    for row in rows {
+        analyzed_rows += 1;
+        for (i, v) in row.iter().enumerate().take(arity) {
+            if v.is_null() {
+                nulls[i] += 1;
+            } else {
+                distinct[i].insert(OrdValue(v));
+            }
+        }
+    }
+    TableStatistics {
+        analyzed_rows,
+        columns: distinct
+            .into_iter()
+            .zip(nulls)
+            .map(|(d, n)| ColumnStats { distinct: d.len() as u64, nulls: n })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(data: &[Vec<Value>]) -> Vec<crate::row::Row> {
+        data.to_vec()
+    }
+
+    #[test]
+    fn analyze_counts_distinct_and_nulls() {
+        let data = rows(&[
+            vec![Value::Int(1), Value::Null],
+            vec![Value::Int(1), Value::from("a")],
+            vec![Value::Int(2), Value::from("a")],
+        ]);
+        let s = analyze_rows(2, data.iter());
+        assert_eq!(s.analyzed_rows, 3);
+        assert_eq!(s.columns[0], ColumnStats { distinct: 2, nulls: 0 });
+        assert_eq!(s.columns[1], ColumnStats { distinct: 1, nulls: 1 });
+    }
+
+    #[test]
+    fn selectivity_empty_table_is_safe() {
+        let s = analyze_rows(2, std::iter::empty());
+        assert_eq!(s.analyzed_rows, 0);
+        assert_eq!(s.eq_selectivity(0), 1.0);
+        assert!(s.range_selectivity(0) > 0.0);
+    }
+
+    #[test]
+    fn selectivity_all_duplicates_is_one() {
+        let data = rows(&[vec![Value::Int(7)], vec![Value::Int(7)], vec![Value::Int(7)]]);
+        let s = analyze_rows(1, data.iter());
+        assert_eq!(s.columns[0].distinct, 1);
+        assert_eq!(s.eq_selectivity(0), 1.0);
+    }
+
+    #[test]
+    fn selectivity_null_heavy_column() {
+        // 4 rows: 3 NULL, 1 real value — eq matches at most the non-NULL
+        // quarter, and ranges scale down by the same share.
+        let data = rows(&[
+            vec![Value::Null],
+            vec![Value::Null],
+            vec![Value::Null],
+            vec![Value::Int(1)],
+        ]);
+        let s = analyze_rows(1, data.iter());
+        assert_eq!(s.columns[0], ColumnStats { distinct: 1, nulls: 3 });
+        assert_eq!(s.eq_selectivity(0), 0.25);
+        assert!(s.range_selectivity(0) < s.range_selectivity(99));
+    }
+
+    #[test]
+    fn float_values_are_distinct_countable() {
+        let data = rows(&[
+            vec![Value::Float(0.5)],
+            vec![Value::Float(0.5)],
+            vec![Value::Float(1.5)],
+            vec![Value::Float(f64::NAN)],
+            vec![Value::Float(f64::NAN)],
+        ]);
+        let s = analyze_rows(1, data.iter());
+        // NaN folds to one distinct value under index_cmp's total order.
+        assert_eq!(s.columns[0].distinct, 3);
+    }
+}

@@ -29,6 +29,13 @@
 #                      tests, the seeded MVCC-vs-barrier twin property
 #                      test, the snapshot-isolation test, and the
 #                      MVCC WAL-truncation crash matrix
+#   verify.sh planner  the cost-based-planner contract (DESIGN.md
+#                      §7.6): relstore statistics/index-dive unit
+#                      tests, plan construction unit tests, the
+#                      plan-shape + statistics edge-case regressions,
+#                      the seeded planner-vs-posting-scan twin
+#                      property test (barrier/MVCC/4-shard), and the
+#                      explainQuery SOAP round-trip
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -106,8 +113,24 @@ case "$lane" in
     cargo test -q -p mcs --test mvcc_truncation
     echo "mvcc lane: $(($(date +%s) - start))s elapsed"
     ;;
+  planner)
+    start=$(date +%s)
+    cargo test -q -p relstore --lib stats
+    cargo test -q -p relstore --lib statistics
+    cargo test -q -p relstore --lib planner
+    cargo test -q -p mcs --lib plan
+    cargo test -q -p mcs --test plan_shape
+    if ! cargo test -q -p mcs --test planner_twin; then
+      echo "planner lane failed." >&2
+      echo "To replay a twin-divergence failure, rerun with the seed printed above:" >&2
+      echo "  MCS_PLANNER_SEED=<seed> cargo test -p mcs --test planner_twin -- --nocapture" >&2
+      exit 1
+    fi
+    cargo test -q -p mcs-net --test roundtrip explain
+    echo "planner lane: $(($(date +%s) - start))s elapsed"
+    ;;
   *)
-    echo "usage: verify.sh [unit|crash|stress|async-durability|cache|shard|mvcc]" >&2
+    echo "usage: verify.sh [unit|crash|stress|async-durability|cache|shard|mvcc|planner]" >&2
     exit 2
     ;;
 esac
