@@ -22,7 +22,7 @@ fn main() {
                 let n = args
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| die("--figure needs a number 5..=17"));
+                    .unwrap_or_else(|| die("--figure needs a number 5..=18"));
                 figures.push(n);
             }
             "--out" => out_dir = Some(args.next().unwrap_or_else(|| die("--out needs a path"))),
@@ -38,7 +38,8 @@ fn main() {
                                 14 = epoch-consistent read-cache A/B,\n\
                                 15 = sharded scatter-gather scaling A/B,\n\
                                 16 = MVCC snapshot-read mixed A/B,\n\
-                                17 = cost-based planner A/B)\n\
+                                17 = cost-based planner A/B,\n\
+                                18 = binary wire protocol vs SOAP A/B)\n\
                      --out DIR  JSON output directory (default: results)"
                 );
                 return;
@@ -55,10 +56,10 @@ fn main() {
     }
 
     println!("MCS SC'03 evaluation reproduction — scale {scale:?}, sizes {:?}", cfg.scale.sizes());
-    // Figures 12–16 build their own catalogs; don't populate the big
+    // Figures 12–18 build their own catalogs; don't populate the big
     // shared in-memory deployments unless a paper figure needs them.
     let deployments =
-        if figures.iter().all(|&n| (12..=17).contains(&n)) { Vec::new() } else { deploy(&cfg) };
+        if figures.iter().all(|&n| (12..=18).contains(&n)) { Vec::new() } else { deploy(&cfg) };
     for n in figures {
         let fig = run_figure(n, &cfg, &deployments);
         println!("\n{}", fig.to_table());

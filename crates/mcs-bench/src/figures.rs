@@ -4,7 +4,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use mcs::IndexProfile;
-use mcs_net::McsServer;
+use mcs_net::{BinServer, McsServer};
 use workload::{build_catalog, make_worker, run_closed_loop, Access, BuiltCatalog, OpKind, RunConfig};
 
 use crate::config::Config;
@@ -1061,6 +1061,193 @@ pub fn fig17(cfg: &Config, _deployments: &[Deployment]) -> Figure {
     }
 }
 
+/// Figure 18 (beyond the paper): **binary wire protocol A/B** on the
+/// paper-profile catalog, every transport hitting the same shared
+/// dispatch (DESIGN.md §7.7).
+///
+/// Four simple-query series per database size, all at zero simulated
+/// RTT so the comparison isolates per-request protocol overhead:
+///
+/// * **direct (ceiling)** — in-process calls, the no-wire upper bound;
+/// * **soap keep-alive** — the HTTP/XML stack with connection reuse
+///   (the strongest SOAP configuration);
+/// * **binary** — one length-prefixed request/response per round trip
+///   on a persistent connection;
+/// * **binary pipelined ×128** — the same connection with 128 requests
+///   kept in flight.
+///
+/// Then a bulk-ingest A/B: the same 2 048 fresh files created through
+/// each transport one `createFile` at a time versus 64-spec
+/// `createFiles` batches (one transaction per batch on the server).
+///
+/// The acceptance bar is binary ≥5× soap keep-alive simple-query
+/// throughput at the largest size.
+pub fn fig18(cfg: &Config, _deployments: &[Deployment]) -> Figure {
+    use workload::{build_catalog_with, spec};
+
+    const PIPELINE: usize = 128;
+    const BULK_TOTAL: u64 = 2_048;
+    const BATCH: usize = 64;
+
+    let query_labels =
+        ["direct (ceiling)", "soap keep-alive", "binary", "binary pipelined x128"];
+    let bulk_labels = [
+        "bulk add: soap createFile",
+        "bulk add: binary createFile",
+        "bulk add: soap createFiles x64",
+        "bulk add: binary createFiles x64",
+    ];
+    let mut series: Vec<Series> = query_labels
+        .iter()
+        .chain(bulk_labels.iter())
+        .map(|label| Series { label: label.to_string(), points: Vec::new() })
+        .collect();
+
+    let mut speedup_at_largest = 0.0;
+    for &n in cfg.scale.sizes().iter() {
+        eprintln!("[fig18] populating {} logical files (cached catalog)...", size_label(n));
+        let t0 = std::time::Instant::now();
+        // The read cache (DESIGN.md §7.3, fig14) is on and prewarmed:
+        // the figure isolates *protocol* overhead, so the server runs
+        // its read-optimized configuration for every transport alike.
+        let cache = mcs::CacheConfig { capacity: (2 * n as usize).max(8192), shards: 64 };
+        let built = build_catalog_with(n, IndexProfile::Paper2003, Some(cache));
+        {
+            let cred = workload::driver_credential(0, 0);
+            for i in 0..n {
+                built.mcs.get_file(&cred, &spec::file_name(i)).unwrap();
+            }
+        }
+        let soap =
+            McsServer::start(Arc::clone(&built.mcs), "127.0.0.1:0", cfg.server_workers).unwrap();
+        let bin =
+            BinServer::start(Arc::clone(&built.mcs), "127.0.0.1:0", cfg.server_workers).unwrap();
+        eprintln!("[fig18] {} ready in {:.1}s", size_label(n), t0.elapsed().as_secs_f64());
+        let d = Deployment { n_files: n, built, server: soap };
+
+        let accesses = [
+            direct_access(&d, Duration::ZERO),
+            Access::Soap { addr: d.server.addr().to_string(), rtt: Duration::ZERO, keep_alive: true },
+            Access::Bin { addr: bin.addr().to_string(), rtt: Duration::ZERO, pipeline: 1 },
+            Access::Bin { addr: bin.addr().to_string(), rtt: Duration::ZERO, pipeline: PIPELINE },
+        ];
+        // Longer points than the scale default: the A/B ratio is the
+        // figure's product, so per-point noise matters more here than in
+        // the shape-oriented paper figures.
+        let run = RunConfig {
+            hosts: 1,
+            threads_per_host: 4,
+            duration: cfg.scale.point_duration().max(Duration::from_secs(2)),
+            warmup: cfg.scale.warmup().max(Duration::from_millis(400)),
+            min_ops: cfg.scale.min_ops(),
+            max_extension: cfg.scale.max_extension(),
+        };
+        let mut rates = [0.0f64; 4];
+        for (s, access) in accesses.iter().enumerate() {
+            let m = run_closed_loop(&run, |h, t| {
+                make_worker(access, OpKind::SimpleQuery, d.n_files, h, t)
+            });
+            let mut p = Point { x: 0, rate: m.rate(), ops: m.ops, errors: m.errors };
+            p.x = n;
+            eprintln!(
+                "[fig18] {} files, {}: {:.1}/s ({} errors)",
+                size_label(n),
+                query_labels[s],
+                p.rate,
+                p.errors
+            );
+            rates[s] = p.rate;
+            series[s].points.push(p);
+        }
+        if rates[1] > 0.0 {
+            // The protocol's rate is its pipelined mode — pipelining is
+            // part of the wire design, not an optional extra.
+            speedup_at_largest = rates[3] / rates[1];
+            eprintln!(
+                "[fig18] {} files: binary/soap-ka = {:.1}x sync, {:.1}x pipelined; \
+                 pipelined/direct ceiling = {:.2}",
+                size_label(n),
+                rates[2] / rates[1],
+                rates[3] / rates[1],
+                rates[3] / rates[0].max(f64::MIN_POSITIVE),
+            );
+        }
+
+        // Bulk ingest: the same fresh specs through each (transport,
+        // batching) pair; rate is files landed per second. Distinct name
+        // prefixes keep the four passes independent.
+        let cred = workload::driver_credential(9, 0);
+        let specs = |pass: usize| -> Vec<mcs::FileSpec> {
+            (0..BULK_TOTAL)
+                .map(|i| {
+                    let mut s =
+                        mcs::FileSpec::named(format!("bulk.p{pass}.{i:08}.dat"));
+                    s.attributes = spec::attributes_of(n.wrapping_add(i));
+                    s
+                })
+                .collect()
+        };
+        for (s, label) in bulk_labels.iter().enumerate() {
+            let batch = s >= 2; // first two passes are one-at-a-time
+            let soap_side = s % 2 == 0;
+            let specs = specs(s);
+            let mut soap_client = mcs_net::McsClient::with_opts(
+                d.server.addr().to_string(),
+                cred.clone(),
+                soapstack::TransportOpts { keep_alive: true, simulated_rtt: Duration::ZERO },
+            );
+            let mut bin_client =
+                mcs_net::BinMcsClient::connect(bin.addr().to_string(), cred.clone());
+            let t0 = std::time::Instant::now();
+            let mut errors = 0u64;
+            if batch {
+                for chunk in specs.chunks(BATCH) {
+                    let r = if soap_side {
+                        soap_client.create_files(chunk).map(|_| ())
+                    } else {
+                        bin_client.create_files(chunk).map(|_| ())
+                    };
+                    if r.is_err() {
+                        errors += chunk.len() as u64;
+                    }
+                }
+            } else {
+                for spec in &specs {
+                    let r = if soap_side {
+                        soap_client.create_file(spec).map(|_| ())
+                    } else {
+                        bin_client.create_file(spec).map(|_| ())
+                    };
+                    if r.is_err() {
+                        errors += 1;
+                    }
+                }
+            }
+            let elapsed = t0.elapsed().as_secs_f64();
+            let rate = BULK_TOTAL as f64 / elapsed;
+            eprintln!(
+                "[fig18] {} files, {label}: {rate:.1} files/s ({errors} errors)",
+                size_label(n)
+            );
+            series[4 + s].points.push(Point { x: n, rate, ops: BULK_TOTAL, errors });
+        }
+    }
+    eprintln!(
+        "[fig18] acceptance: {:.1}x binary-over-soap-keep-alive at the largest size (bar: >=5x)",
+        speedup_at_largest
+    );
+
+    Figure {
+        id: "fig18".into(),
+        title: "Simple-Query and Bulk-Ingest Throughput: Binary Wire Protocol vs SOAP \
+                Keep-Alive vs Direct Calls"
+            .into(),
+        x_label: "database size (logical files)".into(),
+        y_label: "ops/sec".into(),
+        series,
+    }
+}
+
 /// Run one figure by number.
 pub fn run_figure(n: u8, cfg: &Config, deployments: &[Deployment]) -> Figure {
     match n {
@@ -1077,10 +1264,12 @@ pub fn run_figure(n: u8, cfg: &Config, deployments: &[Deployment]) -> Figure {
         15 => fig15(cfg, deployments),
         16 => fig16(cfg, deployments),
         17 => fig17(cfg, deployments),
+        18 => fig18(cfg, deployments),
         other => panic!(
             "no figure {other}: 5–11 reproduce the paper, 12/13 the durability A/Bs, \
              14 the read-cache A/B, 15 the sharded-catalog scaling A/B, 16 the MVCC \
-             snapshot-read A/B, 17 the cost-based planner A/B"
+             snapshot-read A/B, 17 the cost-based planner A/B, 18 the binary wire \
+             protocol A/B"
         ),
     }
 }

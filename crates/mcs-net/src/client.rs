@@ -48,7 +48,7 @@ pub enum FaultKind {
 }
 
 impl FaultKind {
-    fn from_code(code: &str) -> FaultKind {
+    pub(crate) fn from_code(code: &str) -> FaultKind {
         match code.rsplit('.').next().unwrap_or("") {
             "NotFound" => FaultKind::NotFound,
             "AlreadyExists" => FaultKind::AlreadyExists,
@@ -82,6 +82,9 @@ pub enum NetError {
     Soap(SoapError),
     /// The response did not have the expected shape.
     Shape(XmlError),
+    /// Binary-protocol transport or framing failure
+    /// ([`crate::BinMcsClient`]).
+    Frame(String),
 }
 
 impl fmt::Display for NetError {
@@ -90,6 +93,7 @@ impl fmt::Display for NetError {
             NetError::Fault { kind, message } => write!(f, "MCS fault ({kind:?}): {message}"),
             NetError::Soap(e) => write!(f, "{e}"),
             NetError::Shape(e) => write!(f, "bad response: {e}"),
+            NetError::Frame(e) => write!(f, "frame error: {e}"),
         }
     }
 }
@@ -347,6 +351,18 @@ impl McsClient {
     pub fn create_file(&mut self, spec: &FileSpec) -> Result<LogicalFile> {
         let r = self.call("createFile", Element::new("a").child(filespec_el(spec)))?;
         Ok(file_from(r.expect("file")?)?)
+    }
+
+    /// Create a batch of logical files in one server-side transaction
+    /// (the `createFiles` bulk op): all-or-nothing per shard, results in
+    /// input order. One round-trip and one commit replace N of each.
+    pub fn create_files(&mut self, specs: &[FileSpec]) -> Result<Vec<LogicalFile>> {
+        let mut a = Element::new("a");
+        for s in specs {
+            a = a.child(filespec_el(s));
+        }
+        let r = self.call("createFiles", a)?;
+        r.find_all("file").map(|f| Ok(file_from(f)?)).collect()
     }
 
     /// Fetch a file's predefined metadata (the paper's "simple query").

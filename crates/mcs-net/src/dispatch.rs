@@ -1,0 +1,57 @@
+//! The per-request execution scope shared by both wire front ends.
+//!
+//! SOAP carries the per-request options as method-element attributes
+//! (`mcs:durability`, `mcs:cache`); the binary protocol carries them as
+//! request-flag bits (DESIGN.md §7.7). Both decode into the same
+//! [`CallScope`] and run through [`run_scoped`], so a durability
+//! override, a cache bypass and the epoch/shard echo behave identically
+//! regardless of which framing delivered the request — which is exactly
+//! what the cross-protocol twin suite (`wire_twin.rs`) asserts.
+
+use crate::client::DurabilityMode;
+use mcs::ShardedCatalog;
+
+/// Per-request options decoded from either wire framing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CallScope {
+    /// Override the store-wide commit policy for this call.
+    pub durability: Option<DurabilityMode>,
+    /// Run every read in this call on the uncached path.
+    pub cache_bypass: bool,
+}
+
+/// The server-side commit policy a [`DurabilityMode`] header selects.
+/// `Group`/`Async` use the server's default batching window; the window
+/// is server policy, not something clients get to pick.
+pub fn durability_of(mode: DurabilityMode) -> mcs::Durability {
+    let window = std::time::Duration::from_millis(2);
+    match mode {
+        DurabilityMode::Always => mcs::Durability::Always,
+        DurabilityMode::Group => mcs::Durability::Group { max_wait: window, max_batch: 64 },
+        DurabilityMode::Async => mcs::Durability::Async { max_wait: window, max_batch: 64 },
+    }
+}
+
+/// Run one request body under its [`CallScope`]: apply the durability
+/// override (if any) and the cache bypass, and report the `(epoch,
+/// shard)` of whatever the operation committed — the handle an
+/// async-acknowledged client needs for `waitForEpoch`. Epoch 0 means the
+/// call logged nothing.
+pub fn run_scoped<R>(
+    catalog: &ShardedCatalog,
+    scope: CallScope,
+    f: impl FnOnce(&ShardedCatalog) -> R,
+) -> (R, u64, usize) {
+    let bypass = scope.cache_bypass;
+    let run = move |c: &ShardedCatalog| {
+        if bypass {
+            c.with_cache_bypass(f)
+        } else {
+            f(c)
+        }
+    };
+    match scope.durability {
+        Some(mode) => catalog.with_durability(durability_of(mode), run),
+        None => catalog.track_epoch(run),
+    }
+}

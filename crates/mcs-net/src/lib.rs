@@ -5,13 +5,22 @@
 //! mirroring the original Java client API. The measured gap between
 //! calling [`mcs::Mcs`] directly and through this layer *is* the paper's
 //! headline web-service overhead (≈4.8× on adds).
+//!
+//! Beside SOAP sits [`binproto`], a pipelined length-prefixed binary
+//! wire protocol serving the same operations through the same
+//! per-request [`dispatch`] scope — the paper's §6.3 "the WS stack is
+//! the bottleneck" finding, answered. The two front ends are proven
+//! equivalent by a seeded cross-protocol twin suite.
 
 #![warn(missing_docs)]
 
+pub mod binproto;
 pub mod client;
+pub mod dispatch;
 pub mod server;
 pub mod wire;
 pub mod wsdl;
 
+pub use binproto::{BinMcsClient, BinServer};
 pub use client::{CacheStatsReport, CatalogInfoReport, DurabilityMode, FaultKind, McsClient, NetError};
 pub use server::{register_methods, McsServer};

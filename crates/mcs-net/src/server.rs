@@ -29,11 +29,11 @@ pub fn fault_kind(e: &McsError) -> &'static str {
     }
 }
 
-fn fault_of(e: McsError) -> Fault {
+pub(crate) fn fault_of(e: McsError) -> Fault {
     Fault { code: format!("soap:Server.{}", fault_kind(&e)), message: e.to_string() }
 }
 
-fn fault_of_xml(e: XmlError) -> Fault {
+pub(crate) fn fault_of_xml(e: XmlError) -> Fault {
     Fault { code: "soap:Client.BadArguments".into(), message: e.to_string() }
 }
 
@@ -55,13 +55,14 @@ fn wrap(children: Vec<Element>) -> Element {
 /// (the SOAP header clients use to relax or harden one call's commit
 /// policy — see DESIGN.md §7.2). `group`/`async` use the server's
 /// default batching window.
-fn durability_override(call: &Element) -> std::result::Result<Option<mcs::Durability>, Fault> {
+fn durability_override(
+    call: &Element,
+) -> std::result::Result<Option<crate::client::DurabilityMode>, Fault> {
     let Some(v) = call.attr_value("mcs:durability") else { return Ok(None) };
-    let window = std::time::Duration::from_millis(2);
     match v {
-        "always" => Ok(Some(mcs::Durability::Always)),
-        "group" => Ok(Some(mcs::Durability::Group { max_wait: window, max_batch: 64 })),
-        "async" => Ok(Some(mcs::Durability::Async { max_wait: window, max_batch: 64 })),
+        "always" => Ok(Some(crate::client::DurabilityMode::Always)),
+        "group" => Ok(Some(crate::client::DurabilityMode::Group)),
+        "async" => Ok(Some(crate::client::DurabilityMode::Async)),
         other => Err(Fault {
             code: "soap:Client.BadArguments".into(),
             message: format!(
@@ -92,26 +93,20 @@ where
 {
     let catalog = Arc::clone(catalog);
     d.register(name, move |call| {
-        // Every method passes through here: apply the per-request
-        // durability header (if any) and echo the commit epoch of
+        // Every method passes through here: decode the per-request
+        // headers into the CallScope both wire front ends share, then
+        // run under it — the scope applies the durability override (if
+        // any) and the cache bypass, and reports the commit epoch of
         // whatever the operation logged, so an async-acknowledged client
         // has the handle it needs for waitForEpoch. Epochs are per shard,
         // so a sharded catalog also echoes which shard the commit landed
-        // on. The per-request `mcs:cache="bypass"` attribute wraps the
-        // same call in a cache-bypass scope (propagated to scatter
-        // workers by the planner).
-        let bypass = cache_bypass(call)?;
-        let run = |c: &ShardedCatalog| {
-            if bypass {
-                c.with_cache_bypass(|c| f(c, call))
-            } else {
-                f(c, call)
-            }
+        // on.
+        let scope = crate::dispatch::CallScope {
+            durability: durability_override(call)?,
+            cache_bypass: cache_bypass(call)?,
         };
-        let (result, epoch, shard) = match durability_override(call)? {
-            Some(mode) => catalog.with_durability(mode, run),
-            None => catalog.track_epoch(run),
-        };
+        let (result, epoch, shard) =
+            crate::dispatch::run_scoped(&catalog, scope, |c| f(c, call));
         let mut el = result?;
         if epoch > 0 {
             el.attrs.push(("xmlns:mcs".into(), soapstack::soap::MCS_NS.into()));
@@ -208,6 +203,16 @@ pub fn register_methods(d: &mut SoapDispatcher, catalog: Arc<ShardedCatalog>) {
             filespec_from(call.expect("fileSpec").map_err(fault_of_xml)?).map_err(fault_of_xml)?;
         let f = mcs.create_file(&cred, &spec).map_err(fault_of)?;
         Ok(wrap(vec![file_el(&f)]))
+    });
+    reg(d, mcs, "createFiles", |mcs, call| {
+        let cred = credential_from(call).map_err(fault_of_xml)?;
+        let specs: Vec<_> = call
+            .find_all("fileSpec")
+            .map(filespec_from)
+            .collect::<crate::wire::Result<_>>()
+            .map_err(fault_of_xml)?;
+        let fs = mcs.create_files(&cred, &specs).map_err(fault_of)?;
+        Ok(wrap(fs.iter().map(file_el).collect()))
     });
     reg(d, mcs, "getFile", |mcs, call| {
         let cred = credential_from(call).map_err(fault_of_xml)?;

@@ -7,7 +7,6 @@
 //! those of its collection and every ancestor collection — exactly the
 //! paper's rule. Logical views never affect authorization.
 
-use std::collections::HashSet;
 
 use crate::catalog::Mcs;
 use crate::error::{McsError, Result};
@@ -94,7 +93,26 @@ impl Mcs {
         self.acl_entries(ot, id)
     }
 
+    /// Served from the read cache when one is enabled (stamped on the
+    /// `acl_entries` write version, so grants and revokes invalidate it
+    /// like any other write).
     fn acl_entries(&self, ot: ObjectType, id: i64) -> Result<Vec<(String, Permission)>> {
+        use crate::cache::{CacheKey, CacheValue, Lookup};
+        let Some(cache) = self.read_cache() else {
+            return self.acl_entries_uncached(ot, id);
+        };
+        let key = CacheKey::Acl(ot.code(), id);
+        let stamp = match cache.lookup(&self.db, &key) {
+            Lookup::Hit(CacheValue::Acl(v)) => return Ok(v),
+            Lookup::Hit(_) => return self.acl_entries_uncached(ot, id),
+            Lookup::Miss(stamp) => stamp,
+        };
+        let v = self.acl_entries_uncached(ot, id)?;
+        cache.insert(key, CacheValue::Acl(v.clone()), stamp);
+        Ok(v)
+    }
+
+    fn acl_entries_uncached(&self, ot: ObjectType, id: i64) -> Result<Vec<(String, Permission)>> {
         let rs =
             self.db.execute_prepared(&self.stmts.sel_acl_obj, &[ot.code().into(), id.into()])?;
         let rows = rs.rows.expect("select");
@@ -115,10 +133,11 @@ impl Mcs {
     /// that object)?
     fn ace_grants(&self, cred: &Credential, ot: ObjectType, id: i64, perm: Permission) -> Result<bool> {
         let entries = self.acl_entries(ot, id)?;
-        let principals: HashSet<&str> = cred.principals().collect();
+        // ACE lists and principal chains are both short; scanning beats
+        // building a set on this per-call hot path.
         Ok(entries.iter().any(|(who, p)| {
-            (who == ANYONE || principals.contains(who.as_str()))
-                && (*p == perm || *p == Permission::Admin)
+            (*p == perm || *p == Permission::Admin)
+                && (who == ANYONE || cred.principals().any(|pr| pr == who.as_str()))
         }))
     }
 

@@ -73,6 +73,9 @@ pub(crate) enum CacheKey {
     CollByName(String),
     /// `attribute_definition` (negative results cached too).
     AttrDef(String),
+    /// The ACE list of one object (`object_type code`, `object id`) —
+    /// the authorization check every catalog call makes.
+    Acl(i64, i64),
 }
 
 impl CacheKey {
@@ -85,6 +88,7 @@ impl CacheKey {
             CacheKey::FileByName(_) | CacheKey::FileByNameVer(..) => &["logical_files"],
             CacheKey::CollByName(_) => &["logical_collections"],
             CacheKey::AttrDef(_) => &["attribute_definitions"],
+            CacheKey::Acl(..) => &["acl_entries"],
         }
     }
 }
@@ -100,6 +104,8 @@ pub(crate) enum CacheValue {
     Collection(Collection),
     /// An attribute-definition lookup (including "not defined").
     AttrDef(Option<AttributeDefinition>),
+    /// An object's ACE list (principal, permission).
+    Acl(Vec<(String, crate::model::Permission)>),
 }
 
 /// What an entry is validated against: the write-version vector of its

@@ -670,6 +670,119 @@ impl Mcs {
         self.resolve_file_by_id(id)
     }
 
+    /// Create a batch of logical files in **one** transaction — the bulk
+    /// mutation behind the binary protocol's `createFiles` op (and the
+    /// SOAP op of the same name). All-or-nothing: every spec is
+    /// validated, authorized and type-checked up front, then all file
+    /// rows, attribute rows and audit records commit as a single unit —
+    /// the first failing spec aborts the whole batch with its error.
+    /// Results come back in input order.
+    pub fn create_files(&self, cred: &Credential, specs: &[FileSpec]) -> Result<Vec<LogicalFile>> {
+        // Phase 1 (outside the transaction): per-spec validation,
+        // collection resolution + authorization, attribute type-checks.
+        struct Checked<'a> {
+            spec: &'a FileSpec,
+            version: i64,
+            collection_id: Option<i64>,
+            attr_rows: Vec<[Value; 10]>,
+        }
+        let mut checked = Vec::with_capacity(specs.len());
+        for spec in specs {
+            validate_name(&spec.name)?;
+            let collection_id = match &spec.collection {
+                Some(cname) => {
+                    let c = self.resolve_collection(cname)?;
+                    self.require_collection_perm(cred, &c, Permission::Write)?;
+                    Some(c.id)
+                }
+                None => {
+                    self.require_service_perm(cred, Permission::Write)?;
+                    None
+                }
+            };
+            let attr_rows: Vec<[Value; 10]> = spec
+                .attributes
+                .iter()
+                .map(|a| self.attr_row_values(ObjectType::File, a))
+                .collect::<Result<_>>()?;
+            checked.push(Checked {
+                spec,
+                version: spec.version.unwrap_or(1),
+                collection_id,
+                attr_rows,
+            });
+        }
+
+        let now = self.now();
+        // Phase 2: one transaction for the whole batch — N file rows, all
+        // their attribute rows and audit records, one commit (one fsync
+        // under `Durability::Always`, which is where the bulk op's win
+        // over N createFile round-trips comes from).
+        let ids = self.db.transaction(
+            &[
+                ("audit_log", Access::Write),
+                ("logical_files", Access::Write),
+                ("user_attributes", Access::Write),
+            ],
+            |s| {
+                let mut ids = Vec::with_capacity(checked.len());
+                for c in &checked {
+                    let spec = c.spec;
+                    let res = s.execute_prepared(
+                        &self.stmts.ins_file,
+                        &[
+                            spec.name.as_str().into(),
+                            c.version.into(),
+                            opt_str(&spec.data_type),
+                            true.into(),
+                            c.collection_id.map_or(Value::Null, Value::from),
+                            opt_str(&spec.container_id),
+                            opt_str(&spec.container_service),
+                            cred.dn.as_str().into(),
+                            now.clone(),
+                            opt_str(&spec.master_copy),
+                            spec.audit.into(),
+                        ],
+                    );
+                    let res = match res {
+                        Err(relstore::Error::UniqueViolation { .. }) => {
+                            return Err(McsError::AlreadyExists(format!(
+                                "{}.v{}",
+                                spec.name, c.version
+                            )))
+                        }
+                        other => other?,
+                    };
+                    let id = res
+                        .last_insert_id
+                        .ok_or_else(|| McsError::Internal("no insert id".into()))?;
+                    for (i, vals) in c.attr_rows.iter().enumerate() {
+                        let mut params: Vec<Value> = Vec::with_capacity(10);
+                        params.push(ObjectType::File.code().into());
+                        params.push(id.into());
+                        params.extend(vals[2..].iter().cloned());
+                        if let Err(e) = s.execute_prepared(&self.stmts.ins_attr, &params) {
+                            return Err(if matches!(e, relstore::Error::UniqueViolation { .. }) {
+                                McsError::BadAttribute(format!(
+                                    "duplicate attribute `{}`",
+                                    spec.attributes[i].name
+                                ))
+                            } else {
+                                e.into()
+                            });
+                        }
+                    }
+                    if spec.audit {
+                        self.audit_action_in(s, ObjectType::File, id, "create", cred, &spec.name)?;
+                    }
+                    ids.push(id);
+                }
+                Ok(ids)
+            },
+        )?;
+        ids.into_iter().map(|id| self.resolve_file_by_id(id)).collect()
+    }
+
     /// Delete a logical file (paper API: "Deleting a logical file").
     /// Removes its attributes, annotations, history, ACEs and view
     /// memberships. Requires Delete.

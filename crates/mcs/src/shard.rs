@@ -689,6 +689,35 @@ impl ShardedCatalog {
         self.member_write(&spec.name, |m| m.create_file(cred, spec))
     }
 
+    /// See [`Mcs::create_files`] — the bulk mutation behind the wire
+    /// protocols' `createFiles`. Specs are grouped by owning shard and
+    /// each shard's group commits in **one** transaction, shards visited
+    /// in shard order under the read side of the catalog lock (so no
+    /// referenced collection can be concurrently deleted). Atomicity is
+    /// per shard, like two-phase membership writes: a failing spec aborts
+    /// its own shard's whole group and stops the remaining shards, but
+    /// groups already committed on lower shards stay. Results return in
+    /// input order; the echoed epoch is the last shard's commit.
+    pub fn create_files(&self, cred: &Credential, specs: &[FileSpec]) -> Result<Vec<LogicalFile>> {
+        if self.single() {
+            return self.record(0, |m| m.create_files(cred, specs));
+        }
+        let _g = self.global.read();
+        let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, spec) in specs.iter().enumerate() {
+            groups.entry(self.shard_for(&spec.name)).or_default().push(i);
+        }
+        let mut out: Vec<Option<LogicalFile>> = vec![None; specs.len()];
+        for (k, idxs) in groups {
+            let group: Vec<FileSpec> = idxs.iter().map(|&i| specs[i].clone()).collect();
+            let files = self.record(k, |m| m.create_files(cred, &group))?;
+            for (i, f) in idxs.into_iter().zip(files) {
+                out[i] = Some(f);
+            }
+        }
+        Ok(out.into_iter().map(|f| f.expect("every spec was grouped")).collect())
+    }
+
     /// See [`Mcs::get_file`].
     pub fn get_file(&self, cred: &Credential, name: &str) -> Result<LogicalFile> {
         self.on_owner(name, |m| m.get_file(cred, name))

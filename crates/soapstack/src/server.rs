@@ -37,6 +37,25 @@ pub struct ServerStats {
     pub connections: AtomicU64,
 }
 
+impl ServerStats {
+    /// Assert that `expected_requests` calls were all served over a
+    /// single accepted connection — the witness that a keep-alive (or
+    /// persistent binary-protocol) client really reused its socket. The
+    /// `what` string names the client under test in the panic message.
+    pub fn assert_single_connection(&self, expected_requests: u64, what: &str) {
+        assert_eq!(
+            self.connections.load(std::sync::atomic::Ordering::Relaxed),
+            1,
+            "{what}: {expected_requests} sequential calls must share one TCP connection"
+        );
+        assert_eq!(
+            self.requests.load(std::sync::atomic::Ordering::Relaxed),
+            expected_requests,
+            "{what}: request count"
+        );
+    }
+}
+
 /// A running HTTP server; dropping it shuts it down.
 pub struct HttpServer {
     addr: SocketAddr,

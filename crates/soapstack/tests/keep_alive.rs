@@ -38,12 +38,7 @@ fn sequential_calls_reuse_one_connection() {
         let r = c.call("echo", args).unwrap();
         assert_eq!(r.find("msg").unwrap().text_content(), format!("m{i}"));
     }
-    assert_eq!(
-        server.stats.connections.load(Ordering::Relaxed),
-        1,
-        "20 sequential keep-alive calls must share one TCP connection"
-    );
-    assert_eq!(server.stats.requests.load(Ordering::Relaxed), 20);
+    server.stats.assert_single_connection(20, "keep-alive SOAP client");
 }
 
 #[test]
@@ -57,7 +52,7 @@ fn fault_responses_do_not_burn_the_connection() {
     }
     // the connection survives the fault and keeps being reused
     c.call("echo", Element::new("a").child(Element::new("msg").text("y"))).unwrap();
-    assert_eq!(server.stats.connections.load(Ordering::Relaxed), 1);
+    server.stats.assert_single_connection(3, "keep-alive SOAP client across a fault");
 }
 
 #[test]

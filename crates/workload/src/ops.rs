@@ -13,7 +13,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use mcs::{Credential, FileSpec, Mcs};
-use mcs_net::McsClient;
+use mcs_net::{BinMcsClient, McsClient};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use soapstack::TransportOpts;
@@ -41,6 +41,18 @@ pub enum Access {
         rtt: Duration,
         /// Reuse connections across calls (2003 default: false).
         keep_alive: bool,
+    },
+    /// Binary-protocol calls to a `BinServer` (DESIGN.md §7.7). Always
+    /// one persistent connection per worker.
+    Bin {
+        /// Server address (`host:port`).
+        addr: String,
+        /// Per-wire-round-trip simulated latency.
+        rtt: Duration,
+        /// Pipeline window: 1 issues one synchronous request per round
+        /// trip; >1 keeps that many requests in flight (simple queries
+        /// only — other kinds fall back to the synchronous path).
+        pipeline: usize,
     },
 }
 
@@ -137,6 +149,45 @@ pub fn make_worker(
                 }
             })
         }
+        Access::Bin { addr, rtt, pipeline } => {
+            let mut client = BinMcsClient::with_rtt(addr, cred, rtt);
+            if pipeline > 1 && kind == OpKind::SimpleQuery {
+                // Sliding window: issue one request per tick; once the
+                // window is full, also retire the oldest. Each tick
+                // counts one completed-equivalent operation (the up-to-
+                // `pipeline` requests still in flight at shutdown are a
+                // constant-bounded undercount).
+                return Box::new(move || {
+                    let i = rng.gen_range(0..n_files);
+                    if client.send_get_file(&spec::file_name(i)).is_err() {
+                        return false;
+                    }
+                    if client.inflight() >= pipeline {
+                        return client.recv_file().is_ok();
+                    }
+                    true
+                });
+            }
+            let mut counter = 0u64;
+            Box::new(move || match kind {
+                OpKind::AddDelete => {
+                    counter += 1;
+                    let spec = add_spec(host, thread, counter, n_files);
+                    match client.create_file(&spec) {
+                        Ok(_) => client.delete_file(&spec.name).is_ok(),
+                        Err(_) => false,
+                    }
+                }
+                OpKind::SimpleQuery => {
+                    let i = rng.gen_range(0..n_files);
+                    client.get_file(&spec::file_name(i)).is_ok()
+                }
+                OpKind::ComplexQuery { attrs } => {
+                    let i = rng.gen_range(0..n_files);
+                    client.query_by_attributes(&spec::complex_query(i, attrs)).is_ok()
+                }
+            })
+        }
     }
 }
 
@@ -172,6 +223,31 @@ mod tests {
         for kind in [OpKind::AddDelete, OpKind::SimpleQuery, OpKind::ComplexQuery { attrs: 3 }] {
             let mut w = make_worker(&access, kind, built.n_files, 0, 0);
             assert!(w.run_once(), "{kind:?} failed");
+        }
+    }
+
+    #[test]
+    fn bin_ops_succeed() {
+        let built = build_catalog(500, IndexProfile::Paper2003);
+        let server = mcs_net::BinServer::start(Arc::clone(&built.mcs), "127.0.0.1:0", 2).unwrap();
+        let access = Access::Bin {
+            addr: server.addr().to_string(),
+            rtt: Duration::ZERO,
+            pipeline: 1,
+        };
+        for kind in [OpKind::AddDelete, OpKind::SimpleQuery, OpKind::ComplexQuery { attrs: 3 }] {
+            let mut w = make_worker(&access, kind, built.n_files, 0, 0);
+            assert!(w.run_once(), "{kind:?} failed");
+        }
+        // pipelined simple queries keep a window in flight and still succeed
+        let access = Access::Bin {
+            addr: server.addr().to_string(),
+            rtt: Duration::ZERO,
+            pipeline: 8,
+        };
+        let mut w = make_worker(&access, OpKind::SimpleQuery, built.n_files, 0, 1);
+        for _ in 0..64 {
+            assert!(w.run_once());
         }
     }
 

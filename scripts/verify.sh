@@ -36,6 +36,14 @@
 #                      the seeded planner-vs-posting-scan twin
 #                      property test (barrier/MVCC/4-shard), and the
 #                      explainQuery SOAP round-trip
+#   verify.sh wire     the binary wire-protocol contract (DESIGN.md
+#                      §7.7): frame codec unit tests, the seeded
+#                      SOAP-vs-binary cross-protocol twin property
+#                      test (barrier/MVCC/4-shard), the frame-decoder
+#                      fuzz/robustness harness, the 8×200 pipelining
+#                      stress test, and the connection-reuse
+#                      regressions shared with the SOAP keep-alive
+#                      client
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -129,8 +137,22 @@ case "$lane" in
     cargo test -q -p mcs-net --test roundtrip explain
     echo "planner lane: $(($(date +%s) - start))s elapsed"
     ;;
+  wire)
+    start=$(date +%s)
+    cargo test -q -p mcs-net --lib binproto
+    if ! cargo test -q -p mcs-net --test wire_twin; then
+      echo "wire lane failed." >&2
+      echo "To replay a twin-divergence failure, rerun with the seed printed above:" >&2
+      echo "  MCS_WIRE_SEED=<seed> cargo test -p mcs-net --test wire_twin -- --nocapture" >&2
+      exit 1
+    fi
+    cargo test -q -p mcs-net --test bin_fuzz
+    cargo test -q -p mcs-net --test bin_pipeline_stress
+    cargo test -q -p soapstack --test keep_alive
+    echo "wire lane: $(($(date +%s) - start))s elapsed"
+    ;;
   *)
-    echo "usage: verify.sh [unit|crash|stress|async-durability|cache|shard|mvcc|planner]" >&2
+    echo "usage: verify.sh [unit|crash|stress|async-durability|cache|shard|mvcc|planner|wire]" >&2
     exit 2
     ;;
 esac
